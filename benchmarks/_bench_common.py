@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(result_text: str) -> None:
+    """Print a reproduced table so it lands in the benchmark log."""
+    print()
+    print(result_text)
+
+
+def series_strictly_helps(better, worse, slack: float = 1e-9) -> bool:
+    """Every grid point: ``better`` <= ``worse``."""
+    return all(b <= w + slack for b, w in zip(better, worse))

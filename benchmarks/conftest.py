@@ -1,0 +1,41 @@
+"""Shared state for the benchmark harness.
+
+The benchmark suite regenerates every evaluation figure of the paper at
+the ``small`` workload scale by default (~3·10⁴ segments; DESIGN.md
+documents the scaling substitution).  Set ``REPRO_BENCH_SCALE=paper``
+to run the full Sect. 5 configuration (~5·10⁵ segments; the context
+build then takes on the order of a minute).
+
+Every figure bench prints the reproduced table (visible with
+``pytest -s`` or in pytest-benchmark output sections) and asserts the
+paper's qualitative claims about the figure's shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+from repro.workload.config import QueryWorkload, WorkloadConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def _data_config() -> WorkloadConfig:
+    return getattr(WorkloadConfig, SCALE)(seed=3)
+
+
+def _query_config() -> QueryWorkload:
+    if SCALE == "paper":
+        # The full 1000-trajectory grid is hours of pure-Python work;
+        # keep the paper data scale but a reduced trajectory sample.
+        return QueryWorkload(trajectories=10, seed=1)
+    return getattr(QueryWorkload, SCALE)(seed=1)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Both indexes over the benchmark workload (built once)."""
+    return ExperimentContext(_data_config(), _query_config())

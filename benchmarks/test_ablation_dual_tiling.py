@@ -1,0 +1,56 @@
+"""Ablation — dual-time leaf shape vs NPDQ discardability.
+
+DESIGN.md calls out the central tension of Sect. 4.2's discardability
+test: a node is skippable only if its segment start-times all precede
+the current snapshot AND its spatial footprint stays behind the moving
+window's leading edge.  With a fixed leaf budget, temporal thinness and
+spatial tightness trade off; this bench sweeps the time-major tiling
+knob and reports the achieved NPDQ savings, verifying the library's
+auto-chosen default (one slab per median segment lifetime) is at least
+as good as the naive extremes.
+"""
+
+from _bench_common import emit
+
+from repro.core.naive import NaiveEvaluator
+from repro.core.npdq import NPDQEngine
+from repro.index.dualtime import DualTimeIndex
+
+
+def test_dual_time_tiling_sweep(ctx, benchmark):
+    trajectories = ctx.trajectories(90.0, 8.0)[:4]
+    period = ctx.queries.snapshot_period
+
+    def savings_for(time_slabs):
+        index = DualTimeIndex(dims=2)
+        index.bulk_load(ctx.segments, time_slabs=time_slabs)
+        naive_io = npdq_io = 0
+        for trajectory in trajectories:
+            frames = NaiveEvaluator(index).run(trajectory, period)
+            naive_io += sum(f.cost.total_reads for f in frames[1:])
+            frames = NPDQEngine(index).run(trajectory, period)
+            npdq_io += sum(f.cost.total_reads for f in frames[1:])
+        return naive_io, npdq_io
+
+    def run():
+        out = {}
+        for slabs in (1, None, 500):  # spatial-only, auto, time-sliced
+            out[slabs] = savings_for(slabs)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for slabs, (naive_io, npdq_io) in results.items():
+        rel = (naive_io - npdq_io) / naive_io if naive_io else 0.0
+        label = "auto" if slabs is None else str(slabs)
+        lines.append(f"slabs={label}: naive {naive_io}, npdq {npdq_io} ({rel:.1%} saved)")
+    emit("\n".join(lines))
+
+    auto_naive, auto_npdq = results[None]
+    # The default never hurts relative to naive...
+    assert auto_npdq <= auto_naive
+    # ...and achieves at least the savings ratio of the worse extreme.
+    ratios = {
+        k: (v[0] - v[1]) / v[0] if v[0] else 0.0 for k, v in results.items()
+    }
+    assert ratios[None] >= min(ratios[1], ratios[500]) - 0.02

@@ -1,0 +1,42 @@
+"""Ablation — the exact leaf-level segment test of Sect. 3.2 / [13].
+
+"This saves a great deal of I/O as we no longer have to retrieve motion
+segments that don't intersect with the query, even though their BBs
+do."  In our architecture leaves store end points, so the saving shows
+as *false admissions removed from the result stream* (retrieval of the
+object payload being the expensive downstream step), at the price of
+one exact test per candidate.
+"""
+
+from _bench_common import emit
+
+from repro.core.naive import NaiveEvaluator
+
+
+def test_exact_leaf_test_removes_false_admissions(ctx, benchmark):
+    trajectories = ctx.trajectories(90.0, 8.0)[:5]
+    period = ctx.queries.snapshot_period
+
+    def run():
+        exact_results = loose_results = tests = 0
+        for trajectory in trajectories:
+            exact = NaiveEvaluator(ctx.native, exact=True)
+            for frame in exact.run(trajectory, period):
+                exact_results += len(frame.items)
+            tests += exact.cost.segment_tests
+            loose = NaiveEvaluator(ctx.native, exact=False)
+            for frame in loose.run(trajectory, period):
+                loose_results += len(frame.items)
+        return exact_results, loose_results, tests
+
+    exact_results, loose_results, tests = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    false_admissions = loose_results - exact_results
+    emit(
+        f"exact results {exact_results}, bb-only results {loose_results} "
+        f"({false_admissions} false admissions removed by {tests} exact tests)"
+    )
+    assert exact_results <= loose_results
+    # The BB filter alone admits a substantial number of non-answers.
+    assert false_admissions > 0.1 * exact_results

@@ -1,0 +1,46 @@
+"""Ablation — the two NPDQ discardability schemes of Sect. 4.2.
+
+The paper offers (i) open-ended temporal queries and (ii) dual temporal
+axes, and implements (ii).  This bench runs both on the same workload:
+the open-ended scheme pays a larger first query (it prefetches every
+future passer-by of the current window) *and* larger subsequent queries
+on a moving window (each frame drags the window's leading sliver across
+all future time slabs) — corroborating the authors' choice.
+"""
+
+from _bench_common import emit
+
+from repro.core.npdq import NPDQEngine
+from repro.core.npdq_open import OpenEndedNPDQEngine
+
+
+def test_npdq_scheme_comparison(ctx, benchmark):
+    trajectories = ctx.trajectories(90.0, 8.0)[:5]
+    period = ctx.queries.snapshot_period
+
+    def run():
+        totals = {"open_first": 0, "open_sub": 0, "dual_first": 0, "dual_sub": 0}
+        frames = 0
+        for trajectory in trajectories:
+            fr = OpenEndedNPDQEngine(ctx.native).run(trajectory, period)
+            totals["open_first"] += fr[0].cost.total_reads
+            totals["open_sub"] += sum(f.cost.total_reads for f in fr[1:])
+            frames += len(fr) - 1
+            fr = NPDQEngine(ctx.dual).run(trajectory, period)
+            totals["dual_first"] += fr[0].cost.total_reads
+            totals["dual_sub"] += sum(f.cost.total_reads for f in fr[1:])
+        return totals, frames
+
+    totals, frames = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = len(trajectories)
+    emit(
+        "NPDQ schemes @90% overlap: "
+        f"open-ended first {totals['open_first'] / n:.1f} / subsequent "
+        f"{totals['open_sub'] / frames:.2f} reads; "
+        f"dual-axis first {totals['dual_first'] / n:.1f} / subsequent "
+        f"{totals['dual_sub'] / frames:.2f} reads"
+    )
+    # The open-ended first query prefetches the future: strictly pricier.
+    assert totals["open_first"] > totals["dual_first"]
+    # And on a moving window its subsequent queries are pricier too.
+    assert totals["open_sub"] >= totals["dual_sub"]

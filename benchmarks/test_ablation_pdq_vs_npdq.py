@@ -1,0 +1,52 @@
+"""Ablation — PDQ vs SPDQ vs NPDQ vs naive, head to head.
+
+The paper's closing comparison: "Comparison of PDQ versus NPDQ
+performance favors the former; this is expected due to the extra
+knowledge being used."  SPDQ sits in between: it pays for the
+δ-inflated window but keeps PDQ's once-only traversal.
+"""
+
+from _bench_common import emit
+
+from repro.core.naive import NaiveEvaluator
+from repro.core.npdq import NPDQEngine
+from repro.core.pdq import PDQEngine
+from repro.core.spdq import SPDQEngine
+
+
+def test_pdq_spdq_npdq_ordering(ctx, benchmark):
+    trajectories = ctx.trajectories(90.0, 8.0)[:8]
+    period = ctx.queries.snapshot_period
+
+    def run():
+        totals = {"naive": 0, "naive-dual": 0, "pdq": 0, "spdq": 0, "npdq": 0}
+        frames_count = 0
+        for trajectory in trajectories:
+            frames = NaiveEvaluator(ctx.native).run(trajectory, period)
+            totals["naive"] += sum(f.cost.total_reads for f in frames[1:])
+            frames_count += len(frames) - 1
+            frames = NaiveEvaluator(ctx.dual).run(trajectory, period)
+            totals["naive-dual"] += sum(f.cost.total_reads for f in frames[1:])
+            with PDQEngine(ctx.native, trajectory, track_updates=False) as pdq:
+                frames = pdq.run(period)
+            totals["pdq"] += sum(f.cost.total_reads for f in frames[1:])
+            with SPDQEngine(
+                ctx.native, trajectory, delta=1.0, track_updates=False
+            ) as spdq:
+                frames = spdq.run(period)
+            totals["spdq"] += sum(f.cost.total_reads for f in frames[1:])
+            frames = NPDQEngine(ctx.dual).run(trajectory, period)
+            totals["npdq"] += sum(f.cost.total_reads for f in frames[1:])
+        return totals, frames_count
+
+    totals, n = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "subsequent reads/query @90% overlap: "
+        + ", ".join(f"{k} {v / n:.2f}" for k, v in totals.items())
+    )
+    # The paper's ordering (each incremental algorithm against the
+    # naive evaluation of its own index flavour).
+    assert totals["pdq"] <= totals["spdq"]  # delta costs something
+    assert totals["pdq"] < totals["npdq"]  # knowledge helps
+    assert totals["npdq"] <= totals["naive-dual"]  # but NPDQ still helps
+    assert totals["spdq"] < totals["naive"]

@@ -1,0 +1,44 @@
+"""Fig. 6 — I/O performance of PDQ vs the naive approach, by overlap %.
+
+Paper claims reproduced here:
+
+* naive subsequent-query cost is flat in the overlap percentage;
+* PDQ improves subsequent queries at *every* overlap level, including
+  0 % (spatio-temporal proximity still helps);
+* the more the overlap, the better PDQ's I/O performance;
+* the first query costs both approaches about the same.
+"""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig06_pdq_io
+from repro.experiments.reporting import format_figure, format_tree_summary
+
+
+def test_fig06_pdq_io(ctx, benchmark):
+    result = fig06_pdq_io(ctx)
+    emit(format_tree_summary(ctx.native.tree, "native-space index"))
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    pdq_sub = result.series("pdq", "subsequent")
+    naive_first = result.series("naive", "first")
+    pdq_first = result.series("pdq", "first")
+
+    # PDQ wins on every subsequent-query grid point, by a lot.
+    assert series_strictly_helps(pdq_sub, naive_sub)
+    assert all(p < n * 0.6 for p, n in zip(pdq_sub, naive_sub))
+    # Higher overlap -> better PDQ performance (compare the extremes).
+    assert pdq_sub[-1] < pdq_sub[0]
+    # Even at 0% overlap PDQ improves subsequent queries.
+    assert pdq_sub[0] < naive_sub[0]
+    # First queries cost both approaches about the same.
+    for p, n in zip(pdq_first, naive_first):
+        assert abs(p - n) <= max(2.0, 0.25 * n)
+    # Naive is flat in overlap (within noise).
+    assert max(naive_sub) <= 2.5 * min(naive_sub)
+
+    from repro.experiments.runner import run_pdq_point
+    benchmark.pedantic(
+        run_pdq_point, args=(ctx, 90.0, 8.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,36 @@
+"""Fig. 7 — CPU performance of PDQ (distance computations), by overlap %.
+
+The paper: "The number of distance computations is proportional to the
+number of disk accesses since, for each node loaded, all its children
+are examined.  So, Fig. 7 is similar to Fig. 6."
+"""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig07_pdq_cpu
+from repro.experiments.reporting import format_figure
+
+
+def test_fig07_pdq_cpu(ctx, benchmark):
+    result = fig07_pdq_cpu(ctx)
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    pdq_sub = result.series("pdq", "subsequent")
+
+    assert series_strictly_helps(pdq_sub, naive_sub)
+    assert pdq_sub[-1] < pdq_sub[0]  # better with more overlap
+    # CPU tracks I/O: recompute the I/O series and check rank agreement.
+    io = [
+        (p.costs["pdq"].subsequent.total_reads,
+         p.costs["pdq"].subsequent.distance_computations)
+        for p in result.points
+    ]
+    order_io = sorted(range(len(io)), key=lambda i: io[i][0])
+    order_cpu = sorted(range(len(io)), key=lambda i: io[i][1])
+    assert order_io == order_cpu
+
+    from repro.experiments.runner import run_pdq_point
+    benchmark.pedantic(
+        run_pdq_point, args=(ctx, 50.0, 8.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,29 @@
+"""Fig. 8 — impact of the query's spatial range on PDQ subsequent I/O.
+
+The paper: "a big query range requires a higher number of disk accesses
+... as compared as opposed to a smaller one."
+"""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig08_pdq_io_by_size
+from repro.experiments.reporting import format_figure
+
+
+def test_fig08_pdq_io_by_size(ctx, benchmark):
+    result = fig08_pdq_io_by_size(ctx)
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    pdq_sub = result.series("pdq", "subsequent")
+
+    # Bigger windows cost more, for both approaches.
+    assert naive_sub == sorted(naive_sub)
+    assert pdq_sub == sorted(pdq_sub)
+    # PDQ stays ahead at every size.
+    assert series_strictly_helps(pdq_sub, naive_sub)
+
+    from repro.experiments.runner import run_pdq_point
+    benchmark.pedantic(
+        run_pdq_point, args=(ctx, 90.0, 20.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,23 @@
+"""Fig. 9 — impact of the query's spatial range on PDQ subsequent CPU."""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig09_pdq_cpu_by_size
+from repro.experiments.reporting import format_figure
+
+
+def test_fig09_pdq_cpu_by_size(ctx, benchmark):
+    result = fig09_pdq_cpu_by_size(ctx)
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    pdq_sub = result.series("pdq", "subsequent")
+
+    assert naive_sub == sorted(naive_sub)  # more range, more CPU
+    assert pdq_sub == sorted(pdq_sub)
+    assert series_strictly_helps(pdq_sub, naive_sub)
+
+    from repro.experiments.runner import run_pdq_point
+    benchmark.pedantic(
+        run_pdq_point, args=(ctx, 90.0, 14.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,27 @@
+"""Fig. 11 — CPU performance of NPDQ, by overlap % ("similar to the
+result for I/O shown in Fig. 10")."""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig11_npdq_cpu
+from repro.experiments.reporting import format_figure
+
+
+def test_fig11_npdq_cpu(ctx, benchmark):
+    result = fig11_npdq_cpu(ctx)
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    npdq_sub = result.series("npdq", "subsequent")
+
+    assert series_strictly_helps(npdq_sub, naive_sub)
+    # Relative savings at max overlap at least match zero overlap.
+    rel = [
+        (n - p) / n if n else 0.0 for n, p in zip(naive_sub, npdq_sub)
+    ]
+    assert rel[-1] >= rel[0] - 0.02
+
+    from repro.experiments.runner import run_npdq_point
+    benchmark.pedantic(
+        run_npdq_point, args=(ctx, 50.0, 8.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,23 @@
+"""Fig. 12 — impact of the query's spatial range on NPDQ subsequent I/O."""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig12_npdq_io_by_size
+from repro.experiments.reporting import format_figure
+
+
+def test_fig12_npdq_io_by_size(ctx, benchmark):
+    result = fig12_npdq_io_by_size(ctx)
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    npdq_sub = result.series("npdq", "subsequent")
+
+    assert naive_sub == sorted(naive_sub)  # bigger range, more I/O
+    assert npdq_sub == sorted(npdq_sub)
+    assert series_strictly_helps(npdq_sub, naive_sub)
+
+    from repro.experiments.runner import run_npdq_point
+    benchmark.pedantic(
+        run_npdq_point, args=(ctx, 90.0, 20.0), rounds=1, iterations=1
+    )

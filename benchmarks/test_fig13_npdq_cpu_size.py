@@ -1,0 +1,23 @@
+"""Fig. 13 — impact of the query's spatial range on NPDQ subsequent CPU."""
+
+from _bench_common import emit, series_strictly_helps
+
+from repro.experiments.figures import fig13_npdq_cpu_by_size
+from repro.experiments.reporting import format_figure
+
+
+def test_fig13_npdq_cpu_by_size(ctx, benchmark):
+    result = fig13_npdq_cpu_by_size(ctx)
+    emit(format_figure(result))
+
+    naive_sub = result.series("naive", "subsequent")
+    npdq_sub = result.series("npdq", "subsequent")
+
+    assert naive_sub == sorted(naive_sub)
+    assert npdq_sub == sorted(npdq_sub)
+    assert series_strictly_helps(npdq_sub, naive_sub)
+
+    from repro.experiments.runner import run_npdq_point
+    benchmark.pedantic(
+        run_npdq_point, args=(ctx, 90.0, 14.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Anticipated-appearance queries over a TPR-tree (future work iii).
+
+Unlike the historical native-space index, a TPR-tree holds each
+object's *current* motion and answers questions about the anticipated
+near future: "which aircraft will enter my predicted corridor over the
+next five minutes, and when?"  The paper lists adapting dynamic queries
+to such an index as future work; this example runs the same PDQ
+algorithm over time-parameterized bounding boxes.
+
+The demo simulates air traffic: planes periodically report position and
+velocity (the TPR-tree's update workload); a controller's sector sweeps
+along a planned path while the TPR-PDQ engine streams anticipated
+entries, which are then checked against what actually happens.
+
+Run:  python examples/anticipated_traffic.py
+"""
+
+import random
+
+from repro.core.trajectory import QueryTrajectory
+from repro.index.tpr import CurrentMotion, TPRPDQEngine, TPRTree
+from repro.motion.linear import LinearMotion
+
+PLANES = 500
+REPORT_PERIOD = 1.0
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    tree = TPRTree(dims=2, horizon=6.0, max_entries=24)
+
+    # Initial reports at t=0.
+    fleet = {}
+    for oid in range(PLANES):
+        motion = LinearMotion(
+            0.0,
+            (rng.uniform(0, 100), rng.uniform(0, 100)),
+            (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+        )
+        rec = CurrentMotion(oid, motion)
+        fleet[oid] = rec
+        tree.insert(rec)
+    print(f"TPR-tree holds {len(tree)} current motions "
+          f"(reads counted on {tree.disk.stats.writes} written pages)")
+
+    # A few report cycles: planes adjust speed/heading.
+    t = 0.0
+    for _ in range(3):
+        t += REPORT_PERIOD
+        for oid in rng.sample(sorted(fleet), PLANES // 3):
+            pos = fleet[oid].motion.location(t)
+            new = CurrentMotion(
+                oid,
+                LinearMotion(t, pos, (rng.uniform(-2, 2), rng.uniform(-2, 2))),
+            )
+            tree.update(new)
+            fleet[oid] = new
+    print(f"t={t:.0f}: processed {3 * (PLANES // 3)} motion re-reports")
+
+    # The controller's sector follows a planned path for the next 5 t.u.
+    corridor = QueryTrajectory.linear(
+        start_time=t, end_time=t + 5.0,
+        start_center=(30.0, 50.0), velocity=(6.0, 1.0),
+        half_extents=(7.0, 7.0),
+    )
+    engine = TPRPDQEngine(tree, corridor)
+    anticipated = engine.window(t, t + 5.0)
+    print(f"\nanticipated sector entries over [{t:.0f}, {t + 5:.0f}] "
+          f"({engine.cost.total_reads} disk accesses):")
+    for item in anticipated[:8]:
+        print(f"  plane {item.object_id:3d} expected in sector "
+              f"[{item.appears_at:5.2f}, {item.disappears_at:5.2f}]")
+    if len(anticipated) > 8:
+        print(f"  ... and {len(anticipated) - 8} more")
+
+    # Ground-truth check: every anticipation matches the fleet's actual
+    # (constant-velocity) motion, and nothing is missed.
+    hits = 0
+    for item in anticipated:
+        mid = item.visibility.midpoint
+        pos = fleet[item.object_id].motion.location(mid)
+        window = corridor.window_at(mid)
+        assert window.inflate((1e-6, 1e-6)).contains_point(pos)
+        hits += 1
+    missed = 0
+    for oid, rec in fleet.items():
+        for probe in range(51):
+            at = t + 5.0 * probe / 50
+            if corridor.window_at(at).contains_point(rec.motion.location(at)):
+                if oid not in {i.object_id for i in anticipated}:
+                    missed += 1
+                break
+    print(f"\nverified {hits} anticipations against ground truth; "
+          f"missed {missed}")
+    assert missed == 0
+
+
+if __name__ == "__main__":
+    main()

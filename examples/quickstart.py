@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: index a mobile-object workload and run every query kind.
+
+Builds the paper's synthetic workload at a small scale, indexes it both
+ways, and walks through a snapshot query, a predictive dynamic query
+(PDQ), a non-predictive one (NPDQ), and the cost comparison against the
+naive repeated-snapshot approach.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Box,
+    DualTimeIndex,
+    Interval,
+    NaiveEvaluator,
+    NativeSpaceIndex,
+    NPDQEngine,
+    PDQEngine,
+    QueryTrajectory,
+    SnapshotQuery,
+    WorkloadConfig,
+    generate_motion_segments,
+)
+from repro.experiments.reporting import format_tree_summary
+
+
+def main() -> None:
+    # 1. Generate the paper's workload (scaled down: ~30k motion segments).
+    config = WorkloadConfig.small(seed=7)
+    segments = list(generate_motion_segments(config))
+    print(f"generated {len(segments)} motion segments "
+          f"for {config.num_objects} objects over {config.horizon} t.u.")
+
+    # 2. Build both index flavours.
+    native = NativeSpaceIndex(dims=2)
+    native.bulk_load(segments)
+    dual = DualTimeIndex(dims=2)
+    dual.bulk_load(segments)
+    print(format_tree_summary(native.tree, "native-space index"))
+    print(format_tree_summary(dual.tree, "dual-time index"))
+
+    # 3. A snapshot query: everything inside a 10x10 window around t=12.
+    query = SnapshotQuery(Interval(12.0, 12.1), Box.from_bounds((45, 45), (55, 55)))
+    naive = NaiveEvaluator(native)
+    result = naive.evaluate(query)
+    print(f"\nsnapshot query: {len(result.items)} objects, "
+          f"{result.cost.total_reads} disk accesses")
+
+    # 4. A predictive dynamic query: the observer flies east for 5 t.u.
+    trajectory = QueryTrajectory.linear(
+        start_time=10.0, end_time=15.0,
+        start_center=(40.0, 50.0), velocity=(4.0, 0.0),
+        half_extents=(4.0, 4.0),
+    )
+    with PDQEngine(native, trajectory) as pdq:
+        frames = pdq.run(period=0.1)
+    delivered = sum(len(f.items) for f in frames)
+    pdq_io = sum(f.cost.total_reads for f in frames)
+    print(f"\nPDQ over 5 t.u. at 30 fps-equivalent: "
+          f"{delivered} deliveries, {pdq_io} total disk accesses")
+    first = frames[0].items[:3]
+    for item in first:
+        print(f"  e.g. object {item.object_id} visible "
+              f"[{item.appears_at:.2f}, {item.disappears_at:.2f}]")
+
+    # 5. The same series evaluated naively, for comparison.
+    naive_frames = NaiveEvaluator(native).run(trajectory, period=0.1)
+    naive_io = sum(f.cost.total_reads for f in naive_frames)
+    print(f"naive evaluation of the same {len(naive_frames)} snapshots: "
+          f"{naive_io} disk accesses ({naive_io / max(pdq_io, 1):.1f}x PDQ)")
+
+    # 6. NPDQ: same movement, but the trajectory is NOT known in advance —
+    #    each snapshot only remembers its predecessor.
+    npdq = NPDQEngine(dual)
+    npdq_frames = npdq.run(trajectory, period=0.1)
+    npdq_io = sum(f.cost.total_reads for f in npdq_frames)
+    dual_naive = NaiveEvaluator(dual).run(trajectory, period=0.1)
+    dual_naive_io = sum(f.cost.total_reads for f in dual_naive)
+    print(f"NPDQ: {npdq_io} disk accesses vs {dual_naive_io} naive "
+          f"on the same dual-time index")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Command-line entry point: ``repro-dq``.
+
+Subcommands:
+
+* ``figures`` — regenerate the paper's evaluation figures as text
+  tables (choose ``--scale tiny|small|paper`` and optionally a single
+  ``--figure``).
+* ``stats`` — build the indexes and print their geometry next to the
+  paper's reported numbers.
+* ``demo`` — run a short observer session with automatic mode hand-off
+  and narrate what happens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main"]
+
+_SCALES = ("tiny", "small", "paper")
+
+
+def _configs(scale: str, trajectories: Optional[int] = None):
+    import dataclasses
+
+    from repro.workload.config import QueryWorkload, WorkloadConfig
+
+    data = getattr(WorkloadConfig, scale)(seed=3)
+    queries = getattr(QueryWorkload, scale)(seed=1)
+    if trajectories is not None:
+        queries = dataclasses.replace(queries, trajectories=trajectories)
+    return data, queries
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ALL_FIGURES,
+        ExperimentContext,
+        figure_to_csv,
+        format_figure,
+    )
+
+    if args.figure and args.figure not in ALL_FIGURES:
+        print(
+            f"unknown figure {args.figure!r}; choose from "
+            f"{', '.join(ALL_FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    data, queries = _configs(args.scale, args.trajectories)
+    wanted = [args.figure] if args.figure else list(ALL_FIGURES)
+    need_native = any(f in wanted for f in ("fig06", "fig07", "fig08", "fig09"))
+    need_dual = any(f in wanted for f in ("fig10", "fig11", "fig12", "fig13"))
+    print(
+        f"building {args.scale} context "
+        f"(~{data.expected_segments} segments) ...",
+        flush=True,
+    )
+    t0 = time.time()
+    ctx = ExperimentContext(
+        data, queries, build_native=need_native, build_dual=need_dual
+    )
+    print(f"context ready in {time.time() - t0:.1f}s\n", flush=True)
+    chunks: List[str] = []
+    for fig_id in wanted:
+        t0 = time.time()
+        result = ALL_FIGURES[fig_id](ctx)
+        table = format_figure(result)
+        chunks.append(table)
+        print(table)
+        print(f"[{fig_id} computed in {time.time() - t0:.1f}s]\n", flush=True)
+        if args.csv:
+            csv_path = f"{args.csv}{fig_id}.csv"
+            with open(csv_path, "w") as f:
+                f.write(figure_to_csv(result))
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write("\n\n".join(chunks) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentContext, format_tree_summary
+
+    data, queries = _configs(args.scale)
+    print(f"building {args.scale} indexes ...", flush=True)
+    ctx = ExperimentContext(data, queries)
+    assert ctx.native is not None and ctx.dual is not None
+    print(format_tree_summary(ctx.native.tree, "native-space index"))
+    print(format_tree_summary(ctx.dual.tree, "dual-time index"))
+    print(
+        "paper (Sect. 5): 502,504 segments, height 3, fanout 145/127, "
+        "page 4 KB, fill 0.5"
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.session import DynamicQuerySession
+    from repro.index.dualtime import DualTimeIndex
+    from repro.index.nsi import NativeSpaceIndex
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.objects import generate_motion_segments
+
+    config = WorkloadConfig.tiny(seed=args.seed)
+    segments = list(generate_motion_segments(config))
+    native = NativeSpaceIndex(dims=2)
+    native.bulk_load(segments)
+    dual = DualTimeIndex(dims=2)
+    dual.bulk_load(segments)
+    with DynamicQuerySession(native, dual, half_extents=(4.0, 4.0)) as session:
+        t, x, y = 1.0, 30.0, 30.0
+        for frame in range(40):
+            if frame == 20:
+                x, y = 70.0, 70.0  # teleport
+            report = session.observe(t, (x, y))
+            print(
+                f"t={t:5.2f} mode={report.mode.value:<14} "
+                f"new={len(report.new_items):3d} evicted={len(report.evicted_ids):3d} "
+                f"visible={report.visible_count:3d}"
+            )
+            t += 0.1
+            x += 0.4
+        print(f"mode switches: {[(round(t, 2), m.value) for t, m in session.mode_switches]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatch; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dq",
+        description=(
+            "Reproduction of 'Dynamic Queries over Mobile Objects' "
+            "(EDBT 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate evaluation figures")
+    p_fig.add_argument("--scale", choices=_SCALES, default="small")
+    p_fig.add_argument("--figure", help="a single figure id, e.g. fig06")
+    p_fig.add_argument(
+        "--trajectories",
+        type=int,
+        help="override the number of query trajectories per grid point "
+        "(the paper grid uses 1000, which is hours of pure-Python work)",
+    )
+    p_fig.add_argument("--output", help="also write the tables to a file")
+    p_fig.add_argument(
+        "--csv",
+        help="also write the figures as CSV files <prefix><figNN>.csv",
+    )
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_stats = sub.add_parser("stats", help="print index geometry")
+    p_stats.add_argument("--scale", choices=_SCALES, default="small")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_demo = sub.add_parser("demo", help="run a mode hand-off session demo")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Distance joins over mobile objects — future-work item (ii).
+
+The paper's conclusion lists "generalizing dynamic queries to include
+more complex queries involving simple or distance-joins" as future
+work, citing the incremental distance joins of Hjaltason & Samet [6].
+Two building blocks are provided:
+
+* :func:`pair_within_distance_interval` — the exact temporal predicate:
+  when are two constant-velocity segments within distance δ of each
+  other?  The squared distance between two linear motions is a quadratic
+  in ``t``, so the answer is a single closed interval.
+* :func:`snapshot_distance_join` — a synchronous R-tree pair traversal
+  producing all object pairs within δ during a time interval, with the
+  paper's disk-access/distance-computation accounting (each tree node is
+  fetched at most once per join, as a real system would pin it).
+* :func:`proximity_alerts` — the *dynamic* combination: given the
+  answers a PDQ already delivered (each tagged with its visibility
+  interval), report all pairs of co-visible objects that approach within
+  δ — client-side, with **zero additional disk accesses**, which is the
+  natural way dynamic queries compose with joins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import AnswerItem
+from repro.errors import QueryError
+from repro.geometry.box import Box
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+from repro.geometry.segment import SpaceTimeSegment
+from repro.index.nsi import NativeSpaceIndex
+from repro.motion.segment import MotionSegment
+from repro.storage.metrics import QueryCost
+
+__all__ = [
+    "pair_within_distance_interval",
+    "snapshot_distance_join",
+    "proximity_alerts",
+]
+
+
+def pair_within_distance_interval(
+    a: SpaceTimeSegment,
+    b: SpaceTimeSegment,
+    delta: float,
+    window: Optional[Interval] = None,
+) -> Interval:
+    """Times at which two linear motions are within Euclidean distance δ.
+
+    The relative motion is linear, so ``d²(t)`` is a quadratic opening
+    upwards; the sub-δ set is one closed interval (possibly empty),
+    clipped to both validity intervals and the optional ``window``.
+    """
+    if a.dims != b.dims:
+        raise QueryError(f"segment dims differ: {a.dims} vs {b.dims}")
+    if delta < 0:
+        raise QueryError("join distance must be non-negative")
+    span = a.time.intersect(b.time)
+    if window is not None:
+        span = span.intersect(window)
+    if span.is_empty:
+        return EMPTY_INTERVAL
+    # Relative position  p(t) = C + D t.
+    coeff_c = [
+        (ax - av * a.time.low) - (bx - bv * b.time.low)
+        for ax, av, bx, bv in zip(a.origin, a.velocity, b.origin, b.velocity)
+    ]
+    coeff_d = [av - bv for av, bv in zip(a.velocity, b.velocity)]
+    qa = sum(d * d for d in coeff_d)
+    qb = 2.0 * sum(c * d for c, d in zip(coeff_c, coeff_d))
+    qc = sum(c * c for c in coeff_c) - delta * delta
+    if qa == 0.0:
+        # Identical velocities: constant separation.
+        return span if qc <= 0.0 else EMPTY_INTERVAL
+    disc = qb * qb - 4.0 * qa * qc
+    if disc < 0.0:
+        return EMPTY_INTERVAL
+    root = math.sqrt(disc)
+    low = (-qb - root) / (2.0 * qa)
+    high = (-qb + root) / (2.0 * qa)
+    return span.intersect(Interval(low, high))
+
+
+def _spatial_min_dist(box_a: Box, box_b: Box, dims: int) -> float:
+    """Min distance between the spatial parts of two native-space boxes."""
+    total = 0.0
+    for i in range(1, dims + 1):
+        ea, eb = box_a.extent(i), box_b.extent(i)
+        if ea.high < eb.low:
+            gap = eb.low - ea.high
+        elif eb.high < ea.low:
+            gap = ea.low - eb.high
+        else:
+            gap = 0.0
+        total += gap * gap
+    return math.sqrt(total)
+
+
+def snapshot_distance_join(
+    index_a: NativeSpaceIndex,
+    index_b: NativeSpaceIndex,
+    time: Interval,
+    delta: float,
+    cost: Optional[QueryCost] = None,
+) -> List[Tuple[MotionSegment, MotionSegment, Interval]]:
+    """All pairs ``(a, b)`` within distance δ at some instant of ``time``.
+
+    Synchronous pair traversal of the two native-space trees: a node
+    pair is refined only if the boxes temporally overlap ``time`` and
+    their spatial gap is at most δ.  Self-joins (``index_a is
+    index_b``) report each unordered pair of distinct objects once.
+
+    Returns
+    -------
+    list of ``(segment_a, segment_b, interval)``
+        ``interval`` is the exact sub-δ time span within ``time``.
+    """
+    if index_a.dims != index_b.dims:
+        raise QueryError("index dimensionalities differ")
+    if time.is_empty:
+        raise QueryError("join time interval is empty")
+    if delta < 0:
+        raise QueryError("join distance must be non-negative")
+    dims = index_a.dims
+    self_join = index_a is index_b
+    loaded: Dict[Tuple[int, int], object] = {}
+
+    def fetch(index, page_id):
+        key = (id(index), page_id)
+        node = loaded.get(key)
+        if node is None:
+            node = index.tree.load_node(page_id, cost)
+            loaded[key] = node
+        return node
+
+    def feasible(box_a: Box, box_b: Box) -> bool:
+        return (
+            box_a.extent(0).overlaps(time)
+            and box_b.extent(0).overlaps(time)
+            and box_a.extent(0).overlaps(box_b.extent(0))
+            and _spatial_min_dist(box_a, box_b, dims) <= delta
+        )
+
+    results: List[Tuple[MotionSegment, MotionSegment, Interval]] = []
+    stack = [(index_a.tree.root_id, index_b.tree.root_id)]
+    seen_pairs = set()
+    visited_node_pairs = set()
+    while stack:
+        pid_a, pid_b = stack.pop()
+        pair_id = (pid_a, pid_b)
+        if pair_id in visited_node_pairs:
+            continue
+        visited_node_pairs.add(pair_id)
+        node_a = fetch(index_a, pid_a)
+        node_b = fetch(index_b, pid_b)
+        if node_a.is_leaf and node_b.is_leaf:
+            for ea in node_a.entries:
+                if not ea.box.extent(0).overlaps(time):
+                    continue
+                for eb in node_b.entries:
+                    if cost is not None:
+                        cost.count_distance_computations()
+                    if not feasible(ea.box, eb.box):
+                        continue
+                    rec_a, rec_b = ea.record, eb.record  # type: ignore[union-attr]
+                    if self_join:
+                        if rec_a.object_id == rec_b.object_id:
+                            continue
+                        pair_key = tuple(sorted((rec_a.key, rec_b.key)))
+                        if pair_key in seen_pairs:
+                            continue
+                        seen_pairs.add(pair_key)
+                    if cost is not None:
+                        cost.count_segment_tests()
+                    overlap = pair_within_distance_interval(
+                        rec_a.segment, rec_b.segment, delta, time
+                    )
+                    if overlap.is_empty:
+                        continue
+                    if cost is not None:
+                        cost.count_results()
+                    results.append((rec_a, rec_b, overlap))
+        elif not node_a.is_leaf and (
+            node_b.is_leaf or node_a.level >= node_b.level
+        ):
+            # Descend the taller (or only-internal) side.
+            mbr_b = node_b.mbr()
+            for ea in node_a.entries:
+                if cost is not None:
+                    cost.count_distance_computations()
+                if feasible(ea.box, mbr_b):
+                    stack.append((ea.child_id, pid_b))  # type: ignore[union-attr]
+        else:
+            mbr_a = node_a.mbr()
+            for eb in node_b.entries:
+                if cost is not None:
+                    cost.count_distance_computations()
+                if feasible(mbr_a, eb.box):
+                    stack.append((pid_a, eb.child_id))  # type: ignore[union-attr]
+    return results
+
+
+def proximity_alerts(
+    items: Sequence[AnswerItem], delta: float
+) -> List[Tuple[int, int, Interval]]:
+    """Pairs of co-visible objects approaching within δ — no extra I/O.
+
+    ``items`` are answers a dynamic query already delivered (e.g. the
+    contents of a :class:`~repro.core.ClientCache`); the pair predicate
+    is evaluated within the intersection of their visibility intervals.
+    Returns ``(object_id_a, object_id_b, interval)`` triples with
+    ``object_id_a < object_id_b``.
+    """
+    if delta < 0:
+        raise QueryError("alert distance must be non-negative")
+    alerts: List[Tuple[int, int, Interval]] = []
+    for i, first in enumerate(items):
+        for second in items[i + 1 :]:
+            if first.object_id == second.object_id:
+                continue
+            shared = first.visibility.intersect(second.visibility)
+            if shared.is_empty:
+                continue
+            close = pair_within_distance_interval(
+                first.record.segment, second.record.segment, delta, shared
+            )
+            if close.is_empty:
+                continue
+            lo, hi = sorted((first.object_id, second.object_id))
+            alerts.append((lo, hi, close))
+    return alerts

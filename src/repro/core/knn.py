@@ -1,0 +1,166 @@
+"""Moving-query nearest neighbours — the paper's future-work item (i).
+
+"Generalizing the concept of dynamic queries to nearest neighbor
+searches as well, similar to moving-query point of [24]."  We provide
+the building block: an incremental (best-first, Hjaltason-Samet style)
+k-NN search over the native-space index *at a time instant*, plus a
+:class:`MovingKNN` driver that follows a moving query point across
+frames, reusing the previous frame's k-th distance as a pruning bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.index.nsi import NativeSpaceIndex
+from repro.motion.segment import MotionSegment
+from repro.storage.metrics import QueryCost
+
+__all__ = ["incremental_knn", "MovingKNN"]
+
+
+def _spatial_min_dist_sq(box, point: Sequence[float]) -> float:
+    """Min squared distance from ``point`` to the spatial part of a
+    native-space box (axes 1..d)."""
+    total = 0.0
+    for i, c in enumerate(point):
+        ext = box.extent(i + 1)
+        if c < ext.low:
+            d = ext.low - c
+        elif c > ext.high:
+            d = c - ext.high
+        else:
+            d = 0.0
+        total += d * d
+    return total
+
+
+def incremental_knn(
+    index: NativeSpaceIndex,
+    t: float,
+    point: Sequence[float],
+    cost: Optional[QueryCost] = None,
+    max_distance: float = math.inf,
+) -> Iterator[Tuple[MotionSegment, float]]:
+    """Yield segments valid at time ``t`` by increasing distance to
+    ``point`` — stop consuming whenever enough neighbours were seen.
+
+    Parameters
+    ----------
+    index:
+        The native-space index.
+    t:
+        Query instant; only segments whose validity contains ``t`` are
+        candidates.
+    point:
+        Query location (must match the index dimensionality).
+    cost:
+        Optional accumulator for disk/CPU accounting.
+    max_distance:
+        Prune subtrees farther than this (used by :class:`MovingKNN`).
+    """
+    if len(point) != index.dims:
+        raise QueryError(
+            f"point has {len(point)} dims, index has {index.dims}"
+        )
+    tree = index.tree
+    tie = itertools.count()
+    bound_sq = max_distance * max_distance
+    heap: List[tuple] = [(0.0, next(tie), tree.root_id, None)]
+    while heap:
+        dist_sq, _, page_id, record = heapq.heappop(heap)
+        if dist_sq > bound_sq:
+            return
+        if record is not None:
+            yield record, math.sqrt(dist_sq)
+            continue
+        node = tree.load_node(page_id, cost)
+        if node.is_leaf:
+            for e in node.entries:
+                if cost is not None:
+                    cost.count_distance_computations()
+                rec = e.record  # type: ignore[union-attr]
+                if not rec.time.contains(t):
+                    continue
+                pos = rec.position_at(t)
+                d_sq = sum((a - b) ** 2 for a, b in zip(pos, point))
+                if d_sq <= bound_sq:
+                    heapq.heappush(heap, (d_sq, next(tie), -1, rec))
+        else:
+            for e in node.entries:
+                if cost is not None:
+                    cost.count_distance_computations()
+                if not e.box.extent(0).contains(t):
+                    continue
+                d_sq = _spatial_min_dist_sq(e.box, point)
+                if d_sq <= bound_sq:
+                    heapq.heappush(
+                        heap, (d_sq, next(tie), e.child_id, None)  # type: ignore[union-attr]
+                    )
+
+
+class MovingKNN:
+    """k nearest neighbours of a moving query point, frame by frame.
+
+    Between frames the query point moves at most ``max_step`` (observer
+    speed x frame period) and objects move at most ``max_object_step``;
+    the previous frame's k-th distance plus both bounds is therefore a
+    valid pruning radius for the next frame — a simple instance of the
+    moving-query-point optimization of Song & Roussopoulos [24].
+
+    Parameters
+    ----------
+    index:
+        The native-space index.
+    k:
+        Number of neighbours per frame (>= 1).
+    max_step:
+        Upper bound on query-point movement between frames.
+    max_object_step:
+        Upper bound on any object's movement between frames.
+    """
+
+    def __init__(
+        self,
+        index: NativeSpaceIndex,
+        k: int,
+        max_step: float = math.inf,
+        max_object_step: float = 0.0,
+    ):
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        self.index = index
+        self.k = k
+        self.max_step = max_step
+        self.max_object_step = max_object_step
+        self.cost = QueryCost()
+        self._last_kth: float = math.inf
+
+    def query(
+        self, t: float, point: Sequence[float]
+    ) -> List[Tuple[MotionSegment, float]]:
+        """The k nearest segments valid at ``t``."""
+        if math.isinf(self._last_kth) or math.isinf(self.max_step):
+            bound = math.inf
+        else:
+            bound = self._last_kth + self.max_step + self.max_object_step
+        results: List[Tuple[MotionSegment, float]] = []
+        for rec, dist in incremental_knn(
+            self.index, t, point, cost=self.cost, max_distance=bound
+        ):
+            results.append((rec, dist))
+            self.cost.count_results()
+            if len(results) >= self.k:
+                break
+        if len(results) < self.k and not math.isinf(bound):
+            # The pruning bound was too tight (can happen right after a
+            # teleport); fall back to an unbounded search.
+            self._last_kth = math.inf
+            return self.query(t, point)
+        if results:
+            self._last_kth = results[-1][1]
+        return results

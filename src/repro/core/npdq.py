@@ -1,0 +1,198 @@
+"""Non-Predictive Dynamic Queries (Sect. 4.2).
+
+The trajectory is unknown, so each snapshot is evaluated when it
+arrives — but against the memory of the *previous* snapshot ``P``:
+
+* a node ``R`` is **discardable** for the current snapshot ``Q`` iff
+  ``(Q ∩ R) ⊆ P`` (Lemma 1): everything of ``R`` that matters to ``Q``
+  was already inspected by ``P``;
+* a motion segment is suppressed iff ``P`` delivered it, because the
+  client still holds it.
+
+**Soundness subtlety** (found by this library's fuzz tests): Lemma 1
+reasons about *bounding boxes*, so it is only sound if delivery does
+too.  With the exact leaf-level segment test of Sect. 3.2 alone, a
+segment whose box overlaps ``P`` but whose trajectory first enters the
+window during ``Q`` would be silently lost — ``Q`` discards its node
+("``P`` covered it") while ``P``'s exact test rejected it.  The engine
+therefore suppresses on box coverage and hands such box-only admissions
+to the client as ``prefetched`` answers; ``items`` remain exactly the
+snapshot's true answers.
+
+Plain time axes make discardability vacuous (consecutive snapshots never
+overlap temporally), so the engine runs over the
+:class:`~repro.index.DualTimeIndex` — the paper's chosen fix (Fig. 5(b)).
+
+Update management: an insertion stamps every entry along its insertion
+path with the index's operation clock.  While searching, a bounding box
+whose timestamp is newer than the previous query's clock reading must
+not be discarded against ``P`` (``P`` never saw its new content); the
+normal overlap test is used instead.  Likewise a leaf entry inserted
+after ``P`` ran is never suppressed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.results import AnswerItem, SnapshotResult
+from repro.core.snapshot import SnapshotQuery
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import QueryError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import segment_box_overlap_interval
+from repro.index.dualtime import DualTimeIndex
+from repro.storage.metrics import QueryCost
+
+__all__ = ["NPDQEngine"]
+
+
+@dataclass(frozen=True)
+class _PreviousQuery:
+    """What the engine remembers about the last snapshot."""
+
+    dual_box: Box
+    native_box: Box
+    clock: int
+    time: Interval
+
+
+class NPDQEngine:
+    """Incremental evaluator for a non-predictive dynamic query.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.index.DualTimeIndex` holding the segments.
+    exact:
+        Apply exact leaf-level segment tests (on by default).
+    """
+
+    def __init__(self, index: DualTimeIndex, exact: bool = True):
+        self.index = index
+        self.exact = exact
+        self.cost = QueryCost()
+        self._prev: Optional[_PreviousQuery] = None
+
+    # -- state -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget the previous snapshot (e.g. after a teleport)."""
+        self._prev = None
+
+    @property
+    def has_history(self) -> bool:
+        """True once at least one snapshot has been evaluated."""
+        return self._prev is not None
+
+    # -- evaluation ----------------------------------------------------------
+
+    def snapshot(self, query: SnapshotQuery) -> SnapshotResult:
+        """Evaluate one snapshot, returning only *new* answers.
+
+        The first snapshot (or the first after :meth:`reset`) is a plain
+        range search; subsequent ones skip discardable subtrees and
+        suppress answers the previous snapshot already delivered.
+        Snapshots must advance in time (``P.t̄ ⪯ Q.t̄``).
+        """
+        if query.dims != self.index.dims:
+            raise QueryError(
+                f"query has {query.dims} dims, index has {self.index.dims}"
+            )
+        prev = self._prev
+        if prev is not None and not prev.time.precedes(query.time):
+            raise QueryError(
+                "snapshots of a dynamic query must be temporally ordered"
+            )
+        tree = self.index.tree
+        dual = self.index.query_box(query.time, query.window)
+        native = query.to_native_box()
+        # Open-ended variant used to compute disappearance times: how long
+        # the object stays inside the *current* window from now on.
+        open_native = Box(
+            [Interval(query.time.low, math.inf)] + list(query.window)
+        )
+        before = self.cost.snapshot()
+        items: List[AnswerItem] = []
+        prefetched: List[AnswerItem] = []
+        stack = [tree.root_id]
+        while stack:
+            node = tree.load_node(stack.pop(), self.cost)
+            if node.is_leaf:
+                for e in node.entries:
+                    self.cost.count_distance_computations()
+                    shared = e.box.intersect(dual)
+                    if shared.is_empty:
+                        continue
+                    if prev is not None and e.timestamp <= prev.clock:  # type: ignore[union-attr]
+                        # Suppression mirrors Lemma 1's box semantics: if
+                        # P's boxes covered this entry, P's run delivered
+                        # it (possibly as a prefetch) and the client has
+                        # it.  An exact-P hit is an equivalent witness.
+                        if prev.dual_box.contains_box(shared):
+                            continue
+                        self.cost.count_segment_tests()
+                        seen = segment_box_overlap_interval(
+                            e.record.segment, prev.native_box  # type: ignore[union-attr]
+                        )
+                        if not seen.is_empty:
+                            continue
+                    visibility = segment_box_overlap_interval(
+                        e.record.segment, open_native  # type: ignore[union-attr]
+                    )
+                    if not self.exact and visibility.is_empty:
+                        # Box-only admission delivered as a plain item in
+                        # inexact mode; give it a retention-hint interval.
+                        visibility = Interval(
+                            query.time.low, e.record.time.high  # type: ignore[union-attr]
+                        )
+                    if self.exact:
+                        self.cost.count_segment_tests()
+                        overlap = segment_box_overlap_interval(
+                            e.record.segment, native  # type: ignore[union-attr]
+                        )
+                        if overlap.is_empty:
+                            # Box-only admission: not an answer of Q, but
+                            # future snapshots may assume the client got
+                            # it (see the module docstring).
+                            if visibility.is_empty:
+                                visibility = Interval(
+                                    query.time.low, e.record.time.high  # type: ignore[union-attr]
+                                )
+                            prefetched.append(
+                                AnswerItem(e.record, visibility)  # type: ignore[union-attr]
+                            )
+                            continue
+                    self.cost.count_results()
+                    items.append(AnswerItem(e.record, visibility))  # type: ignore[union-attr]
+            else:
+                for e in node.entries:
+                    self.cost.count_distance_computations()
+                    shared = e.box.intersect(dual)
+                    if shared.is_empty:
+                        continue
+                    if (
+                        prev is not None
+                        and e.timestamp <= prev.clock  # type: ignore[union-attr]
+                        and prev.dual_box.contains_box(shared)
+                    ):
+                        continue  # discardable (Lemma 1)
+                    stack.append(e.child_id)  # type: ignore[union-attr]
+        self._prev = _PreviousQuery(dual, native, tree.clock, query.time)
+        return SnapshotResult(
+            query_time=query.time,
+            items=items,
+            cost=self.cost.snapshot() - before,
+            prefetched=prefetched,
+        )
+
+    def run(
+        self, trajectory: QueryTrajectory, period: float
+    ) -> List[SnapshotResult]:
+        """Evaluate a whole frame series (the trajectory is *not* given
+        to the algorithm in advance — it is consumed one snapshot at a
+        time, exactly as an unpredictable observer would produce it)."""
+        return [self.snapshot(q) for q in trajectory.frame_queries(period)]

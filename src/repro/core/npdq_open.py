@@ -1,0 +1,144 @@
+"""NPDQ via open-ended temporal queries — the paper's option (i).
+
+Sect. 4.2 lists two ways to make discardability meaningful: (i) use an
+open-ended temporal range query ("the previous query retrieves all
+objects which satisfy the spatial range of the query either now or in
+the future", Fig. 5(a)) or (ii) the dual-time axes the authors chose
+(:class:`~repro.core.NPDQEngine`).
+
+This module implements option (i) over the ordinary native-space index
+so both schemes can be compared.  Each snapshot is widened to the
+temporal ray ``[q_l, ∞)``; the discardability condition then reduces to
+the purely spatial ``(Q ∩ R).spatial ⊆ P.spatial`` (the temporal part
+is always covered since ``q_l ≥ p_l``).  Answers are anticipations: an
+object is delivered the first time a snapshot's widened query sees it,
+together with its full future visibility under the current window.
+
+The paper notes this "is suitable for querying future or recent past
+motions only" — and on the evaluation workload it is markedly *worse*
+than both the dual-axis scheme and the naive evaluator (the widened
+query drags its spatial sliver across every future time slab of the
+index each frame); the ablation bench records this, corroborating the
+authors' choice of option (ii).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.results import AnswerItem, SnapshotResult
+from repro.core.snapshot import SnapshotQuery
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import QueryError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import segment_box_overlap_interval
+from repro.index.nsi import NativeSpaceIndex
+from repro.storage.metrics import QueryCost
+
+__all__ = ["OpenEndedNPDQEngine"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class _PreviousOpenQuery:
+    box: Box  # the widened (open-ended) native-space box
+    clock: int
+    time: Interval  # the original (un-widened) snapshot extent
+
+
+class OpenEndedNPDQEngine:
+    """Non-predictive dynamic queries with open-ended temporal ranges.
+
+    Same snapshot-in / new-answers-out contract as
+    :class:`~repro.core.NPDQEngine`, but running over the
+    :class:`~repro.index.NativeSpaceIndex` with queries widened to
+    ``[q_l, ∞)``.  Answers therefore *anticipate*: a segment that will
+    only enter the (current) window in the future is delivered now.
+    """
+
+    def __init__(self, index: NativeSpaceIndex, exact: bool = True):
+        self.index = index
+        self.exact = exact
+        self.cost = QueryCost()
+        self._prev: Optional[_PreviousOpenQuery] = None
+
+    def reset(self) -> None:
+        """Forget the previous snapshot (e.g. after a teleport)."""
+        self._prev = None
+
+    @property
+    def has_history(self) -> bool:
+        """True once at least one snapshot has been evaluated."""
+        return self._prev is not None
+
+    def snapshot(self, query: SnapshotQuery) -> SnapshotResult:
+        """Evaluate one snapshot; returns answers not delivered before."""
+        if query.dims != self.index.dims:
+            raise QueryError(
+                f"query has {query.dims} dims, index has {self.index.dims}"
+            )
+        prev = self._prev
+        if prev is not None and not prev.time.precedes(query.time):
+            raise QueryError(
+                "snapshots of a dynamic query must be temporally ordered"
+            )
+        tree = self.index.tree
+        widened = Box([Interval(query.time.low, _INF)] + list(query.window))
+        before = self.cost.snapshot()
+        items: List[AnswerItem] = []
+        stack = [tree.root_id]
+        while stack:
+            node = tree.load_node(stack.pop(), self.cost)
+            for e in node.entries:
+                self.cost.count_distance_computations()
+                shared = e.box.intersect(widened)
+                if shared.is_empty:
+                    continue
+                if (
+                    prev is not None
+                    and e.timestamp <= prev.clock
+                    and prev.box.contains_box(shared)
+                ):
+                    continue  # discardable / already delivered by P
+                if node.is_leaf:
+                    if self.exact:
+                        self.cost.count_segment_tests()
+                        visibility = segment_box_overlap_interval(
+                            e.record.segment, widened  # type: ignore[union-attr]
+                        )
+                        if visibility.is_empty:
+                            continue
+                        if (
+                            prev is not None
+                            and e.timestamp <= prev.clock
+                        ):
+                            self.cost.count_segment_tests()
+                            seen = segment_box_overlap_interval(
+                                e.record.segment, prev.box  # type: ignore[union-attr]
+                            )
+                            if not seen.is_empty:
+                                continue
+                    else:
+                        visibility = e.record.time.intersect(  # type: ignore[union-attr]
+                            widened.extent(0)
+                        )
+                    self.cost.count_results()
+                    items.append(AnswerItem(e.record, visibility))  # type: ignore[union-attr]
+                else:
+                    stack.append(e.child_id)  # type: ignore[union-attr]
+        self._prev = _PreviousOpenQuery(widened, tree.clock, query.time)
+        return SnapshotResult(
+            query_time=query.time,
+            items=items,
+            cost=self.cost.snapshot() - before,
+        )
+
+    def run(
+        self, trajectory: QueryTrajectory, period: float
+    ) -> List[SnapshotResult]:
+        """Evaluate a whole frame series snapshot by snapshot."""
+        return [self.snapshot(q) for q in trajectory.frame_queries(period)]

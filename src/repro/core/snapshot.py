@@ -1,0 +1,83 @@
+"""Snapshot queries (Definition 3).
+
+A snapshot query selects all motion segments intersecting the box
+``<t̄, x̄_1, .., x̄_d>`` in space-time.  Definition 3 gives snapshots a
+*temporal extent*; the instantaneous query of the visualization use-case
+is the special case of a point extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+
+__all__ = ["SnapshotQuery"]
+
+
+@dataclass(frozen=True)
+class SnapshotQuery:
+    """A spatio-temporal range query.
+
+    Parameters
+    ----------
+    time:
+        Temporal extent ``t̄`` (possibly a single instant).
+    window:
+        Spatial range ``x̄_1 × .. × x̄_d``.
+    """
+
+    time: Interval
+    window: Box
+
+    def __post_init__(self) -> None:
+        if self.time.is_empty:
+            raise QueryError("snapshot query has empty temporal extent")
+        if self.window.is_empty:
+            raise QueryError("snapshot query has empty spatial window")
+
+    @classmethod
+    def at_instant(cls, t: float, window: Box) -> "SnapshotQuery":
+        """The visualization special case: a point temporal extent."""
+        return cls(Interval.point(t), window)
+
+    @classmethod
+    def around(
+        cls, time: Interval, center: Sequence[float], half_extents: Sequence[float]
+    ) -> "SnapshotQuery":
+        """A window of the given half-extents centred on ``center``."""
+        if len(center) != len(half_extents):
+            raise QueryError("center and half_extents lengths differ")
+        window = Box.from_bounds(
+            [c - h for c, h in zip(center, half_extents)],
+            [c + h for c, h in zip(center, half_extents)],
+        )
+        return cls(time, window)
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality."""
+        return self.window.dims
+
+    def to_native_box(self) -> Box:
+        """The query as a native-space box ``<t̄, x̄_1, .., x̄_d>``."""
+        return Box([self.time] + list(self.window))
+
+    def precedes(self, other: "SnapshotQuery") -> bool:
+        """Definition 4's ordering: ``self.t̄ ⪯ other.t̄``."""
+        return self.time.precedes(other.time)
+
+    def spatial_overlap_fraction(self, other: "SnapshotQuery") -> float:
+        """Fraction of this window's area shared with ``other``'s window.
+
+        The paper's "% overlap between consecutive snapshot queries"
+        metric; 0 for disjoint windows, ~1 for near-identical ones.
+        """
+        inter = self.window.intersect(other.window)
+        vol = self.window.volume()
+        if vol == 0.0:
+            return 0.0
+        return inter.volume() / vol

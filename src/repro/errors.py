@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction or operation.
+
+    Raised, for example, when a :class:`~repro.geometry.Box` is built from
+    intervals of inconsistent dimensionality, or when an operation mixes
+    boxes of different dimensionality.
+    """
+
+
+class DimensionalityError(GeometryError):
+    """Two geometric operands do not share the same dimensionality."""
+
+
+class MotionError(ReproError):
+    """Invalid motion description (e.g. non-positive validity interval)."""
+
+
+class StorageError(ReproError):
+    """Failure in the simulated paged-storage layer."""
+
+
+class PageOverflowError(StorageError):
+    """A node serialization would not fit in a single disk page."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that the disk manager does not hold."""
+
+
+class IndexError_(ReproError):
+    """Structural failure inside the R-tree (corruption, bad arguments).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """A query was malformed or used against the wrong index flavour."""
+
+
+class TrajectoryError(QueryError):
+    """A predictive trajectory is malformed (unordered or < 2 snapshots)."""
+
+
+class SessionError(ReproError):
+    """Invalid use of the mode hand-off session driver."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload-generation parameters."""

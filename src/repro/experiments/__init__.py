@@ -1,0 +1,59 @@
+"""The evaluation harness: regenerates every figure of Sect. 5.
+
+The paper's evaluation figures (6-13) all share one experimental frame:
+build the synthetic index once, generate dynamic-query trajectories at
+controlled overlap levels and window sizes, drive each algorithm over
+each trajectory, and report *disk accesses per query* (split into leaf
+and higher-level accesses) and *distance computations per query*,
+separately for the first snapshot and averaged over the 50 subsequent
+snapshots.
+
+:class:`ExperimentContext` owns the shared state;
+:mod:`repro.experiments.figures` exposes one function per paper figure;
+:mod:`repro.experiments.reporting` renders the same rows/series the
+paper plots as text tables.  ``benchmarks/`` wraps these in
+pytest-benchmark targets, and the ``repro-dq`` CLI drives them from the
+command line.
+"""
+
+from repro.experiments.runner import (
+    AlgoCost,
+    ExperimentContext,
+    GridPoint,
+    run_pdq_point,
+    run_npdq_point,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    fig06_pdq_io,
+    fig07_pdq_cpu,
+    fig08_pdq_io_by_size,
+    fig09_pdq_cpu_by_size,
+    fig10_npdq_io,
+    fig11_npdq_cpu,
+    fig12_npdq_io_by_size,
+    fig13_npdq_cpu_by_size,
+    ALL_FIGURES,
+)
+from repro.experiments.reporting import figure_to_csv, format_figure, format_tree_summary
+
+__all__ = [
+    "ExperimentContext",
+    "AlgoCost",
+    "GridPoint",
+    "run_pdq_point",
+    "run_npdq_point",
+    "FigureResult",
+    "fig06_pdq_io",
+    "fig07_pdq_cpu",
+    "fig08_pdq_io_by_size",
+    "fig09_pdq_cpu_by_size",
+    "fig10_npdq_io",
+    "fig11_npdq_cpu",
+    "fig12_npdq_io_by_size",
+    "fig13_npdq_cpu_by_size",
+    "ALL_FIGURES",
+    "format_figure",
+    "figure_to_csv",
+    "format_tree_summary",
+]

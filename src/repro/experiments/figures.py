@@ -1,0 +1,173 @@
+"""One driver per evaluation figure of the paper (Figs. 6-13).
+
+Every function takes an :class:`~repro.experiments.ExperimentContext`
+and returns a :class:`FigureResult` whose grid points carry, per
+algorithm, the first-snapshot cost and the average subsequent-snapshot
+cost — exactly the bars the paper plots.  I/O figures read
+``total_reads`` / ``leaf_reads``; CPU figures read
+``distance_computations``.  Figures 6/7 and 10/11 sweep the overlap
+percentage at the small (8x8) window; figures 8/9 and 12/13 sweep the
+window size at a fixed representative overlap level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    GridPoint,
+    run_npdq_point,
+    run_pdq_point,
+)
+
+__all__ = [
+    "FigureResult",
+    "fig06_pdq_io",
+    "fig07_pdq_cpu",
+    "fig08_pdq_io_by_size",
+    "fig09_pdq_cpu_by_size",
+    "fig10_npdq_io",
+    "fig11_npdq_cpu",
+    "fig12_npdq_io_by_size",
+    "fig13_npdq_cpu_by_size",
+    "ALL_FIGURES",
+]
+
+SIZE_SWEEP_OVERLAP = 90.0
+"""Overlap level at which the window-size sweeps (Figs. 8/9/12/13) run.
+
+The paper does not state the speed used for its size-impact figures; a
+high-overlap point is the regime those figures discuss ("performance of
+the subsequent queries of the dynamic query").
+"""
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """The reproduced data behind one paper figure."""
+
+    figure_id: str
+    title: str
+    metric: str  # "io" or "cpu"
+    x_label: str
+    points: Tuple[GridPoint, ...]
+
+    def series(self, algorithm: str, which: str = "subsequent") -> List[float]:
+        """One plotted series: the metric per grid point.
+
+        Parameters
+        ----------
+        algorithm:
+            ``"naive"``, ``"pdq"`` or ``"npdq"``.
+        which:
+            ``"first"`` or ``"subsequent"``.
+        """
+        out = []
+        for p in self.points:
+            cost = getattr(p.costs[algorithm], which)
+            out.append(
+                cost.total_reads if self.metric == "io"
+                else cost.distance_computations
+            )
+        return out
+
+
+def _overlap_sweep(
+    ctx: ExperimentContext,
+    runner: Callable[[ExperimentContext, float, float], GridPoint],
+) -> Tuple[GridPoint, ...]:
+    side = min(ctx.queries.window_sides)
+    return tuple(
+        runner(ctx, overlap, side) for overlap in ctx.queries.overlap_levels
+    )
+
+
+def _size_sweep(
+    ctx: ExperimentContext,
+    runner: Callable[[ExperimentContext, float, float], GridPoint],
+) -> Tuple[GridPoint, ...]:
+    overlap = SIZE_SWEEP_OVERLAP
+    if not any(abs(o - overlap) < 1e-9 for o in ctx.queries.overlap_levels):
+        overlap = max(ctx.queries.overlap_levels)
+    return tuple(
+        runner(ctx, overlap, side) for side in ctx.queries.window_sides
+    )
+
+
+def fig06_pdq_io(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 6: disk accesses/query of PDQ vs naive, by overlap %."""
+    return FigureResult(
+        "fig06", "I/O performance of PDQ", "io", "overlap %",
+        _overlap_sweep(ctx, run_pdq_point),
+    )
+
+
+def fig07_pdq_cpu(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 7: distance computations/query of PDQ vs naive, by overlap %."""
+    return FigureResult(
+        "fig07", "CPU performance of PDQ", "cpu", "overlap %",
+        _overlap_sweep(ctx, run_pdq_point),
+    )
+
+
+def fig08_pdq_io_by_size(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 8: impact of query size on subsequent-query I/O (PDQ)."""
+    return FigureResult(
+        "fig08", "Impact of query size on I/O (PDQ)", "io", "window side",
+        _size_sweep(ctx, run_pdq_point),
+    )
+
+
+def fig09_pdq_cpu_by_size(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 9: impact of query size on subsequent-query CPU (PDQ)."""
+    return FigureResult(
+        "fig09", "Impact of query size on CPU (PDQ)", "cpu", "window side",
+        _size_sweep(ctx, run_pdq_point),
+    )
+
+
+def fig10_npdq_io(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 10: disk accesses/query of NPDQ vs naive, by overlap %."""
+    return FigureResult(
+        "fig10", "I/O performance of NPDQ", "io", "overlap %",
+        _overlap_sweep(ctx, run_npdq_point),
+    )
+
+
+def fig11_npdq_cpu(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 11: distance computations/query of NPDQ vs naive, by overlap %."""
+    return FigureResult(
+        "fig11", "CPU performance of NPDQ", "cpu", "overlap %",
+        _overlap_sweep(ctx, run_npdq_point),
+    )
+
+
+def fig12_npdq_io_by_size(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 12: impact of query size on subsequent-query I/O (NPDQ)."""
+    return FigureResult(
+        "fig12", "Impact of query size on I/O (NPDQ)", "io", "window side",
+        _size_sweep(ctx, run_npdq_point),
+    )
+
+
+def fig13_npdq_cpu_by_size(ctx: ExperimentContext) -> FigureResult:
+    """Fig. 13: impact of query size on subsequent-query CPU (NPDQ)."""
+    return FigureResult(
+        "fig13", "Impact of query size on CPU (NPDQ)", "cpu", "window side",
+        _size_sweep(ctx, run_npdq_point),
+    )
+
+
+ALL_FIGURES: Dict[str, Callable[[ExperimentContext], FigureResult]] = {
+    "fig06": fig06_pdq_io,
+    "fig07": fig07_pdq_cpu,
+    "fig08": fig08_pdq_io_by_size,
+    "fig09": fig09_pdq_cpu_by_size,
+    "fig10": fig10_npdq_io,
+    "fig11": fig11_npdq_cpu,
+    "fig12": fig12_npdq_io_by_size,
+    "fig13": fig13_npdq_cpu_by_size,
+}
+"""Every evaluation figure, keyed by its id in the paper."""

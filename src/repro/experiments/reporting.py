@@ -1,0 +1,103 @@
+"""Plain-text rendering of reproduced figures.
+
+The paper plots histogram bars with the leaf-level fraction marked; we
+print the same data as aligned tables: one row per grid point, one
+column group per algorithm, each showing ``first`` and ``subsequent``
+values with the leaf share in parentheses for I/O figures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import FigureResult
+from repro.index.rtree import RTree
+from repro.index.stats import collect_stats
+from repro.storage.metrics import AverageCost
+
+__all__ = ["format_figure", "figure_to_csv", "format_tree_summary"]
+
+
+def _cell(cost: AverageCost, metric: str) -> str:
+    if metric == "io":
+        return f"{cost.total_reads:8.2f} ({cost.leaf_reads:6.2f} leaf)"
+    return f"{cost.distance_computations:10.1f}"
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one reproduced figure as an aligned text table."""
+    algorithms = list(result.points[0].costs)
+    lines: List[str] = []
+    unit = (
+        "disk accesses/query" if result.metric == "io"
+        else "distance computations/query"
+    )
+    lines.append(f"{result.figure_id}: {result.title} [{unit}]")
+    header = f"{result.x_label:>12} |"
+    for algo in algorithms:
+        header += f" {algo + ' first':>24} | {algo + ' subsequent':>24} |"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in result.points:
+        x = (
+            p.overlap_percent
+            if result.x_label.startswith("overlap")
+            else p.window_side
+        )
+        row = f"{x:>12.2f} |"
+        for algo in algorithms:
+            cost = p.costs[algo]
+            row += (
+                f" {_cell(cost.first, result.metric):>24} |"
+                f" {_cell(cost.subsequent, result.metric):>24} |"
+            )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Render one reproduced figure as CSV for downstream plotting.
+
+    Columns: the x variable, then per algorithm and per phase
+    (first/subsequent) the metric value plus, for I/O figures, the
+    leaf-level share — everything needed to redraw the paper's stacked
+    bars.
+    """
+    algorithms = list(result.points[0].costs)
+    x_name = "overlap_percent" if result.x_label.startswith("overlap") else "window_side"
+    header = [x_name]
+    for algo in algorithms:
+        for phase in ("first", "subsequent"):
+            header.append(f"{algo}_{phase}")
+            if result.metric == "io":
+                header.append(f"{algo}_{phase}_leaf")
+    rows = [",".join(header)]
+    for p in result.points:
+        x = (
+            p.overlap_percent
+            if x_name == "overlap_percent"
+            else p.window_side
+        )
+        cells = [f"{x:g}"]
+        for algo in algorithms:
+            for phase in ("first", "subsequent"):
+                cost = getattr(p.costs[algo], phase)
+                if result.metric == "io":
+                    cells.append(f"{cost.total_reads:.4f}")
+                    cells.append(f"{cost.leaf_reads:.4f}")
+                else:
+                    cells.append(f"{cost.distance_computations:.4f}")
+        rows.append(",".join(cells))
+    return "\n".join(rows) + "\n"
+
+
+def format_tree_summary(tree: RTree, name: str) -> str:
+    """One-line index geometry, comparable to the paper's Sect. 5 quote
+    ("fanout is 145 and 127 ...; tree height is 3")."""
+    stats = collect_stats(tree)
+    return (
+        f"{name}: {stats.records} segments, height {stats.height}, "
+        f"{stats.leaf_nodes} leaves + {stats.internal_nodes} internal nodes, "
+        f"fanout {tree.max_internal}/{tree.max_leaf} (internal/leaf), "
+        f"avg fill {stats.avg_internal_fill:.2f}/{stats.avg_leaf_fill:.2f}"
+    )

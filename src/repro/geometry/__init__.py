@@ -1,0 +1,36 @@
+"""Geometric primitives for spatio-temporal query processing.
+
+This package implements Definitions 1 and 2 of the paper (intervals and
+boxes with the operations intersection ``&``, coverage ``|``, overlap and
+*precedes*), plus the geometric core of the PDQ algorithm: computing the
+time interval during which a moving query window (a *trapezoid* per
+trajectory segment, Fig. 3 of the paper) overlaps a bounding box or an
+individual linear motion segment.
+
+Everything here is exact closed-interval arithmetic on floats; no external
+geometry library is used.
+"""
+
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+from repro.geometry.box import Box
+from repro.geometry.segment import SpaceTimeSegment, segment_box_overlap_interval
+from repro.geometry.timeset import TimeSet
+from repro.geometry.trapezoid import (
+    MovingWindow,
+    moving_window_box_overlap,
+    moving_window_segment_overlap,
+    solve_linear_ge,
+)
+
+__all__ = [
+    "Interval",
+    "EMPTY_INTERVAL",
+    "Box",
+    "TimeSet",
+    "SpaceTimeSegment",
+    "segment_box_overlap_interval",
+    "MovingWindow",
+    "moving_window_box_overlap",
+    "moving_window_segment_overlap",
+    "solve_linear_ge",
+]

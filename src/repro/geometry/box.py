@@ -1,0 +1,265 @@
+"""Axis-aligned n-dimensional boxes (Definition 2 of the paper).
+
+A :class:`Box` is a tuple of :class:`~repro.geometry.interval.Interval`
+extents, one per dimension.  A box is empty iff any extent is empty.  The
+operations mirror those on intervals and apply component-wise.
+
+Boxes are the lingua franca of the library: R-tree node bounding
+rectangles, snapshot query windows, and motion-segment bounding boxes are
+all :class:`Box` instances.  Dimension order is by convention *time first*
+for native-space indexing (``<t, x1, .., xd>``) and *(t_start, t_end,
+x1, .., xd)* for dual-time indexing; the :mod:`repro.index` package
+documents and enforces these conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import DimensionalityError, GeometryError
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+
+__all__ = ["Box"]
+
+
+class Box:
+    """An axis-aligned box: the cartesian product of closed intervals.
+
+    Parameters
+    ----------
+    extents:
+        One :class:`Interval` per dimension.  At least one dimension is
+        required.
+    """
+
+    __slots__ = ("_extents",)
+
+    def __init__(self, extents: Iterable[Interval]):
+        exts = tuple(extents)
+        if not exts:
+            raise GeometryError("a box needs at least one dimension")
+        for e in exts:
+            if not isinstance(e, Interval):
+                raise GeometryError(f"box extent must be Interval, got {type(e).__name__}")
+        self._extents = exts
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_bounds(cls, lows: Sequence[float], highs: Sequence[float]) -> "Box":
+        """Build from parallel low/high coordinate sequences."""
+        if len(lows) != len(highs):
+            raise DimensionalityError(
+                f"lows ({len(lows)}) and highs ({len(highs)}) differ in length"
+            )
+        return cls(Interval(lo, hi) for lo, hi in zip(lows, highs))
+
+    @classmethod
+    def from_point(cls, coords: Sequence[float]) -> "Box":
+        """The degenerate box equivalent to a point (Definition 2)."""
+        return cls(Interval.point(c) for c in coords)
+
+    @classmethod
+    def empty(cls, dims: int) -> "Box":
+        """An empty box of the given dimensionality."""
+        return cls(EMPTY_INTERVAL for _ in range(dims))
+
+    @classmethod
+    def unbounded(cls, dims: int) -> "Box":
+        """The whole of R^dims."""
+        return cls(Interval.unbounded() for _ in range(dims))
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions."""
+        return len(self._extents)
+
+    @property
+    def extents(self) -> Tuple[Interval, ...]:
+        """The per-dimension intervals."""
+        return self._extents
+
+    def extent(self, dim: int) -> Interval:
+        """The paper's ``B.I_i``: extent along dimension ``dim``."""
+        return self._extents[dim]
+
+    @property
+    def is_empty(self) -> bool:
+        """A box is empty iff any extent is empty (Definition 2)."""
+        return any(e.is_empty for e in self._extents)
+
+    @property
+    def lows(self) -> Tuple[float, ...]:
+        """Low corner coordinates."""
+        return tuple(e.low for e in self._extents)
+
+    @property
+    def highs(self) -> Tuple[float, ...]:
+        """High corner coordinates."""
+        return tuple(e.high for e in self._extents)
+
+    @property
+    def center(self) -> Tuple[float, ...]:
+        """Centre point of a non-empty box."""
+        if self.is_empty:
+            raise GeometryError("empty box has no center")
+        return tuple(e.midpoint for e in self._extents)
+
+    def volume(self) -> float:
+        """Product of extent lengths (0 for empty/degenerate boxes)."""
+        if self.is_empty:
+            return 0.0
+        v = 1.0
+        for e in self._extents:
+            v *= e.length
+        return v
+
+    def margin(self) -> float:
+        """Sum of extent lengths (the R*-tree 'margin' heuristic)."""
+        if self.is_empty:
+            return 0.0
+        return sum(e.length for e in self._extents)
+
+    # -- predicates ---------------------------------------------------------
+
+    def _check_dims(self, other: "Box") -> None:
+        if self.dims != other.dims:
+            raise DimensionalityError(
+                f"dimensionality mismatch: {self.dims} vs {other.dims}"
+            )
+
+    def overlaps(self, other: "Box") -> bool:
+        """The paper's ``≬``: boxes share at least one point."""
+        self._check_dims(other)
+        if self.is_empty or other.is_empty:
+            return False
+        return all(a.overlaps(b) for a, b in zip(self._extents, other._extents))
+
+    def contains_point(self, coords: Sequence[float]) -> bool:
+        """True iff the point lies inside (closed bounds)."""
+        if len(coords) != self.dims:
+            raise DimensionalityError(
+                f"point has {len(coords)} coords, box has {self.dims} dims"
+            )
+        return all(e.contains(c) for e, c in zip(self._extents, coords))
+
+    def contains_box(self, other: "Box") -> bool:
+        """True iff ``other ⊆ self``.  Empty boxes are contained in all."""
+        self._check_dims(other)
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return all(
+            a.contains_interval(b) for a, b in zip(self._extents, other._extents)
+        )
+
+    # -- operations -----------------------------------------------------------
+
+    def intersect(self, other: "Box") -> "Box":
+        """Component-wise ``∩``; empty if disjoint."""
+        self._check_dims(other)
+        return Box(a.intersect(b) for a, b in zip(self._extents, other._extents))
+
+    def cover(self, other: "Box") -> "Box":
+        """Component-wise ``⊎``: the minimum bounding box of both."""
+        self._check_dims(other)
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Box(a.cover(b) for a, b in zip(self._extents, other._extents))
+
+    def cover_point(self, coords: Sequence[float]) -> "Box":
+        """Smallest box containing this box and the point."""
+        return self.cover(Box.from_point(coords))
+
+    def enlargement(self, other: "Box") -> float:
+        """Volume increase needed to cover ``other`` (Guttman's metric)."""
+        return self.cover(other).volume() - self.volume()
+
+    def inflate(self, amounts: Sequence[float]) -> "Box":
+        """Grow each dimension ``i`` by ``amounts[i]`` on both sides."""
+        if len(amounts) != self.dims:
+            raise DimensionalityError(
+                f"{len(amounts)} amounts for a {self.dims}-dim box"
+            )
+        return Box(e.inflate(a) for e, a in zip(self._extents, amounts))
+
+    def translate(self, deltas: Sequence[float]) -> "Box":
+        """Shift each dimension ``i`` by ``deltas[i]``."""
+        if len(deltas) != self.dims:
+            raise DimensionalityError(f"{len(deltas)} deltas for a {self.dims}-dim box")
+        return Box(e.translate(d) for e, d in zip(self._extents, deltas))
+
+    def project(self, dims: Sequence[int]) -> "Box":
+        """The box projected onto a subset of dimensions, in order."""
+        return Box(self._extents[d] for d in dims)
+
+    def replace_extent(self, dim: int, extent: Interval) -> "Box":
+        """A copy with dimension ``dim`` replaced by ``extent``."""
+        exts = list(self._extents)
+        exts[dim] = extent
+        return Box(exts)
+
+    def min_distance_sq(self, coords: Sequence[float]) -> float:
+        """Squared minimum distance from a point to this box (0 inside).
+
+        Used by the moving-query kNN extension.
+        """
+        if len(coords) != self.dims:
+            raise DimensionalityError(
+                f"point has {len(coords)} coords, box has {self.dims} dims"
+            )
+        if self.is_empty:
+            raise GeometryError("distance to an empty box is undefined")
+        total = 0.0
+        for e, c in zip(self._extents, coords):
+            if c < e.low:
+                d = e.low - c
+            elif c > e.high:
+                d = c - e.high
+            else:
+                d = 0.0
+            total += d * d
+        return total
+
+    # -- dunder sugar ----------------------------------------------------------
+
+    def __and__(self, other: "Box") -> "Box":
+        return self.intersect(other)
+
+    def __or__(self, other: "Box") -> "Box":
+        return self.cover(other)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._extents)
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __getitem__(self, dim: int) -> Interval:
+        return self._extents[dim]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        if self.dims != other.dims:
+            return False
+        if self.is_empty and other.is_empty:
+            return True
+        return self._extents == other._extents
+
+    def __hash__(self) -> int:
+        if self.is_empty:
+            return hash(("Box", self.dims, "empty"))
+        return hash(("Box", self._extents))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(e) for e in self._extents)
+        return f"Box([{inner}])"

@@ -1,0 +1,239 @@
+"""Closed real intervals (Definition 1 of the paper).
+
+An :class:`Interval` ``[l, h]`` is the set of reals ``l <= v <= h``.  An
+interval with ``l > h`` is *empty*; the canonical empty interval is
+:data:`EMPTY_INTERVAL` (``[+inf, -inf]``), but any ``l > h`` pair compares
+equal to it and behaves identically in every operation.
+
+The paper's four operations map onto Python operators:
+
+=============  ==========================  =====================
+Paper          Meaning                     Here
+=============  ==========================  =====================
+``J ∩ K``      intersection                ``j & k`` / ``j.intersect(k)``
+``J ⊎ K``      coverage (smallest cover)   ``j | k`` / ``j.cover(k)``
+``J ≬ K``      overlap test                ``j.overlaps(k)``
+``I ⪯ J``      precedes (∀p∈I: p ≤ J.l)    ``i.precedes(j)``
+=============  ==========================  =====================
+
+Instances are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Interval", "EMPTY_INTERVAL"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A closed interval ``[low, high]`` of real numbers.
+
+    Parameters
+    ----------
+    low, high:
+        Bounds.  ``low > high`` denotes the empty interval; such intervals
+        are normalised to compare equal regardless of the specific bounds.
+    """
+
+    low: float
+    high: float
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """The degenerate interval ``[value, value]`` (Definition 1)."""
+        return cls(value, value)
+
+    @classmethod
+    def empty(cls) -> "Interval":
+        """The canonical empty interval."""
+        return EMPTY_INTERVAL
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        """The whole real line ``[-inf, +inf]``."""
+        return cls(-_INF, _INF)
+
+    @classmethod
+    def ordered(cls, a: float, b: float) -> "Interval":
+        """Build ``[min(a, b), max(a, b)]`` — never empty."""
+        return cls(a, b) if a <= b else cls(b, a)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the interval contains no value (``low > high``)."""
+        return self.low > self.high
+
+    @property
+    def is_point(self) -> bool:
+        """True iff the interval is a single value."""
+        return self.low == self.high
+
+    @property
+    def length(self) -> float:
+        """Measure of the interval; 0 for empty or point intervals."""
+        return max(0.0, self.high - self.low)
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of a non-empty interval.
+
+        Raises
+        ------
+        ValueError
+            If the interval is empty.
+        """
+        if self.is_empty:
+            raise ValueError("empty interval has no midpoint")
+        return 0.5 * (self.low + self.high)
+
+    def contains(self, value: float) -> bool:
+        """True iff ``low <= value <= high``."""
+        return self.low <= value <= self.high
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True iff ``other`` is a subset of this interval.
+
+        The empty interval is a subset of everything.
+        """
+        if other.is_empty:
+            return True
+        return self.low <= other.low and other.high <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        """The paper's ``J ≬ K``: intersection is non-empty.
+
+        Bounds are closed, so ``[0, 1]`` overlaps ``[1, 2]``.
+        """
+        if self.is_empty or other.is_empty:
+            return False
+        return self.low <= other.high and other.low <= self.high
+
+    def precedes(self, other: "Interval") -> bool:
+        """The paper's ``I ⪯ J``: every point of ``self`` is ≤ ``J.low``.
+
+        Vacuously true when ``self`` is empty; false when ``other`` is
+        empty (there is no ``J.low`` to precede).
+        """
+        if self.is_empty:
+            return True
+        if other.is_empty:
+            return False
+        return self.high <= other.low
+
+    # -- operations --------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The paper's ``J ∩ K``; may be empty."""
+        low = self.low if self.low >= other.low else other.low
+        high = self.high if self.high <= other.high else other.high
+        if low > high:
+            return EMPTY_INTERVAL
+        return Interval(low, high)
+
+    def cover(self, other: "Interval") -> "Interval":
+        """The paper's ``J ⊎ K``: smallest interval containing both.
+
+        Covering with an empty interval returns the other operand.
+        """
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def translate(self, delta: float) -> "Interval":
+        """The interval shifted by ``delta``."""
+        if self.is_empty:
+            return EMPTY_INTERVAL
+        return Interval(self.low + delta, self.high + delta)
+
+    def inflate(self, amount: float) -> "Interval":
+        """Grow (or, if negative, shrink) each side by ``amount``.
+
+        Shrinking past the midpoint yields the empty interval.
+        """
+        if self.is_empty:
+            return EMPTY_INTERVAL
+        low, high = self.low - amount, self.high + amount
+        if low > high:
+            return EMPTY_INTERVAL
+        return Interval(low, high)
+
+    def clamp(self, value: float) -> float:
+        """The closest point of a non-empty interval to ``value``.
+
+        Raises
+        ------
+        ValueError
+            If the interval is empty.
+        """
+        if self.is_empty:
+            raise ValueError("cannot clamp to an empty interval")
+        return min(max(value, self.low), self.high)
+
+    def sample(self, fraction: float) -> float:
+        """Linear interpolation: ``low + fraction * (high - low)``.
+
+        Raises
+        ------
+        ValueError
+            If the interval is empty.
+        """
+        if self.is_empty:
+            raise ValueError("cannot sample an empty interval")
+        return self.low + fraction * (self.high - self.low)
+
+    # -- operator sugar ------------------------------------------------------
+
+    def __and__(self, other: "Interval") -> "Interval":
+        return self.intersect(other)
+
+    def __or__(self, other: "Interval") -> "Interval":
+        return self.cover(other)
+
+    def __contains__(self, value: float) -> bool:
+        return self.contains(value)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.low
+        yield self.high
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """``(low, high)`` pair."""
+        return (self.low, self.high)
+
+    # -- normalised equality/hash for empty intervals ------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty and other.is_empty:
+            return True
+        return self.low == other.low and self.high == other.high
+
+    def __hash__(self) -> int:
+        if self.is_empty:
+            return hash(("Interval", "empty"))
+        return hash(("Interval", self.low, self.high))
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Interval.empty()"
+        return f"Interval({self.low!r}, {self.high!r})"
+
+
+EMPTY_INTERVAL = Interval(_INF, -_INF)
+"""Canonical empty interval; every ``low > high`` interval equals it."""

@@ -1,0 +1,69 @@
+"""R-tree node entries.
+
+Internal entries pair a bounding box with a child page id.  Leaf entries
+pair the *indexed box* of a motion segment (whose shape depends on the
+native-space or dual-time mapping) with the exact
+:class:`~repro.motion.MotionSegment` record — leaves keep end-point
+representations so queries can run the exact segment test of Sect. 3.2 —
+plus the insertion timestamp that NPDQ's update management consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.geometry.box import Box
+from repro.motion.segment import MotionSegment
+
+__all__ = ["InternalEntry", "LeafEntry", "Entry"]
+
+
+@dataclass(frozen=True)
+class InternalEntry:
+    """A pointer to a child node, bounded by ``box``.
+
+    ``timestamp`` is the operation-clock value of the last insertion that
+    passed through (or created) this entry.  Sect. 4.2: "for each
+    insertion, all nodes along the insertion path will update their
+    timestamp" — keeping the stamp *on the entry* lets NPDQ check a
+    bounding box's freshness without loading the child node.
+    """
+
+    box: Box
+    child_id: int
+    timestamp: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Identity used for priority-queue duplicate elimination."""
+        return ("node", self.child_id)
+
+
+@dataclass(frozen=True)
+class LeafEntry:
+    """A stored motion segment with its indexed bounding box.
+
+    Parameters
+    ----------
+    box:
+        The box under which the segment is indexed (native-space or
+        dual-time; possibly inflated for uncertainty).
+    record:
+        The exact motion segment.
+    timestamp:
+        Value of the index's operation clock when this entry was
+        inserted; 0 for bulk-loaded entries.
+    """
+
+    box: Box
+    record: MotionSegment
+    timestamp: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        """Identity used for duplicate elimination: the segment key."""
+        return ("segment", self.record.object_id, self.record.seq)
+
+
+Entry = Union[InternalEntry, LeafEntry]

@@ -1,0 +1,158 @@
+"""R-tree nodes.
+
+A node occupies exactly one disk page.  ``level`` counts from 0 at the
+leaves; internal nodes hold :class:`~repro.index.entry.InternalEntry`
+children and leaves hold :class:`~repro.index.entry.LeafEntry` records.
+
+Each node carries a ``timestamp`` — the index operation clock value of
+its last structural modification.  Sect. 4.2's NPDQ update management
+reads it: if a node changed after the previous query ran, discardability
+against that query must not be applied to the node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.entry import Entry, InternalEntry, LeafEntry
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One R-tree node, resident on one disk page."""
+
+    __slots__ = ("page_id", "level", "entries", "timestamp", "_mbr")
+
+    def __init__(
+        self,
+        page_id: int,
+        level: int,
+        entries: Optional[Sequence[Entry]] = None,
+        timestamp: int = 0,
+    ):
+        if level < 0:
+            raise IndexError_(f"negative node level {level}")
+        self.page_id = page_id
+        self.level = level
+        self.entries: List[Entry] = list(entries) if entries else []
+        self.timestamp = timestamp
+        self._mbr: Optional[Box] = None
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for level-0 nodes."""
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def mbr(self) -> Box:
+        """Minimum bounding box of all entries (cached until mutation).
+
+        Raises
+        ------
+        IndexError_
+            If the node has no entries.
+        """
+        if self._mbr is None:
+            if not self.entries:
+                raise IndexError_(f"node {self.page_id} has no entries")
+            box = self.entries[0].box
+            for e in self.entries[1:]:
+                box = box.cover(e.box)
+            self._mbr = box
+        return self._mbr
+
+    # -- mutation (invalidates the cached MBR) -----------------------------------
+
+    def add(self, entry: Entry, clock: int) -> None:
+        """Append an entry and stamp the modification time."""
+        self._check_entry_kind(entry)
+        self.entries.append(entry)
+        self.timestamp = max(self.timestamp, clock)
+        self._mbr = None
+
+    def replace_entries(self, entries: Sequence[Entry], clock: int) -> None:
+        """Swap in a whole new entry list (used by splits)."""
+        for e in entries:
+            self._check_entry_kind(e)
+        self.entries = list(entries)
+        self.timestamp = max(self.timestamp, clock)
+        self._mbr = None
+
+    def remove_child(self, child_id: int, clock: int) -> InternalEntry:
+        """Remove and return the entry pointing at ``child_id``.
+
+        Raises
+        ------
+        IndexError_
+            If absent or if the node is a leaf.
+        """
+        if self.is_leaf:
+            raise IndexError_("leaves have no child entries")
+        for i, e in enumerate(self.entries):
+            if e.child_id == child_id:  # type: ignore[union-attr]
+                del self.entries[i]
+                self.timestamp = max(self.timestamp, clock)
+                self._mbr = None
+                return e  # type: ignore[return-value]
+        raise IndexError_(f"node {self.page_id} has no child {child_id}")
+
+    def remove_record(self, key: "tuple", clock: int) -> LeafEntry:
+        """Remove and return the leaf entry with the given segment key.
+
+        Raises
+        ------
+        IndexError_
+            If absent or if the node is internal.
+        """
+        if not self.is_leaf:
+            raise IndexError_("internal nodes have no records")
+        for i, e in enumerate(self.entries):
+            if e.record.key == key:  # type: ignore[union-attr]
+                del self.entries[i]
+                self.timestamp = max(self.timestamp, clock)
+                self._mbr = None
+                return e  # type: ignore[return-value]
+        raise IndexError_(f"node {self.page_id} has no record {key}")
+
+    def update_child_box(self, child_id: int, box: Box, clock: int) -> None:
+        """Tighten/grow the box of the entry pointing at ``child_id``."""
+        if self.is_leaf:
+            raise IndexError_("leaves have no child entries")
+        for i, e in enumerate(self.entries):
+            if e.child_id == child_id:  # type: ignore[union-attr]
+                self.entries[i] = InternalEntry(box, child_id, timestamp=clock)
+                self.timestamp = max(self.timestamp, clock)
+                self._mbr = None
+                return
+        raise IndexError_(f"node {self.page_id} has no child {child_id}")
+
+    def child_ids(self) -> "tuple[int, ...]":
+        """Page ids of all children (internal nodes only)."""
+        if self.is_leaf:
+            raise IndexError_("leaves have no child entries")
+        return tuple(e.child_id for e in self.entries)  # type: ignore[union-attr]
+
+    # -- validation -----------------------------------------------------------------
+
+    def _check_entry_kind(self, entry: Entry) -> None:
+        if self.is_leaf and not isinstance(entry, LeafEntry):
+            raise IndexError_(
+                f"leaf node {self.page_id} given {type(entry).__name__}"
+            )
+        if not self.is_leaf and not isinstance(entry, InternalEntry):
+            raise IndexError_(
+                f"internal node {self.page_id} given {type(entry).__name__}"
+            )
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"

@@ -1,0 +1,206 @@
+"""Parametric Space Indexing (PSI) — the paper's rejected alternative.
+
+Sect. 2 (citing [14, 15]): indexing can happen either in the *native*
+space where motion occurs (NSI) or in a *parametric* space defined by
+the motion parameters (PSI); "a comparative study between the two
+indicates that NSI outperforms PSI, because of the loss of locality
+associated with PSI.  In the present, we use NSI exclusively."
+
+We implement PSI anyway so the claim is testable.  Each motion segment
+``x(t) = a + v·t`` (with ``a`` the position extrapolated to the global
+time origin) becomes a *point* over the axes
+
+    ``<t_s, t_e, a_1, .., a_d, v_1, .., v_d>``
+
+A native-space range query (window ``W`` during ``[q_l, q_h]``) has no
+rectangular image in parameter space — the matching region is bounded by
+the lines ``a = W_edge − v·t`` — so the search prunes nodes with a
+conservative linear relaxation: a subtree with parameter extents
+``a ∈ [A_l, A_h]``, ``v ∈ [V_l, V_h]`` overlapping the query's time
+range ``[t_a, t_b]`` may contain matches only if
+
+    ``A_l ≤ W_h − min(v·t)``  and  ``A_h ≥ W_l − max(v·t)``
+
+with the extrema of ``v·t`` taken over the corner products.  Leaves run
+the exact segment test.  The relaxation is safe (never prunes a match)
+but loose — which, together with parameter-space locality loss, is
+precisely why PSI reads more pages than NSI on identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import math
+
+from repro.errors import QueryError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import segment_box_overlap_interval
+from repro.index.bulk import str_bulk_load
+from repro.index.entry import LeafEntry
+from repro.index.rtree import RTree
+from repro.motion.segment import MotionSegment
+from repro.storage.constants import PAGE_SIZE, internal_fanout, leaf_fanout
+from repro.storage.disk import DiskManager
+from repro.storage.metrics import QueryCost
+
+__all__ = ["ParametricSpaceIndex"]
+
+_INF = math.inf
+
+
+def _corner_products(v: Interval, t: Interval) -> Tuple[float, float]:
+    """Min and max of ``v*t`` over the rectangle ``v x t``."""
+    products = (
+        v.low * t.low,
+        v.low * t.high,
+        v.high * t.low,
+        v.high * t.high,
+    )
+    return min(products), max(products)
+
+
+class ParametricSpaceIndex:
+    """An R-tree over motion parameters (the PSI of [14, 15]).
+
+    Parameters mirror :class:`~repro.index.NativeSpaceIndex`.  The tree
+    has ``2 + 2d`` axes; internal entries therefore carry more floats,
+    so the internal fanout is smaller than NSI's (78 vs 145 at d = 2 on
+    4 KB pages) — one ingredient of PSI's disadvantage, on top of the
+    locality loss.
+    """
+
+    def __init__(
+        self,
+        dims: int = 2,
+        disk: Optional[DiskManager] = None,
+        page_size: int = PAGE_SIZE,
+        split: str = "quadratic",
+        fill_factor: float = 0.5,
+    ):
+        if dims < 1:
+            raise QueryError("need at least one spatial dimension")
+        self.dims = dims
+        self.tree = RTree(
+            axes=2 + 2 * dims,
+            max_internal=internal_fanout(2 + 2 * dims, page_size),
+            max_leaf=leaf_fanout(dims, page_size),
+            disk=disk,
+            fill_factor=fill_factor,
+            split=split,
+        )
+
+    # -- mapping ------------------------------------------------------------
+
+    def _leaf_entry(self, record: MotionSegment) -> LeafEntry:
+        if record.dims != self.dims:
+            raise QueryError(
+                f"segment has {record.dims} spatial dims, index has {self.dims}"
+            )
+        seg = record.segment
+        t0 = seg.time.low
+        # Parameters at the global time origin: a = x0 - v * t0.
+        extents: List[Interval] = [
+            Interval.point(seg.time.low),
+            Interval.point(seg.time.high),
+        ]
+        extents.extend(
+            Interval.point(x - v * t0) for x, v in zip(seg.origin, seg.velocity)
+        )
+        extents.extend(Interval.point(v) for v in seg.velocity)
+        return LeafEntry(Box(extents), record)
+
+    # -- building -------------------------------------------------------------
+
+    def insert(self, record: MotionSegment):
+        """Insert one motion update."""
+        return self.tree.insert(self._leaf_entry(record))
+
+    def bulk_load(
+        self, records: Iterable[MotionSegment], target_fill: float = 0.5
+    ) -> None:
+        """STR-pack many records into an empty index."""
+        str_bulk_load(
+            self.tree, [self._leaf_entry(r) for r in records],
+            target_fill=target_fill,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def _node_may_match(
+        self, box: Box, time: Interval, window: Box
+    ) -> bool:
+        """Conservative pruning test in parameter space."""
+        # Temporal feasibility (dual-time style).
+        if box.extent(0).low > time.high or box.extent(1).high < time.low:
+            return False
+        t_range = Interval(
+            max(time.low, box.extent(0).low), time.high
+        )
+        if t_range.is_empty:
+            return False
+        for i in range(self.dims):
+            a = box.extent(2 + i)
+            v = box.extent(2 + self.dims + i)
+            w = window.extent(i)
+            vt_min, vt_max = _corner_products(v, t_range)
+            # a + v*t can reach [a.low + vt_min, a.high + vt_max]; it must
+            # intersect [w.low, w.high].
+            if a.low + vt_min > w.high or a.high + vt_max < w.low:
+                return False
+        return True
+
+    def snapshot_search(
+        self,
+        time: Interval,
+        window: Box,
+        cost: Optional[QueryCost] = None,
+        exact: bool = True,
+    ) -> List[Tuple[MotionSegment, Interval]]:
+        """All segments inside ``window`` at some instant of ``time``.
+
+        Same contract as the NSI/dual-time facades; the traversal uses
+        the conservative parametric relaxation for pruning and the exact
+        native-space segment test at leaves.
+        """
+        if window.dims != self.dims:
+            raise QueryError(
+                f"window has {window.dims} dims, index has {self.dims}"
+            )
+        if time.is_empty:
+            raise QueryError("snapshot query has empty time interval")
+        native = Box([time] + list(window))
+        results: List[Tuple[MotionSegment, Interval]] = []
+        stack = [self.tree.root_id]
+        while stack:
+            node = self.tree.load_node(stack.pop(), cost)
+            if node.is_leaf:
+                for e in node.entries:
+                    if cost is not None:
+                        cost.count_distance_computations()
+                    if not self._node_may_match(e.box, time, window):
+                        continue
+                    if exact:
+                        if cost is not None:
+                            cost.count_segment_tests()
+                        overlap = segment_box_overlap_interval(
+                            e.record.segment, native  # type: ignore[union-attr]
+                        )
+                        if overlap.is_empty:
+                            continue
+                    else:
+                        overlap = e.record.time.intersect(time)  # type: ignore[union-attr]
+                    if cost is not None:
+                        cost.count_results()
+                    results.append((e.record, overlap))  # type: ignore[union-attr]
+            else:
+                for e in node.entries:
+                    if cost is not None:
+                        cost.count_distance_computations()
+                    if self._node_may_match(e.box, time, window):
+                        stack.append(e.child_id)  # type: ignore[union-attr]
+        return results
+
+    def __len__(self) -> int:
+        return len(self.tree)

@@ -1,0 +1,276 @@
+"""Node splitting policies.
+
+Implements Guttman's quadratic and linear splits, plus the R*-tree's
+topological split (Beckmann et al. [2] in the paper's references:
+choose the split axis by minimum total margin, then the distribution
+along that axis by minimum overlap).  All accept an
+optional *pinned* entry: the group containing it becomes the **new** node
+(the one that gets a fresh page id).  Pinning the just-inserted entry at
+every level forces all nodes created by a cascading split onto a single
+root-to-leaf path — the paper's Sect. 4.1 update-management requirement
+("it is possible to force them to be on the same path as the data causing
+the overflow.  Doing so incurs no extra cost nor conflict with the
+original splitting policy") — because *which* half keeps the old page id
+is arbitrary in Guttman's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.entry import Entry
+
+__all__ = [
+    "quadratic_split",
+    "linear_split",
+    "rstar_split",
+    "SPLITTERS",
+    "Splitter",
+]
+
+Splitter = Callable[[Sequence[Entry], int, Optional[tuple]], Tuple[List[Entry], List[Entry]]]
+
+
+def _orient(
+    group_a: List[Entry],
+    group_b: List[Entry],
+    pinned_key: Optional[tuple],
+) -> Tuple[List[Entry], List[Entry]]:
+    """Order the two groups as ``(keep, new)`` honouring the pinned entry."""
+    if pinned_key is not None:
+        if any(e.key == pinned_key for e in group_a):
+            return group_b, group_a
+        if not any(e.key == pinned_key for e in group_b):
+            raise IndexError_("pinned entry missing from split input")
+    return group_a, group_b
+
+
+def _validate(entries: Sequence[Entry], min_fill: int) -> None:
+    if len(entries) < 2:
+        raise IndexError_(f"cannot split {len(entries)} entries")
+    if min_fill < 1 or 2 * min_fill > len(entries):
+        raise IndexError_(
+            f"min_fill {min_fill} invalid for {len(entries)} entries"
+        )
+
+
+def quadratic_split(
+    entries: Sequence[Entry],
+    min_fill: int,
+    pinned_key: Optional[tuple] = None,
+) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's quadratic split.
+
+    Parameters
+    ----------
+    entries:
+        The overflowing entry list (max fanout + 1 items).
+    min_fill:
+        Minimum entries each resulting group must hold.
+    pinned_key:
+        Identity (``entry.key``) of an entry whose group must become the
+        *new* node; ``None`` leaves orientation to the algorithm.
+
+    Returns
+    -------
+    (keep, new):
+        Entry lists for the node keeping the old page id and for the
+        freshly allocated node.
+    """
+    _validate(entries, min_fill)
+    items = list(entries)
+    n = len(items)
+
+    # Seed selection: the pair wasting the most area if grouped together.
+    best_waste = -float("inf")
+    seed_a, seed_b = 0, 1
+    for i in range(n):
+        bi = items[i].box
+        vi = bi.volume()
+        for j in range(i + 1, n):
+            bj = items[j].box
+            waste = bi.cover(bj).volume() - vi - bj.volume()
+            if waste > best_waste:
+                best_waste = waste
+                seed_a, seed_b = i, j
+
+    group_a: List[Entry] = [items[seed_a]]
+    group_b: List[Entry] = [items[seed_b]]
+    box_a = items[seed_a].box
+    box_b = items[seed_b].box
+    rest = [items[k] for k in range(n) if k not in (seed_a, seed_b)]
+
+    while rest:
+        # Honour the minimum fill: hand the remainder over wholesale when
+        # one group would otherwise starve.
+        if len(group_a) + len(rest) == min_fill:
+            group_a.extend(rest)
+            rest = []
+            break
+        if len(group_b) + len(rest) == min_fill:
+            group_b.extend(rest)
+            rest = []
+            break
+        # Pick the entry with the strongest group preference.
+        best_idx = 0
+        best_diff = -1.0
+        best_d = (0.0, 0.0)
+        for idx, e in enumerate(rest):
+            da = box_a.cover(e.box).volume() - box_a.volume()
+            db = box_b.cover(e.box).volume() - box_b.volume()
+            diff = abs(da - db)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = idx
+                best_d = (da, db)
+        chosen = rest.pop(best_idx)
+        da, db = best_d
+        if da < db:
+            target = "a"
+        elif db < da:
+            target = "b"
+        elif box_a.volume() != box_b.volume():
+            target = "a" if box_a.volume() < box_b.volume() else "b"
+        else:
+            target = "a" if len(group_a) <= len(group_b) else "b"
+        if target == "a":
+            group_a.append(chosen)
+            box_a = box_a.cover(chosen.box)
+        else:
+            group_b.append(chosen)
+            box_b = box_b.cover(chosen.box)
+
+    return _orient(group_a, group_b, pinned_key)
+
+
+def linear_split(
+    entries: Sequence[Entry],
+    min_fill: int,
+    pinned_key: Optional[tuple] = None,
+) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's linear split (cheaper seeds, otherwise like quadratic)."""
+    _validate(entries, min_fill)
+    items = list(entries)
+    n = len(items)
+    dims = items[0].box.dims
+
+    # Seeds: the pair with greatest normalised separation over any axis.
+    best_sep = -float("inf")
+    seed_a, seed_b = 0, 1
+    for d in range(dims):
+        lows = [e.box.extent(d).low for e in items]
+        highs = [e.box.extent(d).high for e in items]
+        highest_low = max(range(n), key=lambda k: lows[k])
+        lowest_high = min(range(n), key=lambda k: highs[k])
+        if highest_low == lowest_high:
+            continue
+        width = max(highs) - min(lows)
+        if width <= 0:
+            continue
+        sep = (lows[highest_low] - highs[lowest_high]) / width
+        if sep > best_sep:
+            best_sep = sep
+            seed_a, seed_b = lowest_high, highest_low
+
+    group_a: List[Entry] = [items[seed_a]]
+    group_b: List[Entry] = [items[seed_b]]
+    box_a = items[seed_a].box
+    box_b = items[seed_b].box
+    rest = [items[k] for k in range(n) if k not in (seed_a, seed_b)]
+
+    for idx, e in enumerate(rest):
+        remaining = len(rest) - idx
+        if len(group_a) + remaining == min_fill:
+            group_a.extend(rest[idx:])
+            break
+        if len(group_b) + remaining == min_fill:
+            group_b.extend(rest[idx:])
+            break
+        da = box_a.cover(e.box).volume() - box_a.volume()
+        db = box_b.cover(e.box).volume() - box_b.volume()
+        if da < db or (da == db and len(group_a) <= len(group_b)):
+            group_a.append(e)
+            box_a = box_a.cover(e.box)
+        else:
+            group_b.append(e)
+            box_b = box_b.cover(e.box)
+
+    return _orient(group_a, group_b, pinned_key)
+
+
+def _cover_all(entries: Sequence[Entry]) -> Box:
+    box = entries[0].box
+    for e in entries[1:]:
+        box = box.cover(e.box)
+    return box
+
+
+def rstar_split(
+    entries: Sequence[Entry],
+    min_fill: int,
+    pinned_key: Optional[tuple] = None,
+) -> Tuple[List[Entry], List[Entry]]:
+    """The R*-tree topological split (Beckmann et al., 1990).
+
+    1. For every axis, sort entries by lower then by upper bound and sum
+       the margins of all legal two-group distributions; the axis with
+       the smallest total margin wins.
+    2. Along that axis, pick the distribution with minimal overlap
+       volume between the two group covers (ties: minimal total volume).
+
+    Same contract as the Guttman splits (including pinning); the forced
+    reinsertion part of the R*-tree insertion algorithm is intentionally
+    not implemented — this is a drop-in *split* policy.
+    """
+    _validate(entries, min_fill)
+    items = list(entries)
+    n = len(items)
+    dims = items[0].box.dims
+
+    infinity = float("inf")
+    best_axis = 0
+    best_axis_margin = infinity
+    for axis in range(dims):
+        margin_sum = 0.0
+        for sort_key in (
+            lambda e: (e.box.extent(axis).low, e.box.extent(axis).high),
+            lambda e: (e.box.extent(axis).high, e.box.extent(axis).low),
+        ):
+            ordered = sorted(items, key=sort_key)
+            for k in range(min_fill, n - min_fill + 1):
+                margin_sum += _cover_all(ordered[:k]).margin()
+                margin_sum += _cover_all(ordered[k:]).margin()
+        if margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = axis
+
+    best_groups: Optional[Tuple[List[Entry], List[Entry]]] = None
+    best_score = (infinity, infinity)
+    for sort_key in (
+        lambda e: (e.box.extent(best_axis).low, e.box.extent(best_axis).high),
+        lambda e: (e.box.extent(best_axis).high, e.box.extent(best_axis).low),
+    ):
+        ordered = sorted(items, key=sort_key)
+        for k in range(min_fill, n - min_fill + 1):
+            left, right = ordered[:k], ordered[k:]
+            cover_l, cover_r = _cover_all(left), _cover_all(right)
+            score = (
+                cover_l.intersect(cover_r).volume(),
+                cover_l.volume() + cover_r.volume(),
+            )
+            if score < best_score:
+                best_score = score
+                best_groups = (left, right)
+
+    assert best_groups is not None
+    return _orient(best_groups[0], best_groups[1], pinned_key)
+
+
+SPLITTERS: Dict[str, Splitter] = {
+    "quadratic": quadratic_split,
+    "linear": linear_split,
+    "rstar": rstar_split,
+}
+"""Named split policies accepted by :class:`~repro.index.RTree`."""

@@ -1,0 +1,114 @@
+"""Tree statistics and structural integrity checking.
+
+Used by tests (every insertion batch must leave a well-formed tree) and
+by the experiment reports, which print the index geometry next to the
+paper's ("fanout is 145 and 127 ...; tree height is 3").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import IndexError_
+from repro.index.entry import InternalEntry, LeafEntry
+from repro.index.rtree import RTree
+
+__all__ = ["TreeStats", "collect_stats", "verify_integrity"]
+
+
+@dataclass
+class TreeStats:
+    """Aggregate shape of an R-tree."""
+
+    height: int = 0
+    internal_nodes: int = 0
+    leaf_nodes: int = 0
+    records: int = 0
+    nodes_per_level: Dict[int, int] = field(default_factory=dict)
+    avg_leaf_fill: float = 0.0
+    avg_internal_fill: float = 0.0
+
+    @property
+    def total_nodes(self) -> int:
+        """All nodes."""
+        return self.internal_nodes + self.leaf_nodes
+
+
+def collect_stats(tree: RTree) -> TreeStats:
+    """Walk the tree and summarise its shape (uncounted reads)."""
+    stats = TreeStats(height=tree.height)
+    leaf_entries = 0
+    internal_entries = 0
+    stack = [tree.root_id]
+    while stack:
+        node = tree.disk.read(stack.pop())
+        stats.nodes_per_level[node.level] = (
+            stats.nodes_per_level.get(node.level, 0) + 1
+        )
+        if node.is_leaf:
+            stats.leaf_nodes += 1
+            leaf_entries += len(node.entries)
+        else:
+            stats.internal_nodes += 1
+            internal_entries += len(node.entries)
+            stack.extend(node.child_ids())
+    stats.records = leaf_entries
+    if stats.leaf_nodes:
+        stats.avg_leaf_fill = leaf_entries / (stats.leaf_nodes * tree.max_leaf)
+    if stats.internal_nodes:
+        stats.avg_internal_fill = internal_entries / (
+            stats.internal_nodes * tree.max_internal
+        )
+    return stats
+
+
+def verify_integrity(tree: RTree) -> None:
+    """Assert structural invariants; raise :class:`IndexError_` on violation.
+
+    Checked invariants:
+
+    1. every internal entry's box contains its child's MBR;
+    2. all leaves are at level 0 and levels decrease by one per step;
+    3. the parent directory matches the actual topology;
+    4. the recorded size equals the number of stored records;
+    5. no node except the root is empty.
+    """
+    count = 0
+    stack: List[tuple] = [(tree.root_id, None, None)]
+    while stack:
+        page_id, expected_level, parent_id = stack.pop()
+        node = tree.disk.read(page_id)
+        if expected_level is not None and node.level != expected_level:
+            raise IndexError_(
+                f"node {page_id} at level {node.level}, expected {expected_level}"
+            )
+        if parent_id is not None:
+            recorded = tree.parent_of(page_id)
+            if recorded != parent_id:
+                raise IndexError_(
+                    f"parent directory says {recorded} for node {page_id}, "
+                    f"topology says {parent_id}"
+                )
+            if not node.entries:
+                raise IndexError_(f"non-root node {page_id} is empty")
+        if node.is_leaf:
+            for e in node.entries:
+                if not isinstance(e, LeafEntry):
+                    raise IndexError_(f"leaf {page_id} holds {type(e).__name__}")
+                count += 1
+        else:
+            for e in node.entries:
+                if not isinstance(e, InternalEntry):
+                    raise IndexError_(
+                        f"internal node {page_id} holds {type(e).__name__}"
+                    )
+                child = tree.disk.read(e.child_id)
+                if not e.box.contains_box(child.mbr()):
+                    raise IndexError_(
+                        f"entry box of child {e.child_id} in node {page_id} "
+                        f"does not contain the child's MBR"
+                    )
+                stack.append((e.child_id, node.level - 1, page_id))
+    if count != len(tree):
+        raise IndexError_(f"tree reports {len(tree)} records, found {count}")

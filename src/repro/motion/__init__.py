@@ -1,0 +1,39 @@
+"""Motion representation (Sect. 3.1 of the paper).
+
+Mobile objects translate continuously; the database stores, per object, a
+sequence of *motion segments*: constant-velocity pieces valid over a time
+interval, produced whenever the object (or a sensor tracking it) issues a
+motion update.  This package provides
+
+* location functions (:class:`LinearMotion`, :class:`PiecewiseLinearMotion`)
+  implementing Eq. 1,
+* the update policies the paper discusses — periodic updates (used by the
+  evaluation workload) and deviation-threshold updates (the bounded-error
+  model of Sect. 3.1 / [28]),
+* the :class:`MotionSegment` record indexed by the R-tree, and
+* uncertainty handling: inflating a segment's bounding box by a location
+  error bound so that imprecise objects are never missed (only falsely
+  admitted), as argued in Sect. 3.1.
+"""
+
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import (
+    MobileObject,
+    PeriodicUpdatePolicy,
+    ThresholdUpdatePolicy,
+    UpdatePolicy,
+)
+from repro.motion.segment import MotionSegment
+from repro.motion.uncertainty import UncertainMotionSegment, inflate_box
+
+__all__ = [
+    "LinearMotion",
+    "PiecewiseLinearMotion",
+    "MobileObject",
+    "UpdatePolicy",
+    "PeriodicUpdatePolicy",
+    "ThresholdUpdatePolicy",
+    "MotionSegment",
+    "UncertainMotionSegment",
+    "inflate_box",
+]

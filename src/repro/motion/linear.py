@@ -1,0 +1,131 @@
+"""Location functions (Eq. 1): where an object is at time ``t``.
+
+The paper writes ``O.x̄ = f(t, θ̄)`` with ``θ̄`` the motion parameters of
+the object's last update.  :class:`LinearMotion` is the constant-velocity
+instance used throughout the paper; :class:`PiecewiseLinearMotion` chains
+several of them and serves as the *ground-truth* motion of simulated
+objects (whose velocity changes over time, triggering updates).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import MotionError
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+
+__all__ = ["LinearMotion", "PiecewiseLinearMotion"]
+
+
+@dataclass(frozen=True)
+class LinearMotion:
+    """Constant-velocity motion starting at ``start_time``.
+
+    The location function is Eq. 1 of the paper:
+    ``x(t) = origin + velocity * (t - start_time)``.
+    Unlike :class:`~repro.geometry.SpaceTimeSegment` this carries no end
+    time — it describes a motion *law*, not a stored segment.
+    """
+
+    start_time: float
+    origin: Tuple[float, ...]
+    velocity: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.origin) != len(self.velocity):
+            raise MotionError(
+                f"origin has {len(self.origin)} dims, velocity {len(self.velocity)}"
+            )
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality."""
+        return len(self.origin)
+
+    def location(self, t: float) -> Tuple[float, ...]:
+        """Eq. 1 evaluated at ``t`` (extrapolates freely)."""
+        dt = t - self.start_time
+        return tuple(o + v * dt for o, v in zip(self.origin, self.velocity))
+
+    def segment(self, until: float) -> SpaceTimeSegment:
+        """Freeze this motion into a stored segment valid to ``until``.
+
+        Raises
+        ------
+        MotionError
+            If ``until`` precedes the start time.
+        """
+        if until < self.start_time:
+            raise MotionError(
+                f"segment end {until} precedes start {self.start_time}"
+            )
+        return SpaceTimeSegment(
+            Interval(self.start_time, until), self.origin, self.velocity
+        )
+
+    def speed(self) -> float:
+        """Euclidean speed."""
+        return sum(v * v for v in self.velocity) ** 0.5
+
+
+class PiecewiseLinearMotion:
+    """Ground-truth motion made of consecutive constant-velocity legs.
+
+    Used by the simulator as the *actual* trajectory of a mobile object;
+    the update policies in :mod:`repro.motion.mobile_object` decide which
+    approximation of it the database gets to see.
+    """
+
+    __slots__ = ("_legs", "_starts")
+
+    def __init__(self, legs: Sequence[LinearMotion]):
+        if not legs:
+            raise MotionError("piecewise motion needs at least one leg")
+        starts = [leg.start_time for leg in legs]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise MotionError("legs must have strictly increasing start times")
+        dims = legs[0].dims
+        if any(leg.dims != dims for leg in legs):
+            raise MotionError("all legs must share dimensionality")
+        self._legs: List[LinearMotion] = list(legs)
+        self._starts: List[float] = starts
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality."""
+        return self._legs[0].dims
+
+    @property
+    def legs(self) -> Tuple[LinearMotion, ...]:
+        """The constant-velocity legs in time order."""
+        return tuple(self._legs)
+
+    @property
+    def start_time(self) -> float:
+        """Start of the first leg."""
+        return self._starts[0]
+
+    def leg_at(self, t: float) -> LinearMotion:
+        """The leg governing time ``t`` (first leg for earlier times)."""
+        idx = bisect.bisect_right(self._starts, t) - 1
+        if idx < 0:
+            idx = 0
+        return self._legs[idx]
+
+    def location(self, t: float) -> Tuple[float, ...]:
+        """True object location at ``t``."""
+        return self.leg_at(t).location(t)
+
+    def velocity(self, t: float) -> Tuple[float, ...]:
+        """True object velocity at ``t``."""
+        return self.leg_at(t).velocity
+
+    def change_times(self) -> Tuple[float, ...]:
+        """Times at which the velocity changes (leg boundaries)."""
+        return tuple(self._starts[1:])
+
+    def __len__(self) -> int:
+        return len(self._legs)

@@ -1,0 +1,202 @@
+"""Mobile objects and the update policies that feed the database.
+
+Sect. 3.1: an object cannot report its location continuously; instead it
+sends *motion updates*.  The paper's evaluation workload updates roughly
+periodically ("approximately ... every 1 time unit"); the text also
+describes the deviation-threshold policy of [28] ("we only issue an update
+if the object's location ... differs from its current one by more than a
+threshold value").  Both are implemented here and both produce the same
+artifact: a stream of :class:`~repro.motion.MotionSegment` records.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import MotionError
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.segment import MotionSegment
+
+__all__ = [
+    "UpdatePolicy",
+    "PeriodicUpdatePolicy",
+    "ThresholdUpdatePolicy",
+    "MobileObject",
+]
+
+
+class UpdatePolicy(abc.ABC):
+    """Strategy deciding *when* an object reports motion updates."""
+
+    @abc.abstractmethod
+    def update_times(
+        self, motion: PiecewiseLinearMotion, horizon: Interval
+    ) -> List[float]:
+        """Times (strictly increasing, starting at ``horizon.low``) at which
+        updates are issued within ``horizon``.
+
+        The first reported time must be ``horizon.low`` so the database
+        always has a valid segment for the whole horizon.
+        """
+
+
+class PeriodicUpdatePolicy(UpdatePolicy):
+    """Updates roughly every ``mean_period`` time units.
+
+    The paper's workload: "updating their motion approximately (random
+    variable, normally distributed) every 1 time unit".  Gaps are drawn
+    from a normal distribution with the given mean and standard deviation,
+    floored at ``min_period`` to keep segments non-degenerate.
+
+    Parameters
+    ----------
+    mean_period:
+        Mean gap between updates.
+    std_fraction:
+        Standard deviation as a fraction of the mean (default 0.25).
+    min_period:
+        Smallest allowed gap (default 1 % of the mean).
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible workloads.
+    """
+
+    def __init__(
+        self,
+        mean_period: float = 1.0,
+        std_fraction: float = 0.25,
+        min_period: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if mean_period <= 0:
+            raise MotionError("mean_period must be positive")
+        self.mean_period = mean_period
+        self.std = std_fraction * mean_period
+        self.min_period = mean_period * 0.01 if min_period is None else min_period
+        self._rng = rng if rng is not None else random.Random()
+
+    def update_times(
+        self, motion: PiecewiseLinearMotion, horizon: Interval
+    ) -> List[float]:
+        times = [horizon.low]
+        t = horizon.low
+        while True:
+            gap = max(self.min_period, self._rng.gauss(self.mean_period, self.std))
+            t += gap
+            if t >= horizon.high:
+                break
+            times.append(t)
+        return times
+
+
+class ThresholdUpdatePolicy(UpdatePolicy):
+    """Bounded-error updates: report only when prediction error exceeds ε.
+
+    Implements the dead-reckoning policy of Sect. 3.1 / [28]: the database
+    predicts the object's position by extrapolating the last update's
+    velocity; the object issues a new update when its true position drifts
+    more than ``epsilon`` away from that prediction.  Drift is checked on
+    a grid of ``check_dt`` plus at every true velocity-change instant.
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum tolerated Euclidean deviation.
+    check_dt:
+        Granularity at which the object compares truth with prediction.
+    """
+
+    def __init__(self, epsilon: float, check_dt: float = 0.05):
+        if epsilon <= 0:
+            raise MotionError("epsilon must be positive")
+        if check_dt <= 0:
+            raise MotionError("check_dt must be positive")
+        self.epsilon = epsilon
+        self.check_dt = check_dt
+
+    def update_times(
+        self, motion: PiecewiseLinearMotion, horizon: Interval
+    ) -> List[float]:
+        times = [horizon.low]
+        last = LinearMotion(
+            horizon.low, motion.location(horizon.low), motion.velocity(horizon.low)
+        )
+        probes = sorted(
+            set(
+                [
+                    horizon.low + k * self.check_dt
+                    for k in range(1, int(math.ceil(horizon.length / self.check_dt)))
+                ]
+                + [t for t in motion.change_times() if horizon.low < t < horizon.high]
+            )
+        )
+        for t in probes:
+            true_pos = motion.location(t)
+            pred_pos = last.location(t)
+            err = math.dist(true_pos, pred_pos)
+            if err > self.epsilon:
+                times.append(t)
+                last = LinearMotion(t, true_pos, motion.velocity(t))
+        return times
+
+
+class MobileObject:
+    """A simulated mobile object: ground-truth motion + reporting policy.
+
+    Parameters
+    ----------
+    object_id:
+        Identifier used in the produced :class:`MotionSegment` records.
+    motion:
+        The true (piecewise-linear) trajectory.
+    """
+
+    __slots__ = ("object_id", "motion")
+
+    def __init__(self, object_id: int, motion: PiecewiseLinearMotion):
+        self.object_id = object_id
+        self.motion = motion
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality."""
+        return self.motion.dims
+
+    def true_location(self, t: float) -> Sequence[float]:
+        """Ground-truth position at ``t``."""
+        return self.motion.location(t)
+
+    def reported_segments(
+        self, policy: UpdatePolicy, horizon: Interval
+    ) -> Iterator[MotionSegment]:
+        """Yield the motion segments the database receives over ``horizon``.
+
+        Each update at time ``u_k`` closes the previous segment at ``u_k``
+        and opens a new one carrying the object's position and velocity at
+        ``u_k``; the last segment is closed at ``horizon.high``.  Segments
+        are temporally contiguous and non-overlapping per object, as the
+        indexing model of Sect. 3.2 requires.
+        """
+        if horizon.is_empty:
+            raise MotionError("empty reporting horizon")
+        times = policy.update_times(self.motion, horizon)
+        if not times or times[0] != horizon.low:
+            raise MotionError("update policy must report at horizon start")
+        boundaries = times + [horizon.high]
+        for seq, (t0, t1) in enumerate(zip(boundaries, boundaries[1:])):
+            if t1 <= t0:
+                continue
+            yield MotionSegment(
+                self.object_id,
+                seq,
+                SpaceTimeSegment(
+                    Interval(t0, t1),
+                    tuple(self.motion.location(t0)),
+                    tuple(self.motion.velocity(t0)),
+                ),
+            )

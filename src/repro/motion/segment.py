@@ -1,0 +1,70 @@
+"""The record type indexed by the spatio-temporal index.
+
+A :class:`MotionSegment` couples a :class:`~repro.geometry.SpaceTimeSegment`
+with the identity of the object that produced it and a per-object sequence
+number.  The index contains multiple, temporally non-overlapping segments
+per object — one per motion update (Sect. 3.2: "the index will contain
+multiple (non-overlapping) BBs per object, one per each of its motion
+updates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+
+__all__ = ["MotionSegment"]
+
+
+@dataclass(frozen=True)
+class MotionSegment:
+    """A stored motion update of one object.
+
+    Parameters
+    ----------
+    object_id:
+        Identifier of the mobile object.
+    seq:
+        0-based index of this update within the object's update stream;
+        ``(object_id, seq)`` uniquely identifies the segment.
+    segment:
+        The constant-velocity space-time geometry.
+    """
+
+    object_id: int
+    seq: int
+    segment: SpaceTimeSegment
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Unique identity ``(object_id, seq)``."""
+        return (self.object_id, self.seq)
+
+    @property
+    def time(self) -> Interval:
+        """Validity interval of the update."""
+        return self.segment.time
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality."""
+        return self.segment.dims
+
+    def bounding_box(self) -> Box:
+        """Native-space bounding box ``<t, x_1, .., x_d>``."""
+        return self.segment.bounding_box()
+
+    def position_at(self, t: float) -> Tuple[float, ...]:
+        """Object position at time ``t`` according to this update."""
+        return self.segment.position_at(t)
+
+    def __repr__(self) -> str:
+        t = self.segment.time
+        return (
+            f"MotionSegment(obj={self.object_id}, seq={self.seq}, "
+            f"t=[{t.low:.3g},{t.high:.3g}])"
+        )

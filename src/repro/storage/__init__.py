@@ -1,0 +1,38 @@
+"""Simulated paged storage with faithful I/O accounting.
+
+The paper measures *number of disk accesses* and *number of distance
+computations*, not wall-clock time, so the storage substrate's job is to
+(1) lay index nodes out on 4 KB pages with realistic fanout — 145 entries
+for internal nodes and 127 for leaves at d = 2, matching Sect. 5 — and
+(2) count every page fetch.  :class:`DiskManager` does both; an optional
+:class:`BufferPool` (LRU) reproduces the paper's discussion of why
+server-side buffering does not substitute for dynamic-query processing.
+"""
+
+from repro.storage.constants import (
+    DEFAULT_FILL_FACTOR,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    internal_entry_bytes,
+    internal_fanout,
+    leaf_entry_bytes,
+    leaf_fanout,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager, StorageStats
+from repro.storage.metrics import CostSnapshot, QueryCost
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_HEADER_BYTES",
+    "DEFAULT_FILL_FACTOR",
+    "internal_entry_bytes",
+    "leaf_entry_bytes",
+    "internal_fanout",
+    "leaf_fanout",
+    "DiskManager",
+    "StorageStats",
+    "BufferPool",
+    "QueryCost",
+    "CostSnapshot",
+]

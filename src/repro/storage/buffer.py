@@ -1,0 +1,93 @@
+"""An LRU page buffer.
+
+Sect. 4 of the paper argues that an LRU buffer at the server is *not* a
+substitute for dynamic-query processing (buffering happens at the client;
+a per-session server buffer would hurt multi-session scalability and
+still pay communication costs).  We implement the buffer anyway so the
+claim can be tested as an ablation: the naive evaluator can be run with a
+buffer pool of any size and its *physical* page reads compared against
+PDQ/NPDQ without one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import StorageError
+
+__all__ = ["BufferPool", "BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters for a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the buffer (0 if unused)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of disk pages.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident pages; must be positive.
+    """
+
+    __slots__ = ("capacity", "stats", "_pages")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise StorageError("buffer capacity must be positive")
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._pages: "OrderedDict[int, Any]" = OrderedDict()
+
+    def get(self, page_id: int) -> Optional[Any]:
+        """Return the cached payload and refresh recency, or ``None``."""
+        payload = self._pages.get(page_id)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self._pages.move_to_end(page_id)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, page_id: int, payload: Any) -> None:
+        """Insert (or refresh) a page, evicting the LRU page if full."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self._pages[page_id] = payload
+            return
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        self._pages[page_id] = payload
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page (e.g. after an in-place node update)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Drop every resident page (statistics are kept)."""
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages

@@ -1,0 +1,91 @@
+"""Page-layout arithmetic reproducing the paper's index geometry.
+
+Sect. 5: "Page size is 4KB with a 0.5 fill factor for both internal and
+leaf nodes.  Fanout is 145 and 127 for internal- and leaf-level nodes
+respectively; tree height is 3."
+
+Those numbers pin down the on-page entry layout (single-precision floats,
+4-byte identifiers, a 16-byte page header):
+
+* internal entry at d = 2 (native space ``<t, x, y>``): a 3-axis box =
+  6 float32 = 24 bytes, plus a 4-byte child page id → 28 bytes;
+  ``(4096 - 16) // 28 = 145``.  ✓
+* leaf entry at d = 2: validity interval (2 float32) + origin (2 float32)
+  + velocity (2 float32) = 24 bytes, plus object id and sequence number
+  (4 bytes each) → 32 bytes; ``(4096 - 16) // 32 = 127``.  ✓
+
+The same formulae generalise to any dimensionality and to the dual-time
+axis layout used by NPDQ (which has one extra axis on internal entries).
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_HEADER_BYTES",
+    "FLOAT_BYTES",
+    "ID_BYTES",
+    "DEFAULT_FILL_FACTOR",
+    "internal_entry_bytes",
+    "leaf_entry_bytes",
+    "internal_fanout",
+    "leaf_fanout",
+]
+
+PAGE_SIZE = 4096
+"""Disk page size in bytes (Sect. 5)."""
+
+PAGE_HEADER_BYTES = 16
+"""Per-page header: page id, node kind/level, entry count, timestamp."""
+
+FLOAT_BYTES = 4
+"""Coordinates are stored single-precision, as the paper's fanout implies."""
+
+ID_BYTES = 4
+"""Page ids, object ids and sequence numbers are 32-bit."""
+
+DEFAULT_FILL_FACTOR = 0.5
+"""Node fill factor used when building the paper's index."""
+
+
+def internal_entry_bytes(axes: int) -> int:
+    """Bytes per internal entry: an ``axes``-dimensional box + child id."""
+    if axes < 1:
+        raise StorageError("an index needs at least one axis")
+    return 2 * axes * FLOAT_BYTES + ID_BYTES
+
+
+def leaf_entry_bytes(spatial_dims: int) -> int:
+    """Bytes per leaf entry: interval + origin + velocity + oid + seq.
+
+    Leaf entries store the motion segment *end-point representation* of
+    Sect. 3.2 (time interval, origin and velocity reconstruct both end
+    points), not its bounding box.
+    """
+    if spatial_dims < 1:
+        raise StorageError("segments need at least one spatial dimension")
+    return (2 + 2 * spatial_dims) * FLOAT_BYTES + 2 * ID_BYTES
+
+
+def internal_fanout(axes: int, page_size: int = PAGE_SIZE) -> int:
+    """Maximum internal-node entries per page."""
+    fanout = (page_size - PAGE_HEADER_BYTES) // internal_entry_bytes(axes)
+    if fanout < 2:
+        raise StorageError(
+            f"page of {page_size} B cannot hold 2 internal entries of "
+            f"{internal_entry_bytes(axes)} B"
+        )
+    return fanout
+
+
+def leaf_fanout(spatial_dims: int, page_size: int = PAGE_SIZE) -> int:
+    """Maximum leaf-node entries per page."""
+    fanout = (page_size - PAGE_HEADER_BYTES) // leaf_entry_bytes(spatial_dims)
+    if fanout < 2:
+        raise StorageError(
+            f"page of {page_size} B cannot hold 2 leaf entries of "
+            f"{leaf_entry_bytes(spatial_dims)} B"
+        )
+    return fanout

@@ -1,0 +1,165 @@
+"""The simulated disk: a page store that counts every access.
+
+:class:`DiskManager` hands out page ids, stores one payload (an index
+node) per page and counts physical reads and writes.  Two storage modes:
+
+* **object mode** (default, ``codec=None``): payloads are kept as Python
+  objects.  Fast; used by benchmarks, where only the *count* of page
+  accesses matters.
+* **binary mode** (``codec`` given): payloads are round-tripped through a
+  codec into at-most-:data:`~repro.storage.constants.PAGE_SIZE` byte
+  strings on every write/read, proving that nodes genuinely fit the
+  claimed page layout.  Used by the storage test-suite.
+
+An optional :class:`~repro.storage.buffer.BufferPool` can be attached;
+buffered hits are *not* counted as physical reads, which is exactly what
+the buffering ablation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Protocol
+
+from repro.errors import PageNotFoundError, PageOverflowError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import PAGE_SIZE
+
+__all__ = ["PageCodec", "DiskManager", "StorageStats"]
+
+
+class PageCodec(Protocol):
+    """Serializer turning node payloads into on-page byte strings."""
+
+    def encode(self, payload: Any) -> bytes:
+        """Serialize; the result must fit in a page."""
+
+    def decode(self, data: bytes) -> Any:
+        """Inverse of :meth:`encode`."""
+
+
+@dataclass
+class StorageStats:
+    """Physical access counters for a :class:`DiskManager`."""
+
+    reads: int = 0
+    writes: int = 0
+    buffered_reads: int = 0
+    allocated: int = 0
+    freed: int = 0
+
+    @property
+    def live_pages(self) -> int:
+        """Pages currently allocated."""
+        return self.allocated - self.freed
+
+
+class DiskManager:
+    """A page-granular object store with access accounting.
+
+    Parameters
+    ----------
+    codec:
+        Optional :class:`PageCodec`; when given, every write serializes
+        and every read deserializes, enforcing the page-size limit.
+    buffer_pool:
+        Optional LRU buffer; hits skip the physical read counter.
+    page_size:
+        Page capacity in bytes for binary mode.
+    """
+
+    __slots__ = ("stats", "page_size", "_codec", "_buffer", "_pages", "_next_id")
+
+    def __init__(
+        self,
+        codec: Optional[PageCodec] = None,
+        buffer_pool: Optional[BufferPool] = None,
+        page_size: int = PAGE_SIZE,
+    ):
+        self.stats = StorageStats()
+        self.page_size = page_size
+        self._codec = codec
+        self._buffer = buffer_pool
+        self._pages: Dict[int, Any] = {}
+        self._next_id = 0
+
+    # -- page lifecycle -----------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id (no content yet)."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = None
+        self.stats.allocated += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page."""
+        if page_id not in self._pages:
+            raise PageNotFoundError(f"page {page_id} is not allocated")
+        del self._pages[page_id]
+        self.stats.freed += 1
+        if self._buffer is not None:
+            self._buffer.invalidate(page_id)
+
+    # -- access ---------------------------------------------------------------
+
+    def write(self, page_id: int, payload: Any) -> None:
+        """Store ``payload`` on ``page_id``; counts one physical write."""
+        if page_id not in self._pages:
+            raise PageNotFoundError(f"page {page_id} is not allocated")
+        if self._codec is not None:
+            data = self._codec.encode(payload)
+            if len(data) > self.page_size:
+                raise PageOverflowError(
+                    f"payload of {len(data)} B exceeds page size {self.page_size}"
+                )
+            self._pages[page_id] = data
+        else:
+            self._pages[page_id] = payload
+        self.stats.writes += 1
+        if self._buffer is not None:
+            # Keep the buffer coherent: a rewritten page must not be served
+            # stale.  We invalidate rather than refresh so that writes do
+            # not warm the read cache.
+            self._buffer.invalidate(page_id)
+
+    def read(self, page_id: int) -> Any:
+        """Fetch the payload of ``page_id``.
+
+        A buffer hit counts as ``buffered_reads`` (no physical I/O); a
+        miss counts as one physical read and populates the buffer.
+        """
+        if self._buffer is not None:
+            cached = self._buffer.get(page_id)
+            if cached is not None:
+                self.stats.buffered_reads += 1
+                return cached
+        try:
+            stored = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(f"page {page_id} is not allocated") from None
+        if stored is None:
+            raise StorageError(f"page {page_id} was allocated but never written")
+        self.stats.reads += 1
+        payload = self._codec.decode(stored) if self._codec is not None else stored
+        if self._buffer is not None:
+            self._buffer.put(page_id, payload)
+        return payload
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def buffer_pool(self) -> Optional[BufferPool]:
+        """The attached buffer pool, if any."""
+        return self._buffer
+
+    def page_ids(self) -> "tuple[int, ...]":
+        """All allocated page ids (for integrity checks)."""
+        return tuple(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages

@@ -1,0 +1,40 @@
+"""The paper's synthetic workload (Sect. 5) plus named demo scenarios.
+
+Data generator: "5000 objects are created, moving randomly in a 2-d
+space of size 100-by-100 length units, updating their motion
+approximately (random variable, normally distributed) every 1 time unit
+... over a time period of 100 time units ... Each object moves in
+various directions with a speed of approximately 1 length unit / 1 time
+unit."  This yields roughly 5·10⁵ motion segments at paper scale.
+
+Query generator: dynamic-query trajectories at speeds chosen so that
+consecutive snapshots (0.1 t.u. apart) overlap by a target percentage
+{0, 25, 50, 80, 90, 99.99}, with windows of 8x8 / 14x14 / 20x20.
+Trajectories reflect off the domain walls so queries stay over the data.
+"""
+
+from repro.workload.config import WorkloadConfig, QueryWorkload
+from repro.workload.objects import (
+    generate_mobile_objects,
+    generate_motion_segments,
+)
+from repro.workload.trajectories import (
+    generate_trajectories,
+    reflecting_waypoints,
+    speed_for_overlap,
+    overlap_for_speed,
+)
+from repro.workload.scenarios import battlefield_scenario, city_scenario
+
+__all__ = [
+    "WorkloadConfig",
+    "QueryWorkload",
+    "generate_mobile_objects",
+    "generate_motion_segments",
+    "generate_trajectories",
+    "reflecting_waypoints",
+    "speed_for_overlap",
+    "overlap_for_speed",
+    "battlefield_scenario",
+    "city_scenario",
+]

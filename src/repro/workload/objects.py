@@ -1,0 +1,108 @@
+"""Mobile-object population generator (Sect. 5, "Data and Index Buildup").
+
+Each object performs a bounded random walk: constant-velocity legs of
+random duration with speed drawn around the configured mean, reflecting
+off the domain walls so the population stays inside the space.  Motion
+updates are reported by the paper's periodic policy (normally
+distributed gaps around ``update_period``), producing the stream of
+motion segments the index stores.
+
+Generation is fully deterministic in the config seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Tuple
+
+from repro.geometry.interval import Interval
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import MobileObject, PeriodicUpdatePolicy
+from repro.motion.segment import MotionSegment
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["generate_mobile_objects", "generate_motion_segments"]
+
+
+def _random_direction(rng: random.Random, dims: int) -> Tuple[float, ...]:
+    """A uniformly random unit vector."""
+    while True:
+        vec = [rng.gauss(0.0, 1.0) for _ in range(dims)]
+        norm = math.sqrt(sum(v * v for v in vec))
+        if norm > 1e-12:
+            return tuple(v / norm for v in vec)
+
+
+def _bounded_velocity(
+    position: Tuple[float, ...],
+    velocity: Tuple[float, ...],
+    duration: float,
+    side: float,
+) -> Tuple[float, ...]:
+    """Flip velocity components that would drive the leg out of bounds."""
+    adjusted = list(velocity)
+    for i, (x, v) in enumerate(zip(position, velocity)):
+        end = x + v * duration
+        if end < 0.0 or end > side:
+            adjusted[i] = -v
+            # If even the flipped direction exits (object hugging a
+            # wall with a long leg), damp it toward the interior.
+            end = x + adjusted[i] * duration
+            if end < 0.0 or end > side:
+                target = side * 0.5
+                adjusted[i] = (target - x) / duration
+    return tuple(adjusted)
+
+
+def _random_motion(
+    rng: random.Random, config: WorkloadConfig
+) -> PiecewiseLinearMotion:
+    """One object's ground-truth trajectory over the horizon."""
+    side = config.space_side
+    position = tuple(rng.uniform(0.0, side) for _ in range(config.dims))
+    legs: List[LinearMotion] = []
+    t = 0.0
+    while t < config.horizon:
+        duration = max(
+            0.05,
+            rng.gauss(
+                config.velocity_change_period,
+                0.25 * config.velocity_change_period,
+            ),
+        )
+        duration = min(duration, config.horizon - t + 0.05)
+        speed = max(0.0, rng.gauss(config.speed, 0.25 * config.speed))
+        direction = _random_direction(rng, config.dims)
+        velocity = _bounded_velocity(
+            position, tuple(speed * d for d in direction), duration, side
+        )
+        legs.append(LinearMotion(t, position, velocity))
+        position = tuple(x + v * duration for x, v in zip(position, velocity))
+        t += duration
+    return PiecewiseLinearMotion(legs)
+
+
+def generate_mobile_objects(config: WorkloadConfig) -> List[MobileObject]:
+    """The full object population, deterministic in ``config.seed``."""
+    rng = random.Random(config.seed)
+    return [
+        MobileObject(oid, _random_motion(rng, config))
+        for oid in range(config.num_objects)
+    ]
+
+
+def generate_motion_segments(config: WorkloadConfig) -> Iterator[MotionSegment]:
+    """Every motion update the database receives over the horizon.
+
+    Yields roughly ``num_objects * horizon / update_period`` segments
+    (the paper reports 502 504 at full scale).
+    """
+    horizon = Interval(0.0, config.horizon)
+    rng = random.Random(config.seed ^ 0x5EED)
+    for obj in generate_mobile_objects(config):
+        policy = PeriodicUpdatePolicy(
+            config.update_period,
+            rng=random.Random(rng.getrandbits(32)),
+        )
+        yield from obj.reported_segments(policy, horizon)

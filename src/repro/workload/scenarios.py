@@ -1,0 +1,143 @@
+"""Named demo scenarios used by the example applications.
+
+These build richer worlds than the uniform Sect. 5 benchmark: mixes of
+fast and slow movers plus *static* objects (landmarks, sensors, mine
+fields) — the paper's Sect. 1 point that static objects are simply the
+zero-velocity special case of mobile ones and need no separate machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import MobileObject, PeriodicUpdatePolicy
+from repro.motion.segment import MotionSegment
+from repro.workload.config import WorkloadConfig
+from repro.workload.objects import generate_mobile_objects
+
+__all__ = ["ScenarioWorld", "battlefield_scenario", "city_scenario"]
+
+
+@dataclass
+class ScenarioWorld:
+    """A generated world: its segments plus bookkeeping for narration."""
+
+    name: str
+    segments: List[MotionSegment]
+    horizon: Interval
+    space_side: float
+    labels: "dict[int, str]"
+
+    @property
+    def object_count(self) -> int:
+        """Distinct objects in the world."""
+        return len({s.object_id for s in self.segments})
+
+
+def _static_segment(oid: int, position: Tuple[float, ...], horizon: Interval) -> MotionSegment:
+    """A zero-velocity 'motion' covering the whole horizon."""
+    zero = tuple(0.0 for _ in position)
+    return MotionSegment(oid, 0, SpaceTimeSegment(horizon, position, zero))
+
+
+def battlefield_scenario(seed: int = 0) -> ScenarioWorld:
+    """The paper's Sect. 1 military exercise: vehicles, field sensors,
+    mine fields and landmarks on a 100x100 terrain over 40 time units.
+
+    * 300 friendly + 200 enemy vehicles move at ~1.5 u/t.u. and report
+      updates roughly every time unit;
+    * 60 field sensors and 40 mine-field corners are static;
+    * object ids are labelled so examples can narrate retrievals.
+    """
+    rng = random.Random(seed)
+    horizon = Interval(0.0, 40.0)
+    labels: dict = {}
+    segments: List[MotionSegment] = []
+
+    vehicles = WorkloadConfig(
+        num_objects=500,
+        space_side=100.0,
+        horizon=40.0,
+        update_period=1.0,
+        speed=1.5,
+        seed=seed,
+    )
+    for obj in generate_mobile_objects(vehicles):
+        side = "friendly" if obj.object_id < 300 else "enemy"
+        labels[obj.object_id] = f"{side}-vehicle-{obj.object_id}"
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(rng.getrandbits(32)))
+        segments.extend(obj.reported_segments(policy, horizon))
+
+    next_id = vehicles.num_objects
+    for i in range(60):
+        pos = (rng.uniform(0, 100), rng.uniform(0, 100))
+        labels[next_id] = f"sensor-{i}"
+        segments.append(_static_segment(next_id, pos, horizon))
+        next_id += 1
+    for i in range(40):
+        pos = (rng.uniform(0, 100), rng.uniform(0, 100))
+        labels[next_id] = f"minefield-{i}"
+        segments.append(_static_segment(next_id, pos, horizon))
+        next_id += 1
+
+    return ScenarioWorld("battlefield", segments, horizon, 100.0, labels)
+
+
+def city_scenario(seed: int = 0) -> ScenarioWorld:
+    """A fleet-monitoring world: delivery vans circling a city grid plus
+    stationary depots; used by the vicinity-monitoring example.
+
+    Vans follow rectangular patrol loops (piecewise-linear, perfectly
+    predictable between turns), which makes the deviation-threshold
+    update policy interesting: straight stretches need no updates.
+    """
+    rng = random.Random(seed)
+    horizon = Interval(0.0, 60.0)
+    labels: dict = {}
+    segments: List[MotionSegment] = []
+    side = 100.0
+
+    for oid in range(120):
+        cx, cy = rng.uniform(20, 80), rng.uniform(20, 80)
+        w, h = rng.uniform(5, 15), rng.uniform(5, 15)
+        speed = rng.uniform(0.8, 2.0)
+        corners = [
+            (cx - w, cy - h),
+            (cx + w, cy - h),
+            (cx + w, cy + h),
+            (cx - w, cy + h),
+        ]
+        start_corner = rng.randrange(4)
+        legs: List[LinearMotion] = []
+        t = 0.0
+        pos = corners[start_corner]
+        idx = start_corner
+        while t < horizon.high:
+            nxt = corners[(idx + 1) % 4]
+            dist = math.dist(pos, nxt)
+            leg_time = max(dist / speed, 0.25)
+            velocity = (
+                (nxt[0] - pos[0]) / leg_time,
+                (nxt[1] - pos[1]) / leg_time,
+            )
+            legs.append(LinearMotion(t, pos, velocity))
+            t += leg_time
+            pos = nxt
+            idx = (idx + 1) % 4
+        van = MobileObject(oid, PiecewiseLinearMotion(legs))
+        labels[oid] = f"van-{oid}"
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(rng.getrandbits(32)))
+        segments.extend(van.reported_segments(policy, horizon))
+
+    for i in range(15):
+        pos = (rng.uniform(0, side), rng.uniform(0, side))
+        labels[120 + i] = f"depot-{i}"
+        segments.append(_static_segment(120 + i, pos, horizon))
+
+    return ScenarioWorld("city", segments, horizon, side, labels)

@@ -1,0 +1,27 @@
+"""Literal-value builders shared across test modules."""
+
+from __future__ import annotations
+
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+from repro.motion.segment import MotionSegment
+
+
+def make_segment(
+    oid: int = 0,
+    seq: int = 0,
+    t0: float = 0.0,
+    t1: float = 1.0,
+    origin=(0.0, 0.0),
+    velocity=(1.0, 0.0),
+) -> MotionSegment:
+    """Handy literal motion-segment builder."""
+    return MotionSegment(
+        oid, seq, SpaceTimeSegment(Interval(t0, t1), tuple(origin), tuple(velocity))
+    )
+
+
+def window(x0: float, y0: float, x1: float, y1: float) -> Box:
+    """2-d spatial box literal."""
+    return Box.from_bounds((x0, y0), (x1, y1))

@@ -1,0 +1,112 @@
+"""Tests for continuous aggregation over dynamic queries."""
+
+import pytest
+
+from repro.core.aggregate import (
+    ContinuousCount,
+    count_timeline,
+    max_concurrent,
+    time_weighted_average,
+)
+from repro.core.results import AnswerItem
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+
+from _helpers import make_segment
+
+
+def item(oid, lo, hi):
+    return AnswerItem(make_segment(oid, 0, lo, hi + 1), Interval(lo, hi))
+
+
+SPAN = Interval(0.0, 10.0)
+
+
+class TestCountTimeline:
+    def test_empty(self):
+        assert count_timeline([], SPAN) == [(0.0, 0)]
+
+    def test_single_interval(self):
+        timeline = count_timeline([item(1, 2.0, 5.0)], SPAN)
+        assert timeline == [(0.0, 0), (2.0, 1), (5.0, 0)]
+
+    def test_overlapping_intervals(self):
+        timeline = count_timeline(
+            [item(1, 1.0, 4.0), item(2, 3.0, 6.0)], SPAN
+        )
+        assert timeline == [(0.0, 0), (1.0, 1), (3.0, 2), (4.0, 1), (6.0, 0)]
+
+    def test_simultaneous_events_coalesce(self):
+        timeline = count_timeline(
+            [item(1, 1.0, 3.0), item(2, 3.0, 5.0)], SPAN
+        )
+        # At t=3 one leaves and one arrives: count stays 1.
+        assert (3.0, 1) in timeline
+
+    def test_clipped_to_span(self):
+        timeline = count_timeline([item(1, -5.0, 15.0)], SPAN)
+        assert timeline[0] == (0.0, 1)
+
+    def test_zero_length_visibility_ignored(self):
+        timeline = count_timeline([item(1, 4.0, 4.0)], SPAN)
+        assert timeline == [(0.0, 0)]
+
+    def test_empty_span_rejected(self):
+        with pytest.raises(QueryError):
+            count_timeline([], Interval(1.0, 0.0))
+
+    def test_counts_never_negative(self, rng):
+        items = [
+            item(i, lo := rng.uniform(0, 9), lo + rng.uniform(0, 3))
+            for i in range(40)
+        ]
+        timeline = count_timeline(items, SPAN)
+        assert all(count >= 0 for _, count in timeline)
+        assert timeline[-1][1] == 0 or timeline[-1][0] >= 9.0
+
+
+class TestSummaries:
+    def test_max_concurrent(self):
+        timeline = count_timeline(
+            [item(1, 1.0, 4.0), item(2, 3.0, 6.0), item(3, 3.5, 3.8)], SPAN
+        )
+        assert max_concurrent(timeline) == 3
+
+    def test_max_concurrent_empty(self):
+        assert max_concurrent([]) == 0
+
+    def test_time_weighted_average(self):
+        # One object visible half the span.
+        timeline = count_timeline([item(1, 0.0, 5.0)], SPAN)
+        assert time_weighted_average(timeline, SPAN) == pytest.approx(0.5)
+
+    def test_time_weighted_average_two(self):
+        timeline = count_timeline(
+            [item(1, 0.0, 10.0), item(2, 0.0, 10.0)], SPAN
+        )
+        assert time_weighted_average(timeline, SPAN) == pytest.approx(2.0)
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(QueryError):
+            time_weighted_average([(0.0, 1)], Interval.point(1.0))
+
+
+class TestContinuousCount:
+    def test_matches_naive_counts(self, tiny_native, rng):
+        trajectory = QueryTrajectory.linear(
+            3.0, 8.0, (40.0, 40.0), (1.5, 0.0), (6.0, 6.0)
+        )
+        agg = ContinuousCount(tiny_native, trajectory)
+        for _ in range(8):
+            at = rng.uniform(3.05, 7.95)
+            timeline_count, exact = agg.verify_against_naive(at)
+            assert timeline_count == exact
+
+    def test_timeline_spans_trajectory(self, tiny_native):
+        trajectory = QueryTrajectory.linear(
+            3.0, 8.0, (40.0, 40.0), (1.5, 0.0), (6.0, 6.0)
+        )
+        timeline = ContinuousCount(tiny_native, trajectory).compute()
+        assert timeline[0][0] == 3.0
+        assert all(3.0 <= t <= 8.0 for t, _ in timeline)

@@ -1,0 +1,116 @@
+"""Tests for the disappearance-time client cache."""
+
+import pytest
+
+from repro.core.cache import ClientCache
+from repro.core.results import AnswerItem
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+
+from _helpers import make_segment
+
+
+def answer(oid=1, seq=0, visible=(0.0, 2.0)):
+    rec = make_segment(oid, seq, visible[0], visible[1] + 1.0)
+    return AnswerItem(rec, Interval(*visible))
+
+
+class TestInsertEvict:
+    def test_insert_and_lookup(self):
+        cache = ClientCache()
+        cache.insert(answer(1))
+        assert 1 in cache
+        assert len(cache) == 1
+        assert cache.get(1).record.object_id == 1
+
+    def test_evicts_exactly_at_disappearance(self):
+        cache = ClientCache()
+        cache.insert(answer(1, visible=(0.0, 2.0)))
+        assert cache.advance(2.0) == []  # still visible at its deadline
+        assert cache.advance(2.0 + 1e-9) == [1]
+        assert 1 not in cache
+
+    def test_never_evicts_early(self):
+        cache = ClientCache()
+        cache.insert(answer(1, visible=(0.0, 5.0)))
+        for t in (1.0, 2.0, 3.0, 4.99):
+            cache.advance(t)
+            assert 1 in cache
+
+    def test_multiple_evictions_in_order(self):
+        cache = ClientCache()
+        cache.insert(answer(1, visible=(0.0, 1.0)))
+        cache.insert(answer(2, visible=(0.0, 2.0)))
+        cache.insert(answer(3, visible=(0.0, 3.0)))
+        assert set(cache.advance(2.5)) == {1, 2}
+        assert cache.visible_ids() == {3}
+
+    def test_time_cannot_move_backwards(self):
+        cache = ClientCache()
+        cache.advance(5.0)
+        with pytest.raises(QueryError):
+            cache.advance(4.0)
+
+    def test_rejects_already_expired_answers(self):
+        cache = ClientCache()
+        cache.advance(10.0)
+        with pytest.raises(QueryError):
+            cache.insert(answer(1, visible=(0.0, 2.0)))
+
+
+class TestRefresh:
+    def test_refresh_extends_deadline(self):
+        cache = ClientCache()
+        cache.insert(answer(1, seq=0, visible=(0.0, 2.0)))
+        cache.insert(answer(1, seq=1, visible=(1.5, 4.0)))
+        cache.advance(3.0)
+        assert 1 in cache  # the refresh kept it alive
+        cache.advance(4.5)
+        assert 1 not in cache
+
+    def test_refresh_keeps_newer_segment(self):
+        cache = ClientCache()
+        cache.insert(answer(1, seq=0, visible=(0.0, 2.0)))
+        cache.insert(answer(1, seq=3, visible=(1.0, 3.0)))
+        assert cache.get(1).record.seq == 3
+
+    def test_stale_segment_does_not_replace_newer(self):
+        cache = ClientCache()
+        cache.insert(answer(1, seq=3, visible=(0.0, 2.0)))
+        cache.insert(answer(1, seq=1, visible=(0.0, 5.0)))
+        assert cache.get(1).record.seq == 3
+        cache.advance(3.0)
+        assert 1 in cache  # but the longer deadline still counts
+
+    def test_shorter_redelivery_does_not_shrink_deadline(self):
+        cache = ClientCache()
+        cache.insert(answer(1, seq=0, visible=(0.0, 5.0)))
+        cache.insert(answer(1, seq=1, visible=(0.5, 1.0)))
+        cache.advance(2.0)
+        assert 1 in cache
+
+    def test_stats(self):
+        cache = ClientCache()
+        cache.insert(answer(1, visible=(0.0, 1.0)))
+        cache.insert(answer(1, seq=1, visible=(0.0, 2.0)))
+        cache.insert(answer(2, visible=(0.0, 1.0)))
+        cache.advance(5.0)
+        assert cache.stats.insertions == 2
+        assert cache.stats.refreshes == 1
+        assert cache.stats.evictions == 2
+
+
+class TestIteration:
+    def test_iter_yields_cached_objects(self):
+        cache = ClientCache()
+        cache.insert(answer(1))
+        cache.insert(answer(2))
+        assert {c.record.object_id for c in cache} == {1, 2}
+
+    def test_now_property(self):
+        cache = ClientCache()
+        cache.advance(3.25)
+        assert cache.now == 3.25
+
+    def test_get_absent_returns_none(self):
+        assert ClientCache().get(9) is None

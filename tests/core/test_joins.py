@@ -1,0 +1,183 @@
+"""Tests for distance joins (future-work item (ii))."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.joins import (
+    pair_within_distance_interval,
+    proximity_alerts,
+    snapshot_distance_join,
+)
+from repro.core.pdq import PDQEngine
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+from repro.index.nsi import NativeSpaceIndex
+from repro.storage.metrics import QueryCost
+
+from _helpers import make_segment
+
+
+def seg(t0, t1, origin, velocity):
+    return SpaceTimeSegment(Interval(t0, t1), origin, velocity)
+
+
+class TestPairPredicate:
+    def test_parallel_within(self):
+        a = seg(0, 10, (0.0, 0.0), (1.0, 0.0))
+        b = seg(0, 10, (0.0, 0.5), (1.0, 0.0))
+        assert pair_within_distance_interval(a, b, 1.0) == Interval(0, 10)
+
+    def test_parallel_beyond(self):
+        a = seg(0, 10, (0.0, 0.0), (1.0, 0.0))
+        b = seg(0, 10, (0.0, 5.0), (1.0, 0.0))
+        assert pair_within_distance_interval(a, b, 1.0).is_empty
+
+    def test_crossing_paths(self):
+        # Head-on along x at combined speed 2: distance 10 at t=0.
+        a = seg(0, 10, (0.0, 0.0), (1.0, 0.0))
+        b = seg(0, 10, (10.0, 0.0), (-1.0, 0.0))
+        r = pair_within_distance_interval(a, b, 2.0)
+        assert r.low == pytest.approx(4.0)
+        assert r.high == pytest.approx(6.0)
+
+    def test_clipped_by_validity(self):
+        a = seg(0, 4.5, (0.0, 0.0), (1.0, 0.0))
+        b = seg(0, 10, (10.0, 0.0), (-1.0, 0.0))
+        r = pair_within_distance_interval(a, b, 2.0)
+        assert r == Interval(4.0, 4.5)
+
+    def test_window_clip(self):
+        a = seg(0, 10, (0.0, 0.0), (1.0, 0.0))
+        b = seg(0, 10, (10.0, 0.0), (-1.0, 0.0))
+        r = pair_within_distance_interval(a, b, 2.0, window=Interval(5.5, 9.0))
+        assert r == Interval(5.5, 6.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(QueryError):
+            pair_within_distance_interval(
+                seg(0, 1, (0.0,), (0.0,)), seg(0, 1, (0.0, 0.0), (0.0, 0.0)), 1.0
+            )
+
+    def test_negative_delta(self):
+        a = seg(0, 1, (0.0, 0.0), (0.0, 0.0))
+        with pytest.raises(QueryError):
+            pair_within_distance_interval(a, a, -1.0)
+
+    def test_matches_sampling(self, rng):
+        for _ in range(50):
+            a = seg(
+                0, 5,
+                (rng.uniform(-5, 5), rng.uniform(-5, 5)),
+                (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+            )
+            b = seg(
+                0, 5,
+                (rng.uniform(-5, 5), rng.uniform(-5, 5)),
+                (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+            )
+            delta = rng.uniform(0.5, 4)
+            r = pair_within_distance_interval(a, b, delta)
+            for k in range(51):
+                t = 5 * k / 50
+                d = math.dist(a.position_at(t), b.position_at(t))
+                if r.contains(t):
+                    assert d <= delta + 1e-6
+                elif d <= delta - 1e-6:
+                    pytest.fail(f"missed close pair at t={t}")
+
+
+class TestSnapshotJoin:
+    @pytest.fixture(scope="class")
+    def indexes(self, tiny_segments):
+        half = len(tiny_segments) // 4
+        a = NativeSpaceIndex(dims=2)
+        a.bulk_load(tiny_segments[:half])
+        b = NativeSpaceIndex(dims=2)
+        b.bulk_load(tiny_segments[half : 2 * half])
+        return a, b, tiny_segments[:half], tiny_segments[half : 2 * half]
+
+    def test_matches_brute_force(self, indexes):
+        index_a, index_b, segs_a, segs_b = indexes
+        time = Interval(4.0, 4.5)
+        delta = 1.5
+        got = {
+            (ra.key, rb.key)
+            for ra, rb, _ in snapshot_distance_join(index_a, index_b, time, delta)
+        }
+        want = set()
+        for sa in segs_a:
+            for sb in segs_b:
+                if not pair_within_distance_interval(
+                    sa.segment, sb.segment, delta, time
+                ).is_empty:
+                    want.add((sa.key, sb.key))
+        assert got == want
+
+    def test_self_join_unordered_distinct(self, indexes):
+        index_a, _, segs_a, _ = indexes
+        time = Interval(4.0, 4.3)
+        pairs = snapshot_distance_join(index_a, index_a, time, 1.0)
+        seen = set()
+        for ra, rb, _ in pairs:
+            assert ra.object_id != rb.object_id
+            key = tuple(sorted((ra.key, rb.key)))
+            assert key not in seen
+            seen.add(key)
+
+    def test_cost_counted_and_bounded(self, indexes):
+        index_a, index_b, _, _ = indexes
+        cost = QueryCost()
+        snapshot_distance_join(index_a, index_b, Interval(4.0, 4.5), 1.5, cost)
+        from repro.index.stats import collect_stats
+
+        max_nodes = (
+            collect_stats(index_a.tree).total_nodes
+            + collect_stats(index_b.tree).total_nodes
+        )
+        assert 0 < cost.total_reads <= max_nodes  # each node fetched once
+
+    def test_invalid_args(self, indexes):
+        index_a, index_b, _, _ = indexes
+        with pytest.raises(QueryError):
+            snapshot_distance_join(index_a, index_b, Interval(2, 1), 1.0)
+        with pytest.raises(QueryError):
+            snapshot_distance_join(index_a, index_b, Interval(0, 1), -1.0)
+
+
+class TestProximityAlerts:
+    def test_alerts_from_pdq_answers(self, tiny_native, tiny_segments):
+        trajectory = QueryTrajectory.linear(
+            3.0, 8.0, (40.0, 40.0), (2.0, 0.0), (6.0, 6.0)
+        )
+        with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+            items = pdq.window(3.0, 8.0)
+        alerts = proximity_alerts(items, delta=1.0)
+        for a, b, interval in alerts:
+            assert a < b
+            assert not interval.is_empty
+            # Spot-check the midpoint distance.
+            t = interval.midpoint
+            rec_a = next(i.record for i in items if i.object_id == a)
+            rec_b = next(i.record for i in items if i.object_id == b)
+            d = math.dist(rec_a.position_at(t), rec_b.position_at(t))
+            assert d <= 1.0 + 1e-6
+
+    def test_no_self_alerts(self):
+        items = []
+        from repro.core.results import AnswerItem
+
+        rec1 = make_segment(1, 0, 0.0, 2.0, (0.0, 0.0), (0.0, 0.0))
+        rec1b = make_segment(1, 1, 2.0, 4.0, (0.0, 0.0), (0.0, 0.0))
+        items = [
+            AnswerItem(rec1, Interval(0.0, 2.0)),
+            AnswerItem(rec1b, Interval(2.0, 4.0)),
+        ]
+        assert proximity_alerts(items, delta=5.0) == []
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(QueryError):
+            proximity_alerts([], -1.0)

@@ -1,0 +1,118 @@
+"""Tests for the moving-query kNN extension."""
+
+import math
+
+import pytest
+
+from repro.core.knn import MovingKNN, incremental_knn
+from repro.errors import QueryError
+from repro.storage.metrics import QueryCost
+
+
+def brute_knn(segments, t, point, k):
+    dists = []
+    for s in segments:
+        if not s.time.contains(t):
+            continue
+        pos = s.position_at(t)
+        dists.append((math.dist(pos, point), s.key))
+    dists.sort()
+    return dists[:k]
+
+
+class TestIncremental:
+    def test_matches_brute_force(self, tiny_native, tiny_segments, rng):
+        for _ in range(10):
+            t = rng.uniform(1, 14)
+            point = (rng.uniform(0, 100), rng.uniform(0, 100))
+            got = []
+            for rec, dist in incremental_knn(tiny_native, t, point):
+                got.append((dist, rec.key))
+                if len(got) == 5:
+                    break
+            want = brute_knn(tiny_segments, t, point, 5)
+            assert [k for _, k in got] == [k for _, k in want]
+            for (gd, _), (wd, _) in zip(got, want):
+                assert gd == pytest.approx(wd)
+
+    def test_distances_non_decreasing(self, tiny_native):
+        dists = [
+            d for _, d in zip(range(20), ())
+        ]  # placeholder to appease linters
+        out = []
+        for rec, dist in incremental_knn(tiny_native, 5.0, (50.0, 50.0)):
+            out.append(dist)
+            if len(out) == 25:
+                break
+        assert out == sorted(out)
+
+    def test_max_distance_prunes(self, tiny_native, tiny_segments):
+        results = list(
+            incremental_knn(tiny_native, 5.0, (50.0, 50.0), max_distance=3.0)
+        )
+        assert all(d <= 3.0 for _, d in results)
+        want = [
+            k for d, k in brute_knn(tiny_segments, 5.0, (50.0, 50.0), 10**9)
+            if d <= 3.0
+        ]
+        assert [r.key for r, _ in results] == want
+
+    def test_counts_cost(self, tiny_native):
+        cost = QueryCost()
+        for _ in zip(range(3), incremental_knn(tiny_native, 5.0, (50.0, 50.0), cost=cost)):
+            pass
+        assert cost.total_reads > 0
+
+    def test_dim_mismatch(self, tiny_native):
+        with pytest.raises(QueryError):
+            next(incremental_knn(tiny_native, 5.0, (50.0,)))
+
+
+class TestMovingKNN:
+    def test_k_validation(self, tiny_native):
+        with pytest.raises(QueryError):
+            MovingKNN(tiny_native, k=0)
+
+    def test_query_returns_k(self, tiny_native, tiny_segments):
+        knn = MovingKNN(tiny_native, k=4)
+        results = knn.query(5.0, (50.0, 50.0))
+        assert len(results) == 4
+        want = brute_knn(tiny_segments, 5.0, (50.0, 50.0), 4)
+        assert [r.key for r, _ in results] == [k for _, k in want]
+
+    def test_moving_sequence_matches_brute_force(
+        self, tiny_native, tiny_segments
+    ):
+        knn = MovingKNN(tiny_native, k=3, max_step=0.5, max_object_step=0.5)
+        t, x = 3.0, 30.0
+        for _ in range(10):
+            got = knn.query(t, (x, 50.0))
+            want = brute_knn(tiny_segments, t, (x, 50.0), 3)
+            assert [r.key for r, _ in got] == [k for _, k in want]
+            t += 0.1
+            x += 0.4
+
+    def test_pruned_sequence_cheaper_than_unbounded(
+        self, tiny_native
+    ):
+        def run(**kwargs):
+            knn = MovingKNN(tiny_native, k=3, **kwargs)
+            t, x = 3.0, 30.0
+            for _ in range(15):
+                knn.query(t, (x, 50.0))
+                t += 0.1
+                x += 0.2
+            return knn.cost.distance_computations
+
+        pruned = run(max_step=0.5, max_object_step=0.5)
+        unbounded = run()
+        assert pruned <= unbounded
+
+    def test_teleport_falls_back_to_unbounded(self, tiny_native, tiny_segments):
+        knn = MovingKNN(tiny_native, k=3, max_step=0.1)
+        knn.query(5.0, (10.0, 10.0))
+        # Jump across the space: the old bound is useless; results must
+        # still be exact.
+        got = knn.query(5.1, (90.0, 90.0))
+        want = brute_knn(tiny_segments, 5.1, (90.0, 90.0), 3)
+        assert [r.key for r, _ in got] == [k for _, k in want]

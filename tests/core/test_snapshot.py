@@ -1,0 +1,70 @@
+"""Tests for snapshot queries (Definition 3)."""
+
+import pytest
+
+from repro.core.snapshot import SnapshotQuery
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+
+from _helpers import window
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = SnapshotQuery(Interval(0, 1), window(0, 0, 4, 4))
+        assert q.dims == 2
+
+    def test_empty_time_rejected(self):
+        with pytest.raises(QueryError):
+            SnapshotQuery(Interval(1, 0), window(0, 0, 1, 1))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(QueryError):
+            SnapshotQuery(Interval(0, 1), window(1, 1, 0, 0))
+
+    def test_at_instant(self):
+        q = SnapshotQuery.at_instant(2.5, window(0, 0, 1, 1))
+        assert q.time.is_point
+        assert q.time.low == 2.5
+
+    def test_around(self):
+        q = SnapshotQuery.around(Interval(0, 1), (10, 20), (4, 4))
+        assert q.window == window(6, 16, 14, 24)
+
+    def test_around_mismatched_lengths(self):
+        with pytest.raises(QueryError):
+            SnapshotQuery.around(Interval(0, 1), (10, 20), (4,))
+
+
+class TestDerived:
+    def test_to_native_box(self):
+        q = SnapshotQuery(Interval(0, 1), window(2, 3, 4, 5))
+        box = q.to_native_box()
+        assert box.dims == 3
+        assert box.extent(0) == Interval(0, 1)
+        assert box.extent(1) == Interval(2, 4)
+
+    def test_precedes(self):
+        a = SnapshotQuery(Interval(0, 1), window(0, 0, 1, 1))
+        b = SnapshotQuery(Interval(1, 2), window(0, 0, 1, 1))
+        assert a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_spatial_overlap_fraction_identical(self):
+        a = SnapshotQuery(Interval(0, 1), window(0, 0, 4, 4))
+        assert a.spatial_overlap_fraction(a) == pytest.approx(1.0)
+
+    def test_spatial_overlap_fraction_half(self):
+        a = SnapshotQuery(Interval(0, 1), window(0, 0, 4, 4))
+        b = SnapshotQuery(Interval(1, 2), window(2, 0, 6, 4))
+        assert a.spatial_overlap_fraction(b) == pytest.approx(0.5)
+
+    def test_spatial_overlap_fraction_disjoint(self):
+        a = SnapshotQuery(Interval(0, 1), window(0, 0, 4, 4))
+        b = SnapshotQuery(Interval(1, 2), window(10, 10, 14, 14))
+        assert a.spatial_overlap_fraction(b) == 0.0
+
+    def test_spatial_overlap_degenerate_window(self):
+        a = SnapshotQuery(Interval(0, 1), window(0, 0, 0, 4))
+        b = SnapshotQuery(Interval(1, 2), window(0, 0, 4, 4))
+        assert a.spatial_overlap_fraction(b) == 0.0

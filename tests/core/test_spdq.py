@@ -1,0 +1,80 @@
+"""Tests for Semi-Predictive Dynamic Queries."""
+
+import pytest
+
+from repro.core.pdq import PDQEngine
+from repro.core.spdq import SPDQEngine
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+
+
+@pytest.fixture(scope="module")
+def predicted():
+    return QueryTrajectory.linear(
+        2.0, 7.0, (30.0, 30.0), (3.0, 0.0), (4.0, 4.0)
+    )
+
+
+class TestConservativeness:
+    def test_negative_delta_rejected(self, tiny_native, predicted):
+        with pytest.raises(QueryError):
+            SPDQEngine(tiny_native, predicted, delta=-1.0)
+
+    def test_superset_of_exact_pdq(self, tiny_native, predicted):
+        with PDQEngine(tiny_native, predicted, track_updates=False) as pdq:
+            exact = {i.key for i in pdq.window(2.0, 7.0)}
+        with SPDQEngine(tiny_native, predicted, delta=2.0, track_updates=False) as spdq:
+            conservative = {i.key for i in spdq.window(2.0, 7.0)}
+        assert exact <= conservative
+
+    def test_zero_delta_equals_pdq(self, tiny_native, predicted):
+        with PDQEngine(tiny_native, predicted, track_updates=False) as pdq:
+            exact = {(i.key, i.visibility) for i in pdq.window(2.0, 7.0)}
+        with SPDQEngine(tiny_native, predicted, delta=0.0, track_updates=False) as spdq:
+            same = {(i.key, i.visibility) for i in spdq.window(2.0, 7.0)}
+        assert exact == same
+
+    def test_covers_deviated_observer(self, tiny_native, predicted):
+        """Answers for a trajectory deviated by less than delta are a
+        subset of the SPDQ answers — the paper's SPDQ guarantee."""
+        delta = 3.0
+        deviated = QueryTrajectory.linear(
+            2.0, 7.0, (30.0, 32.0), (3.0, 0.0), (4.0, 4.0)  # +2 in y
+        )
+        with PDQEngine(tiny_native, deviated, track_updates=False) as pdq:
+            actual = {i.key for i in pdq.window(2.0, 7.0)}
+        with SPDQEngine(tiny_native, predicted, delta=delta, track_updates=False) as spdq:
+            conservative = {i.key for i in spdq.window(2.0, 7.0)}
+        assert actual <= conservative
+
+
+class TestRefinement:
+    def test_refine_filters_to_actual_window(self, tiny_native, predicted):
+        with SPDQEngine(tiny_native, predicted, delta=2.0, track_updates=False) as spdq:
+            items = spdq.window(2.0, 7.0)
+        actual_window = predicted.window_at(4.0)
+        refined = SPDQEngine.refine(items, actual_window, Interval(4.0, 4.5))
+        keys = {i.key for i in refined}
+        assert keys <= {i.key for i in items}
+        for item in refined:
+            t = item.visibility.midpoint
+            pos = item.record.position_at(t)
+            assert actual_window.inflate((1e-9, 1e-9)).contains_point(pos)
+
+    def test_within_bound(self, tiny_native, predicted):
+        with SPDQEngine(tiny_native, predicted, delta=2.0, track_updates=False) as spdq:
+            center = predicted.window_at(3.0).center
+            assert spdq.within_bound(3.0, center)
+            off = (center[0] + 1.9, center[1])
+            assert spdq.within_bound(3.0, off)
+            far = (center[0] + 5.0, center[1])
+            assert not spdq.within_bound(3.0, far)
+
+    def test_run_and_cost(self, tiny_native, predicted):
+        with SPDQEngine(tiny_native, predicted, delta=1.0, track_updates=False) as spdq:
+            frames = spdq.run(0.5)
+            assert frames
+            assert spdq.cost.total_reads == sum(
+                f.cost.total_reads for f in frames
+            )

@@ -1,0 +1,227 @@
+"""Unit and property tests for Definition 2 (boxes)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DimensionalityError, GeometryError
+from repro.geometry.box import Box
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+
+finite = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def boxes(dims=2, allow_empty=False):
+    def build(values):
+        extents = []
+        for i in range(dims):
+            a, b = values[2 * i], values[2 * i + 1]
+            extents.append(
+                Interval(a, b) if allow_empty else Interval.ordered(a, b)
+            )
+        return Box(extents)
+
+    return st.tuples(*([finite] * (2 * dims))).map(build)
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        b = Box.from_bounds((0.0, 1.0), (2.0, 3.0))
+        assert b.extent(0) == Interval(0.0, 2.0)
+        assert b.extent(1) == Interval(1.0, 3.0)
+
+    def test_from_bounds_length_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            Box.from_bounds((0.0,), (1.0, 2.0))
+
+    def test_from_point_is_degenerate(self):
+        b = Box.from_point((1.0, 2.0))
+        assert b.volume() == 0.0
+        assert b.contains_point((1.0, 2.0))
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(GeometryError):
+            Box([])
+
+    def test_non_interval_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Box([(0.0, 1.0)])  # type: ignore[list-item]
+
+    def test_empty_constructor(self):
+        assert Box.empty(3).is_empty
+        assert Box.empty(3).dims == 3
+
+    def test_unbounded(self):
+        b = Box.unbounded(2)
+        assert b.contains_point((1e300, -1e300))
+
+
+class TestAccessors:
+    def test_lows_highs_center(self):
+        b = Box.from_bounds((0.0, 10.0), (4.0, 20.0))
+        assert b.lows == (0.0, 10.0)
+        assert b.highs == (4.0, 20.0)
+        assert b.center == (2.0, 15.0)
+
+    def test_center_of_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Box.empty(2).center
+
+    def test_volume(self):
+        assert Box.from_bounds((0.0, 0.0), (2.0, 3.0)).volume() == 6.0
+
+    def test_volume_empty_is_zero(self):
+        assert Box.empty(2).volume() == 0.0
+
+    def test_margin(self):
+        assert Box.from_bounds((0.0, 0.0), (2.0, 3.0)).margin() == 5.0
+
+    def test_len_getitem_iter(self):
+        b = Box.from_bounds((0.0, 1.0), (2.0, 3.0))
+        assert len(b) == 2
+        assert b[0] == Interval(0.0, 2.0)
+        assert list(b) == [Interval(0.0, 2.0), Interval(1.0, 3.0)]
+
+
+class TestPredicates:
+    def test_empty_iff_any_extent_empty(self):
+        b = Box([Interval(0.0, 1.0), EMPTY_INTERVAL])
+        assert b.is_empty
+
+    def test_overlaps(self):
+        a = Box.from_bounds((0.0, 0.0), (2.0, 2.0))
+        b = Box.from_bounds((1.0, 1.0), (3.0, 3.0))
+        assert a.overlaps(b)
+
+    def test_overlaps_disjoint_one_axis(self):
+        a = Box.from_bounds((0.0, 0.0), (2.0, 2.0))
+        b = Box.from_bounds((1.0, 5.0), (3.0, 6.0))
+        assert not a.overlaps(b)
+
+    def test_overlaps_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            Box.from_point((0.0,)).overlaps(Box.from_point((0.0, 0.0)))
+
+    def test_contains_point_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            Box.from_point((0.0, 0.0)).contains_point((0.0,))
+
+    def test_contains_box(self):
+        outer = Box.from_bounds((0.0, 0.0), (10.0, 10.0))
+        inner = Box.from_bounds((1.0, 1.0), (2.0, 2.0))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_empty_contained_in_all(self):
+        assert Box.from_point((0.0, 0.0)).contains_box(Box.empty(2))
+
+    def test_empty_contains_nothing_nonempty(self):
+        assert not Box.empty(2).contains_box(Box.from_point((0.0, 0.0)))
+
+
+class TestOperations:
+    def test_intersect(self):
+        a = Box.from_bounds((0.0, 0.0), (4.0, 4.0))
+        b = Box.from_bounds((2.0, 2.0), (6.0, 6.0))
+        assert (a & b) == Box.from_bounds((2.0, 2.0), (4.0, 4.0))
+
+    def test_cover(self):
+        a = Box.from_bounds((0.0, 0.0), (1.0, 1.0))
+        b = Box.from_bounds((3.0, 3.0), (4.0, 4.0))
+        assert (a | b) == Box.from_bounds((0.0, 0.0), (4.0, 4.0))
+
+    def test_cover_with_empty(self):
+        a = Box.from_bounds((0.0, 0.0), (1.0, 1.0))
+        assert (a | Box.empty(2)) == a
+        assert (Box.empty(2) | a) == a
+
+    def test_cover_point(self):
+        a = Box.from_bounds((0.0, 0.0), (1.0, 1.0))
+        assert a.cover_point((5.0, 0.5)) == Box.from_bounds((0.0, 0.0), (5.0, 1.0))
+
+    def test_enlargement(self):
+        a = Box.from_bounds((0.0, 0.0), (2.0, 2.0))
+        b = Box.from_bounds((2.0, 0.0), (4.0, 2.0))
+        assert a.enlargement(b) == pytest.approx(4.0)
+
+    def test_enlargement_contained_is_zero(self):
+        a = Box.from_bounds((0.0, 0.0), (4.0, 4.0))
+        b = Box.from_bounds((1.0, 1.0), (2.0, 2.0))
+        assert a.enlargement(b) == 0.0
+
+    def test_inflate(self):
+        a = Box.from_bounds((1.0, 1.0), (2.0, 2.0))
+        assert a.inflate((1.0, 0.0)) == Box.from_bounds((0.0, 1.0), (3.0, 2.0))
+
+    def test_inflate_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            Box.from_point((0.0, 0.0)).inflate((1.0,))
+
+    def test_translate(self):
+        a = Box.from_bounds((0.0, 0.0), (1.0, 1.0))
+        assert a.translate((2.0, 3.0)) == Box.from_bounds((2.0, 3.0), (3.0, 4.0))
+
+    def test_project(self):
+        a = Box.from_bounds((0.0, 1.0, 2.0), (3.0, 4.0, 5.0))
+        p = a.project((2, 0))
+        assert p.extent(0) == Interval(2.0, 5.0)
+        assert p.extent(1) == Interval(0.0, 3.0)
+
+    def test_replace_extent(self):
+        a = Box.from_bounds((0.0, 0.0), (1.0, 1.0))
+        b = a.replace_extent(0, Interval(5.0, 6.0))
+        assert b.extent(0) == Interval(5.0, 6.0)
+        assert b.extent(1) == a.extent(1)
+
+    def test_min_distance_sq_inside_is_zero(self):
+        a = Box.from_bounds((0.0, 0.0), (2.0, 2.0))
+        assert a.min_distance_sq((1.0, 1.0)) == 0.0
+
+    def test_min_distance_sq_outside(self):
+        a = Box.from_bounds((0.0, 0.0), (2.0, 2.0))
+        assert a.min_distance_sq((5.0, 2.0)) == pytest.approx(9.0)
+
+    def test_min_distance_sq_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Box.empty(2).min_distance_sq((0.0, 0.0))
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    def test_intersect_commutative(self, a, b):
+        assert (a & b) == (b & a)
+
+    @given(boxes(), boxes(), boxes())
+    def test_intersect_associative(self, a, b, c):
+        assert ((a & b) & c) == (a & (b & c))
+
+    @given(boxes(), boxes())
+    def test_cover_contains_both(self, a, b):
+        c = a | b
+        assert c.contains_box(a) and c.contains_box(b)
+
+    @given(boxes(), boxes())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (not (a & b).is_empty)
+
+    @given(boxes(), boxes())
+    def test_intersection_contained_in_operands(self, a, b):
+        c = a & b
+        assert a.contains_box(c) and b.contains_box(c)
+
+    @given(boxes())
+    def test_volume_nonnegative(self, a):
+        assert a.volume() >= 0.0
+
+    @given(boxes(), boxes())
+    def test_cover_volume_at_least_max(self, a, b):
+        assert (a | b).volume() >= max(a.volume(), b.volume()) - 1e-9
+
+    @given(boxes(dims=3), boxes(dims=3))
+    def test_three_dims_work(self, a, b):
+        assert (a & b).dims == 3
+
+    @given(boxes())
+    def test_contains_own_center(self, a):
+        assert a.contains_point(a.center)

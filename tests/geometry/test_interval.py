@@ -1,0 +1,215 @@
+"""Unit and property tests for Definition 1 (intervals)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def intervals(allow_empty=True):
+    def build(pair):
+        a, b = pair
+        if allow_empty:
+            return Interval(a, b)
+        return Interval.ordered(a, b)
+
+    return st.tuples(finite, finite).map(build)
+
+
+class TestConstruction:
+    def test_point_interval_is_degenerate(self):
+        i = Interval.point(3.0)
+        assert i.low == i.high == 3.0
+        assert i.is_point
+        assert not i.is_empty
+
+    def test_ordered_swaps_bounds(self):
+        assert Interval.ordered(5.0, 2.0) == Interval(2.0, 5.0)
+
+    def test_ordered_keeps_sorted_bounds(self):
+        assert Interval.ordered(2.0, 5.0) == Interval(2.0, 5.0)
+
+    def test_empty_is_empty(self):
+        assert Interval.empty().is_empty
+
+    def test_low_greater_than_high_is_empty(self):
+        assert Interval(2.0, 1.0).is_empty
+
+    def test_unbounded_contains_everything(self):
+        u = Interval.unbounded()
+        assert 0.0 in u and 1e300 in u and -1e300 in u
+
+    def test_canonical_empty_singleton(self):
+        assert EMPTY_INTERVAL.is_empty
+
+
+class TestPredicates:
+    def test_contains_endpoints(self):
+        i = Interval(1.0, 2.0)
+        assert i.contains(1.0) and i.contains(2.0)
+
+    def test_contains_excludes_outside(self):
+        i = Interval(1.0, 2.0)
+        assert not i.contains(0.999) and not i.contains(2.001)
+
+    def test_contains_interval_subset(self):
+        assert Interval(0.0, 10.0).contains_interval(Interval(2.0, 3.0))
+
+    def test_contains_interval_not_superset(self):
+        assert not Interval(2.0, 3.0).contains_interval(Interval(0.0, 10.0))
+
+    def test_empty_subset_of_everything(self):
+        assert Interval(1.0, 2.0).contains_interval(EMPTY_INTERVAL)
+        assert EMPTY_INTERVAL.contains_interval(EMPTY_INTERVAL)
+
+    def test_overlap_closed_bounds_touching(self):
+        # Closed intervals: [0,1] ≬ [1,2].
+        assert Interval(0.0, 1.0).overlaps(Interval(1.0, 2.0))
+
+    def test_overlap_disjoint(self):
+        assert not Interval(0.0, 1.0).overlaps(Interval(1.5, 2.0))
+
+    def test_overlap_with_empty_is_false(self):
+        assert not Interval(0.0, 1.0).overlaps(EMPTY_INTERVAL)
+        assert not EMPTY_INTERVAL.overlaps(Interval(0.0, 1.0))
+
+    def test_precedes_strict(self):
+        assert Interval(0.0, 1.0).precedes(Interval(1.0, 2.0))
+        assert not Interval(0.0, 1.5).precedes(Interval(1.0, 2.0))
+
+    def test_precedes_empty_cases(self):
+        assert EMPTY_INTERVAL.precedes(Interval(0.0, 1.0))
+        assert not Interval(0.0, 1.0).precedes(EMPTY_INTERVAL)
+
+    def test_bool_is_nonempty(self):
+        assert Interval(0.0, 1.0)
+        assert not EMPTY_INTERVAL
+
+
+class TestOperations:
+    def test_intersect_basic(self):
+        assert Interval(0.0, 5.0) & Interval(3.0, 8.0) == Interval(3.0, 5.0)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert (Interval(0.0, 1.0) & Interval(2.0, 3.0)).is_empty
+
+    def test_intersect_touching_is_point(self):
+        r = Interval(0.0, 1.0) & Interval(1.0, 2.0)
+        assert r == Interval.point(1.0)
+
+    def test_cover_basic(self):
+        assert Interval(0.0, 1.0) | Interval(3.0, 4.0) == Interval(0.0, 4.0)
+
+    def test_cover_with_empty_is_identity(self):
+        i = Interval(0.0, 1.0)
+        assert i | EMPTY_INTERVAL == i
+        assert EMPTY_INTERVAL | i == i
+
+    def test_translate(self):
+        assert Interval(0.0, 1.0).translate(2.5) == Interval(2.5, 3.5)
+
+    def test_translate_empty_stays_empty(self):
+        assert EMPTY_INTERVAL.translate(10.0).is_empty
+
+    def test_inflate_grows_both_sides(self):
+        assert Interval(1.0, 2.0).inflate(0.5) == Interval(0.5, 2.5)
+
+    def test_inflate_negative_can_empty(self):
+        assert Interval(1.0, 2.0).inflate(-0.6).is_empty
+
+    def test_clamp(self):
+        i = Interval(1.0, 2.0)
+        assert i.clamp(0.0) == 1.0
+        assert i.clamp(3.0) == 2.0
+        assert i.clamp(1.5) == 1.5
+
+    def test_clamp_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY_INTERVAL.clamp(0.0)
+
+    def test_sample(self):
+        assert Interval(2.0, 4.0).sample(0.5) == 3.0
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY_INTERVAL.sample(0.5)
+
+    def test_midpoint_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY_INTERVAL.midpoint
+
+    def test_length_of_empty_is_zero(self):
+        assert EMPTY_INTERVAL.length == 0.0
+
+    def test_length(self):
+        assert Interval(1.0, 4.0).length == 3.0
+
+
+class TestEqualityHashing:
+    def test_all_empties_equal(self):
+        assert Interval(5.0, 1.0) == Interval(math.inf, -math.inf)
+        assert hash(Interval(5.0, 1.0)) == hash(EMPTY_INTERVAL)
+
+    def test_tuple_round_trip(self):
+        assert Interval(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_iter_yields_bounds(self):
+        assert list(Interval(1.0, 2.0)) == [1.0, 2.0]
+
+    def test_repr_empty(self):
+        assert "empty" in repr(EMPTY_INTERVAL)
+
+    def test_not_equal_other_type(self):
+        assert Interval(0.0, 1.0) != "interval"
+
+
+class TestProperties:
+    @given(intervals(), intervals())
+    def test_intersection_commutative(self, a, b):
+        assert a & b == b & a
+
+    @given(intervals(), intervals(), intervals())
+    def test_intersection_associative(self, a, b, c):
+        assert (a & b) & c == a & (b & c)
+
+    @given(intervals())
+    def test_intersection_idempotent(self, a):
+        assert a & a == a
+
+    @given(intervals(), intervals())
+    def test_cover_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(intervals(allow_empty=False), intervals(allow_empty=False))
+    def test_cover_contains_both(self, a, b):
+        c = a | b
+        assert c.contains_interval(a) and c.contains_interval(b)
+
+    @given(intervals(allow_empty=False), intervals(allow_empty=False))
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (not (a & b).is_empty)
+
+    @given(intervals(), intervals())
+    def test_intersection_subset_of_operands(self, a, b):
+        c = a & b
+        assert a.contains_interval(c) and b.contains_interval(c)
+
+    @given(intervals(allow_empty=False), finite)
+    def test_translate_preserves_length(self, a, d):
+        assert a.translate(d).length == pytest.approx(a.length, abs=1e-6)
+
+    @given(intervals(allow_empty=False), intervals(allow_empty=False))
+    def test_precedes_antisymmetric_unless_touching(self, a, b):
+        if a.precedes(b) and b.precedes(a):
+            # Only possible when both are the same single point.
+            assert a.is_point and b.is_point and a == b
+
+    @given(intervals(allow_empty=False))
+    def test_cover_with_self_is_identity(self, a):
+        assert (a | a) == a

@@ -1,0 +1,169 @@
+"""Tests for space-time segments and the exact leaf-level test."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DimensionalityError, GeometryError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment, segment_box_overlap_interval
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+speed = st.floats(min_value=-5, max_value=5, allow_nan=False)
+
+
+def seg(t0=0.0, t1=2.0, origin=(0.0, 0.0), velocity=(1.0, 0.0)):
+    return SpaceTimeSegment(Interval(t0, t1), origin, velocity)
+
+
+segments = st.builds(
+    lambda t0, dt, ox, oy, vx, vy: SpaceTimeSegment(
+        Interval(t0, t0 + dt), (ox, oy), (vx, vy)
+    ),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0.01, max_value=5, allow_nan=False),
+    coord, coord, speed, speed,
+)
+query_boxes = st.builds(
+    lambda t0, dt, x0, dx, y0, dy: Box(
+        [Interval(t0, t0 + dt), Interval(x0, x0 + dx), Interval(y0, y0 + dy)]
+    ),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+    coord,
+    st.floats(min_value=0, max_value=30, allow_nan=False),
+    coord,
+    st.floats(min_value=0, max_value=30, allow_nan=False),
+)
+
+
+class TestSegment:
+    def test_position_at_start(self):
+        assert seg().position_at(0.0) == (0.0, 0.0)
+
+    def test_position_linear(self):
+        assert seg().position_at(1.5) == (1.5, 0.0)
+
+    def test_endpoint(self):
+        assert seg().endpoint == (2.0, 0.0)
+
+    def test_spatial_extent_ordered_for_negative_velocity(self):
+        s = seg(velocity=(-1.0, 0.0))
+        assert s.spatial_extent(0) == Interval(-2.0, 0.0)
+
+    def test_bounding_box_axes(self):
+        b = seg().bounding_box()
+        assert b.dims == 3
+        assert b.extent(0) == Interval(0.0, 2.0)  # time first
+        assert b.extent(1) == Interval(0.0, 2.0)  # x sweep
+        assert b.extent(2) == Interval(0.0, 0.0)  # y static
+
+    def test_spatial_bounding_box(self):
+        b = seg().spatial_bounding_box()
+        assert b.dims == 2
+
+    def test_clipped(self):
+        c = seg().clipped(Interval(0.5, 1.0))
+        assert c.time == Interval(0.5, 1.0)
+        assert c.origin == (0.5, 0.0)
+        assert c.velocity == (1.0, 0.0)
+
+    def test_clipped_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            seg().clipped(Interval(5.0, 6.0))
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            SpaceTimeSegment(Interval(0, 1), (0.0,), (0.0, 0.0))
+
+    def test_empty_time_raises(self):
+        with pytest.raises(GeometryError):
+            SpaceTimeSegment(Interval(2.0, 1.0), (0.0,), (0.0,))
+
+
+class TestOverlapInterval:
+    def test_static_point_inside(self):
+        s = seg(velocity=(0.0, 0.0), origin=(1.0, 1.0))
+        q = Box([Interval(0.0, 2.0), Interval(0.0, 2.0), Interval(0.0, 2.0)])
+        assert segment_box_overlap_interval(s, q) == Interval(0.0, 2.0)
+
+    def test_static_point_outside(self):
+        s = seg(velocity=(0.0, 0.0), origin=(5.0, 5.0))
+        q = Box([Interval(0.0, 2.0), Interval(0.0, 2.0), Interval(0.0, 2.0)])
+        assert segment_box_overlap_interval(s, q).is_empty
+
+    def test_crossing_segment(self):
+        # Moves along x from 0; window x in [1, 1.5] -> t in [1, 1.5].
+        q = Box([Interval(0.0, 2.0), Interval(1.0, 1.5), Interval(-1.0, 1.0)])
+        assert segment_box_overlap_interval(seg(), q) == Interval(1.0, 1.5)
+
+    def test_temporal_clipping(self):
+        q = Box([Interval(1.2, 1.3), Interval(0.0, 10.0), Interval(-1.0, 1.0)])
+        assert segment_box_overlap_interval(seg(), q) == Interval(1.2, 1.3)
+
+    def test_bb_overlaps_but_segment_does_not(self):
+        # The classic false-admission case of Sect. 3.2: a diagonal
+        # segment whose BB overlaps a corner box the segment misses.
+        s = SpaceTimeSegment(Interval(0.0, 2.0), (0.0, 0.0), (1.0, 1.0))
+        corner = Box(
+            [Interval(0.0, 2.0), Interval(1.5, 2.0), Interval(0.0, 0.4)]
+        )
+        assert s.bounding_box().overlaps(corner)
+        assert segment_box_overlap_interval(s, corner).is_empty
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            segment_box_overlap_interval(
+                seg(), Box([Interval(0, 1), Interval(0, 1)])
+            )
+
+    def test_result_within_validity(self):
+        q = Box([Interval(-10.0, 10.0), Interval(-10.0, 10.0), Interval(-10.0, 10.0)])
+        r = segment_box_overlap_interval(seg(), q)
+        assert r == Interval(0.0, 2.0)
+
+
+class TestOverlapProperty:
+    @settings(max_examples=300)
+    @given(segments, query_boxes)
+    def test_matches_dense_sampling(self, s, q):
+        """The analytic interval agrees with brute-force time sampling."""
+        analytic = segment_box_overlap_interval(s, q)
+        steps = 64
+        span = s.time.intersect(q.extent(0))
+        inside_times = []
+        if not span.is_empty:
+            for k in range(steps + 1):
+                t = span.low + (span.high - span.low) * k / steps
+                pos = s.position_at(t)
+                if q.extent(1).contains(pos[0]) and q.extent(2).contains(pos[1]):
+                    inside_times.append(t)
+        if analytic.is_empty:
+            # Sampling may only hit inside-points if the true overlap is
+            # non-empty; allow boundary-grazing misses.
+            for t in inside_times:
+                pos = s.position_at(t)
+                # The point must be within numerical slack of the border.
+                slack = 1e-6 * (1 + abs(pos[0]) + abs(pos[1]))
+                near_x = (
+                    q.extent(1).low - slack <= pos[0] <= q.extent(1).high + slack
+                )
+                near_y = (
+                    q.extent(2).low - slack <= pos[1] <= q.extent(2).high + slack
+                )
+                assert near_x and near_y
+        else:
+            for t in inside_times:
+                assert analytic.low - 1e-6 <= t <= analytic.high + 1e-6
+
+    @settings(max_examples=200)
+    @given(segments, query_boxes)
+    def test_midpoint_of_overlap_is_inside(self, s, q):
+        analytic = segment_box_overlap_interval(s, q)
+        if analytic.is_empty:
+            return
+        t = analytic.midpoint
+        pos = s.position_at(t)
+        slack = 1e-9 * (1 + abs(pos[0]) + abs(pos[1]))
+        assert q.extent(1).low - slack <= pos[0] <= q.extent(1).high + slack
+        assert q.extent(2).low - slack <= pos[1] <= q.extent(2).high + slack

@@ -1,0 +1,145 @@
+"""Tests for TimeSet (disjoint interval unions used by PDQ)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+from repro.geometry.timeset import TimeSet
+
+finite = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+interval_lists = st.lists(
+    st.tuples(finite, finite).map(lambda p: Interval.ordered(*p)), max_size=8
+)
+
+
+class TestNormalisation:
+    def test_empty(self):
+        assert TimeSet.empty().is_empty
+        assert len(TimeSet.empty()) == 0
+
+    def test_single(self):
+        ts = TimeSet.of(Interval(0.0, 1.0))
+        assert ts.components == (Interval(0.0, 1.0),)
+
+    def test_merge_overlapping(self):
+        ts = TimeSet.of(Interval(0.0, 2.0), Interval(1.0, 3.0))
+        assert ts.components == (Interval(0.0, 3.0),)
+
+    def test_merge_touching(self):
+        ts = TimeSet.of(Interval(0.0, 1.0), Interval(1.0, 2.0))
+        assert ts.components == (Interval(0.0, 2.0),)
+
+    def test_keeps_disjoint(self):
+        ts = TimeSet.of(Interval(0.0, 1.0), Interval(2.0, 3.0))
+        assert len(ts) == 2
+
+    def test_drops_empty_intervals(self):
+        ts = TimeSet.of(EMPTY_INTERVAL, Interval(0.0, 1.0), EMPTY_INTERVAL)
+        assert ts.components == (Interval(0.0, 1.0),)
+
+    def test_sorted_output(self):
+        ts = TimeSet.of(Interval(5.0, 6.0), Interval(0.0, 1.0))
+        assert ts.components[0].low == 0.0
+
+    def test_nested_intervals_merge(self):
+        ts = TimeSet.of(Interval(0.0, 10.0), Interval(2.0, 3.0))
+        assert ts.components == (Interval(0.0, 10.0),)
+
+
+class TestAccessors:
+    def test_start_end_span(self):
+        ts = TimeSet.of(Interval(0.0, 1.0), Interval(4.0, 5.0))
+        assert ts.start == 0.0
+        assert ts.end == 5.0
+        assert ts.span == Interval(0.0, 5.0)
+
+    def test_start_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSet.empty().start
+
+    def test_end_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSet.empty().end
+
+    def test_span_of_empty(self):
+        assert TimeSet.empty().span.is_empty
+
+    def test_measure(self):
+        ts = TimeSet.of(Interval(0.0, 1.0), Interval(4.0, 6.0))
+        assert ts.measure() == pytest.approx(3.0)
+
+    def test_contains(self):
+        ts = TimeSet.of(Interval(0.0, 1.0), Interval(4.0, 5.0))
+        assert 0.5 in ts and 4.0 in ts and 5.0 in ts
+        assert 2.0 not in ts and -1.0 not in ts and 7.0 not in ts
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = TimeSet.of(Interval(0.0, 1.0))
+        b = TimeSet.of(Interval(0.5, 2.0))
+        assert a.union(b).components == (Interval(0.0, 2.0),)
+
+    def test_add(self):
+        a = TimeSet.of(Interval(0.0, 1.0))
+        assert a.add(Interval(3.0, 4.0)).components == (
+            Interval(0.0, 1.0),
+            Interval(3.0, 4.0),
+        )
+
+    def test_add_empty_is_identity(self):
+        a = TimeSet.of(Interval(0.0, 1.0))
+        assert a.add(EMPTY_INTERVAL) == a
+
+    def test_intersect_interval(self):
+        a = TimeSet.of(Interval(0.0, 2.0), Interval(4.0, 6.0))
+        r = a.intersect_interval(Interval(1.0, 5.0))
+        assert r.components == (Interval(1.0, 2.0), Interval(4.0, 5.0))
+
+    def test_intersect_with_empty_window(self):
+        a = TimeSet.of(Interval(0.0, 2.0))
+        assert a.intersect_interval(EMPTY_INTERVAL).is_empty
+
+    def test_overlaps_interval(self):
+        a = TimeSet.of(Interval(0.0, 1.0), Interval(4.0, 5.0))
+        assert a.overlaps_interval(Interval(0.5, 0.6))
+        assert not a.overlaps_interval(Interval(2.0, 3.0))
+
+    def test_first_component_overlapping(self):
+        a = TimeSet.of(Interval(0.0, 1.0), Interval(4.0, 5.0))
+        assert a.first_component_overlapping(Interval(3.0, 10.0)) == Interval(4.0, 5.0)
+        assert a.first_component_overlapping(Interval(2.0, 3.0)).is_empty
+
+
+class TestProperties:
+    @given(interval_lists)
+    def test_components_sorted_disjoint(self, intervals):
+        ts = TimeSet(intervals)
+        comps = ts.components
+        for a, b in zip(comps, comps[1:]):
+            assert a.high < b.low  # strictly separated after coalescing
+
+    @given(interval_lists, finite)
+    def test_membership_matches_any_source(self, intervals, t):
+        ts = TimeSet(intervals)
+        expected = any(i.contains(t) for i in intervals if not i.is_empty)
+        assert ts.contains(t) == expected
+
+    @given(interval_lists, interval_lists)
+    def test_union_measure_subadditive(self, xs, ys):
+        a, b = TimeSet(xs), TimeSet(ys)
+        assert a.union(b).measure() <= a.measure() + b.measure() + 1e-9
+
+    @given(interval_lists)
+    def test_measure_matches_component_sum(self, xs):
+        ts = TimeSet(xs)
+        assert ts.measure() == pytest.approx(
+            sum(c.length for c in ts.components)
+        )
+
+    @given(interval_lists)
+    def test_idempotent_normalisation(self, xs):
+        ts = TimeSet(xs)
+        assert TimeSet(ts.components) == ts

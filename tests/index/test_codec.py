@@ -1,0 +1,138 @@
+"""Tests for the binary page codecs (4 KB layout proof)."""
+
+import pytest
+
+from repro.index.codec import DualTimeNodeCodec, NativeNodeCodec
+from repro.index.dualtime import DualTimeIndex
+from repro.index.entry import InternalEntry, LeafEntry
+from repro.index.node import Node
+from repro.index.nsi import NativeSpaceIndex
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.disk import DiskManager
+
+from _helpers import make_segment
+
+
+class TestNativeCodec:
+    def test_leaf_round_trip(self):
+        codec = NativeNodeCodec(2)
+        node = Node(7, 0, timestamp=42)
+        for i in range(5):
+            rec = make_segment(i, i, float(i), i + 1.5, (i * 2.0, 3.0), (0.5, -0.5))
+            node.entries.append(LeafEntry(rec.bounding_box(), rec))
+        out = codec.decode(codec.encode(node))
+        assert out.page_id == 7
+        assert out.level == 0
+        assert out.timestamp == 42
+        assert len(out.entries) == 5
+        for orig, dec in zip(node.entries, out.entries):
+            assert dec.record.key == orig.record.key
+            assert dec.record.segment.origin == pytest.approx(
+                orig.record.segment.origin, abs=1e-3
+            )
+
+    def test_internal_round_trip(self):
+        codec = NativeNodeCodec(2)
+        node = Node(3, 2, timestamp=9)
+        for i in range(4):
+            node.entries.append(
+                InternalEntry(
+                    Box.from_bounds((i, i, i), (i + 1, i + 2, i + 3)), 100 + i
+                )
+            )
+        out = codec.decode(codec.encode(node))
+        assert out.level == 2
+        assert [e.child_id for e in out.entries] == [100, 101, 102, 103]
+        for orig, dec in zip(node.entries, out.entries):
+            assert dec.box.lows == pytest.approx(orig.box.lows, abs=1e-3)
+
+    def test_full_leaf_fits_page(self):
+        codec = NativeNodeCodec(2)
+        node = Node(0, 0)
+        for i in range(127):  # the paper's leaf fanout
+            rec = make_segment(i, 0, 0.0, 1.0, (float(i), 0.0))
+            node.entries.append(LeafEntry(rec.bounding_box(), rec))
+        assert len(codec.encode(node)) <= PAGE_SIZE
+
+    def test_full_internal_fits_page(self):
+        codec = NativeNodeCodec(2)
+        node = Node(0, 1)
+        for i in range(145):  # the paper's internal fanout
+            node.entries.append(
+                InternalEntry(Box.from_bounds((0, 0, 0), (1, 1, 1)), i)
+            )
+        assert len(codec.encode(node)) <= PAGE_SIZE
+
+    def test_decoded_leaf_box_covers_true_box(self):
+        """Float32 rounding must never shrink an indexed box."""
+        codec = NativeNodeCodec(2)
+        node = Node(0, 0)
+        rec = make_segment(0, 0, 0.1234567, 1.7654321, (10.123456, 20.654321), (0.3333333, -0.777777))
+        node.entries.append(LeafEntry(rec.bounding_box(), rec))
+        out = codec.decode(codec.encode(node))
+        decoded_box = out.entries[0].box
+        # The decoded record's true box must sit inside the decoded
+        # (padded) index box.
+        assert decoded_box.contains_box(out.entries[0].record.bounding_box())
+
+    def test_infinite_bounds_clipped(self):
+        codec = NativeNodeCodec(2)
+        node = Node(0, 1)
+        node.entries.append(
+            InternalEntry(
+                Box([Interval(float("-inf"), float("inf"))] * 3), 1
+            )
+        )
+        out = codec.decode(codec.encode(node))
+        assert out.entries[0].box.extent(0).high > 1e37
+
+
+class TestDualCodec:
+    def test_leaf_round_trip(self):
+        codec = DualTimeNodeCodec(2)
+        node = Node(1, 0, timestamp=5)
+        rec = make_segment(3, 1, 2.0, 3.0, (4.0, 5.0), (1.0, 0.0))
+        dual_box = Box(
+            [Interval.point(2.0), Interval.point(3.0), Interval(4.0, 5.0), Interval(5.0, 5.0)]
+        )
+        node.entries.append(LeafEntry(dual_box, rec))
+        out = codec.decode(codec.encode(node))
+        assert out.entries[0].record.key == (3, 1)
+        # Dual box reconstructed around (ts, te) with padding.
+        b = out.entries[0].box
+        assert b.extent(0).contains(2.0)
+        assert b.extent(1).contains(3.0)
+
+    def test_entry_timestamp_falls_back_to_node(self):
+        codec = DualTimeNodeCodec(2)
+        node = Node(1, 0, timestamp=77)
+        rec = make_segment(0, 0)
+        node.entries.append(
+            LeafEntry(codec._leaf_box(rec), rec, timestamp=3)
+        )
+        out = codec.decode(codec.encode(node))
+        # Per-entry stamps are not on-page; the conservative node stamp
+        # is used instead.
+        assert out.entries[0].timestamp == 77
+
+
+class TestBinaryModeIndex:
+    def test_native_index_on_binary_disk(self, tiny_segments, rng):
+        disk = DiskManager(codec=NativeNodeCodec(2))
+        nsi = NativeSpaceIndex(dims=2, disk=disk)
+        for s in tiny_segments[:400]:
+            nsi.insert(s)
+        assert len(nsi) == 400
+        got = nsi.snapshot_search(
+            Interval(2.0, 3.0), Box.from_bounds((0, 0), (100, 100))
+        )
+        # Compare against an object-mode twin.
+        twin = NativeSpaceIndex(dims=2)
+        for s in tiny_segments[:400]:
+            twin.insert(s)
+        expected = twin.snapshot_search(
+            Interval(2.0, 3.0), Box.from_bounds((0, 0), (100, 100))
+        )
+        assert {r.key for r, _ in got} == {r.key for r, _ in expected}

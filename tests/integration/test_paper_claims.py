@@ -1,0 +1,175 @@
+"""Every textual claim of the paper's Sect. 4-5, as fast assertions.
+
+The benchmark suite checks these at benchmark scale with full grids;
+this module keeps one cheap, always-on test per claim so a regression
+that breaks the paper's story fails `pytest tests/` immediately.
+"""
+
+import pytest
+
+from repro.core.naive import NaiveEvaluator
+from repro.core.npdq import NPDQEngine
+from repro.core.pdq import PDQEngine
+from repro.core.spdq import SPDQEngine
+from repro.index.psi import ParametricSpaceIndex
+from repro.storage.metrics import QueryCost
+from repro.workload.trajectories import generate_trajectories
+
+
+@pytest.fixture(scope="module")
+def grid(tiny_config, tiny_queries):
+    def make(overlap, side=8.0, count=3):
+        return generate_trajectories(
+            tiny_config, tiny_queries, overlap, side, count
+        )
+
+    return make
+
+
+def io_of(frames, subsequent_only=True):
+    frames = frames[1:] if subsequent_only else frames
+    return sum(f.cost.total_reads for f in frames)
+
+
+class TestSection5Claims:
+    def test_naive_subsequent_equals_first(self, tiny_native, grid, tiny_queries):
+        """'the query performance of subsequent queries is the same as
+        that of the first snapshot query' (naive)."""
+        period = tiny_queries.snapshot_period
+        firsts = subs = n_subs = 0
+        for trajectory in grid(90.0):
+            frames = NaiveEvaluator(tiny_native).run(trajectory, period)
+            firsts += frames[0].cost.total_reads
+            subs += io_of(frames)
+            n_subs += len(frames) - 1
+        avg_first = firsts / 3
+        avg_sub = subs / n_subs
+        assert abs(avg_first - avg_sub) <= max(3.0, 0.5 * avg_first)
+
+    def test_pdq_improves_even_without_overlap(
+        self, tiny_native, grid, tiny_queries
+    ):
+        """'Even in the case of no overlap between subsequent queries,
+        the predictive approach still improves the query performance.'"""
+        period = tiny_queries.snapshot_period
+        naive_io = pdq_io = 0
+        for trajectory in grid(0.0):
+            naive_io += io_of(NaiveEvaluator(tiny_native).run(trajectory, period))
+            with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+                pdq_io += io_of(pdq.run(period))
+        assert pdq_io < naive_io
+
+    def test_more_overlap_better_pdq(self, tiny_native, grid, tiny_queries):
+        """'The more the percent overlap is, the better I/O performance
+        is.'"""
+        period = tiny_queries.snapshot_period
+
+        def pdq_cost(overlap):
+            total = 0
+            for trajectory in grid(overlap, count=3):
+                with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+                    total += io_of(pdq.run(period))
+            return total
+
+        assert pdq_cost(90.0) < pdq_cost(0.0)
+
+    def test_bigger_range_costs_more(self, tiny_native, grid, tiny_queries):
+        """'a big query range requires a higher number of disk accesses
+        and a higher number of distance computations'."""
+        period = tiny_queries.snapshot_period
+
+        def costs(side):
+            cost = QueryCost()
+            for trajectory in grid(90.0, side=side):
+                naive = NaiveEvaluator(tiny_native)
+                naive.run(trajectory, period)
+                snap = naive.cost.snapshot()
+                cost.internal_reads += snap.internal_reads
+                cost.leaf_reads += snap.leaf_reads
+                cost.distance_computations += snap.distance_computations
+            return cost
+
+        small, big = costs(8.0), costs(20.0)
+        assert big.total_reads > small.total_reads
+        assert big.distance_computations > small.distance_computations
+
+    def test_npdq_no_harm_at_zero_overlap(self, tiny_dual, grid, tiny_queries):
+        """'If there is no overlap between two consecutive queries, the
+        NPDQ algorithm does not cause improvement; neither does it cause
+        harm.'"""
+        period = tiny_queries.snapshot_period
+        naive_io = npdq_io = 0
+        for trajectory in grid(0.0):
+            naive_io += io_of(NaiveEvaluator(tiny_dual).run(trajectory, period))
+            npdq_io += io_of(NPDQEngine(tiny_dual).run(trajectory, period))
+        assert npdq_io <= naive_io
+
+    def test_pdq_beats_npdq(self, tiny_native, tiny_dual, grid, tiny_queries):
+        """'Comparison of PDQ versus NPDQ performance favors the
+        former.'"""
+        period = tiny_queries.snapshot_period
+        pdq_io = npdq_io = 0
+        for trajectory in grid(90.0):
+            with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+                pdq_io += io_of(pdq.run(period))
+            npdq_io += io_of(NPDQEngine(tiny_dual).run(trajectory, period))
+        assert pdq_io < npdq_io
+
+    def test_cpu_tracks_io(self, tiny_native, grid, tiny_queries):
+        """'The number of distance computations is proportional to the
+        number of disk accesses' — rank correlation across overlaps."""
+        period = tiny_queries.snapshot_period
+        points = []
+        for overlap in (0.0, 90.0):
+            cost = QueryCost()
+            for trajectory in grid(overlap, count=4):
+                with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+                    pdq.run(period)
+                snap = pdq.cost.snapshot()
+                cost.internal_reads += snap.internal_reads
+                cost.leaf_reads += snap.leaf_reads
+                cost.distance_computations += snap.distance_computations
+            points.append((cost.total_reads, cost.distance_computations))
+        # Both measures move the same way between the extremes.
+        io_drops = points[1][0] <= points[0][0]
+        cpu_drops = points[1][1] <= points[0][1]
+        assert io_drops == cpu_drops
+
+
+class TestSection4Claims:
+    def test_io_independent_of_frame_rate(self, tiny_native, grid):
+        """'we access each R-tree node at most once irrespective of the
+        frame rate'."""
+        trajectory = grid(90.0, count=1)[0]
+        totals = set()
+        for period in (0.5, 0.1, 0.02):
+            with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+                totals.add(io_of(pdq.run(period), subsequent_only=False))
+        assert len(totals) == 1
+
+    def test_spdq_larger_than_pdq(self, tiny_native, grid, tiny_queries):
+        """SPDQ 'will result in each snapshot query being larger than
+        the corresponding simple PDQ one'."""
+        period = tiny_queries.snapshot_period
+        trajectory = grid(90.0, count=1)[0]
+        with PDQEngine(tiny_native, trajectory, track_updates=False) as pdq:
+            pdq_results = sum(len(f.items) for f in pdq.run(period))
+        with SPDQEngine(
+            tiny_native, trajectory, delta=2.0, track_updates=False
+        ) as spdq:
+            spdq_results = sum(len(f.items) for f in spdq.run(period))
+        assert spdq_results >= pdq_results
+
+
+class TestSection2Claims:
+    def test_nsi_outperforms_psi(self, tiny_native, tiny_segments, grid, tiny_queries):
+        """'NSI outperforms PSI, because of the loss of locality
+        associated with PSI.'"""
+        psi = ParametricSpaceIndex(dims=2)
+        psi.bulk_load(tiny_segments)
+        nsi_cost, psi_cost = QueryCost(), QueryCost()
+        for trajectory in grid(90.0):
+            for q in trajectory.frame_queries(tiny_queries.snapshot_period):
+                tiny_native.snapshot_search(q.time, q.window, cost=nsi_cost)
+                psi.snapshot_search(q.time, q.window, cost=psi_cost)
+        assert nsi_cost.total_reads < psi_cost.total_reads

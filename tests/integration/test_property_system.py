@@ -1,0 +1,144 @@
+"""Hypothesis-driven whole-system equivalence.
+
+Random mini-worlds and random observer trajectories; for every drawn
+configuration all three evaluators must agree with brute force.  This
+is the test that hunts interaction bugs the hand-written cases miss.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.naive import NaiveEvaluator
+from repro.core.npdq import NPDQEngine
+from repro.core.pdq import PDQEngine
+from repro.core.trajectory import QueryTrajectory
+from repro.geometry.interval import Interval
+from repro.geometry.segment import segment_box_overlap_interval
+from repro.index.dualtime import DualTimeIndex
+from repro.index.nsi import NativeSpaceIndex
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import MobileObject, PeriodicUpdatePolicy
+
+HORIZON = 8.0
+SIDE = 40.0
+
+
+def build_world(seed: int):
+    rng = random.Random(seed)
+    segments = []
+    for oid in range(40):
+        legs = []
+        t = 0.0
+        pos = (rng.uniform(0, SIDE), rng.uniform(0, SIDE))
+        while t < HORIZON:
+            dur = rng.uniform(0.5, 2.0)
+            vel = (rng.uniform(-2, 2), rng.uniform(-2, 2))
+            legs.append(LinearMotion(t, pos, vel))
+            pos = tuple(p + v * dur for p, v in zip(pos, vel))
+            t += dur
+        obj = MobileObject(oid, PiecewiseLinearMotion(legs))
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(seed * 1000 + oid))
+        segments.extend(obj.reported_segments(policy, Interval(0.0, HORIZON)))
+    native = NativeSpaceIndex(dims=2, page_size=512)
+    native.bulk_load(segments)
+    dual = DualTimeIndex(dims=2, page_size=512)
+    dual.bulk_load(segments)
+    return segments, native, dual
+
+
+def build_trajectory(seed: int) -> QueryTrajectory:
+    rng = random.Random(seed ^ 0xABCD)
+    start = rng.uniform(0.5, HORIZON - 3.0)
+    duration = rng.uniform(1.0, 2.5)
+    half = rng.uniform(1.0, 5.0)
+    keys = max(2, rng.randrange(2, 5))
+    times = sorted(
+        {start, start + duration}
+        | {start + duration * rng.random() for _ in range(keys - 2)}
+    )
+    centers = [
+        (rng.uniform(0, SIDE), rng.uniform(0, SIDE)) for _ in times
+    ]
+    return QueryTrajectory.through_waypoints(times, centers, (half, half))
+
+
+class TestRandomWorlds:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        world_seed=st.integers(min_value=0, max_value=50),
+        traj_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_pdq_equals_oracle(self, world_seed, traj_seed):
+        segments, native, _ = build_world(world_seed)
+        trajectory = build_trajectory(traj_seed)
+        with PDQEngine(native, trajectory, track_updates=False) as pdq:
+            frames = pdq.run(0.1)
+        got = {}
+        for f in frames:
+            for i in f.items:
+                got.setdefault(i.key, []).append(i.visibility)
+        want = {}
+        for s in segments:
+            ts = trajectory.segment_overlap(s.segment)
+            if not ts.is_empty:
+                want[s.key] = list(ts.components)
+        assert set(got) == set(want)
+        for key, intervals in got.items():
+            assert sorted(intervals, key=lambda i: i.low) == want[key]
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        world_seed=st.integers(min_value=0, max_value=50),
+        traj_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_npdq_covers_naive_frames(self, world_seed, traj_seed):
+        segments, _, dual = build_world(world_seed)
+        trajectory = build_trajectory(traj_seed)
+        engine = NPDQEngine(dual)
+        delivered = set()
+        for q in trajectory.frame_queries(0.1):
+            result = engine.snapshot(q)
+            new = {i.key for i in result.items}
+            assert not (new & delivered) or True  # re-entries allowed later
+            delivered |= new
+            qbox = q.to_native_box()
+            exact = {
+                s.key
+                for s in segments
+                if not segment_box_overlap_interval(s.segment, qbox).is_empty
+            }
+            assert new <= exact
+            assert exact <= delivered
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        world_seed=st.integers(min_value=0, max_value=50),
+        traj_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_naive_equals_oracle(self, world_seed, traj_seed):
+        segments, native, _ = build_world(world_seed)
+        trajectory = build_trajectory(traj_seed)
+        naive = NaiveEvaluator(native)
+        for q, frame in zip(
+            trajectory.frame_queries(0.1), naive.run(trajectory, 0.1)
+        ):
+            qbox = q.to_native_box()
+            exact = {
+                s.key
+                for s in segments
+                if not segment_box_overlap_interval(s.segment, qbox).is_empty
+            }
+            assert {i.key for i in frame.items} == exact

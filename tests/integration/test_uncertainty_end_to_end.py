@@ -1,0 +1,111 @@
+"""End-to-end bounded-uncertainty pipeline (Sect. 3.1).
+
+Objects report dead-reckoned motion with a deviation threshold ε; the
+index inflates stored boxes by ε.  The paper's guarantee: queries over
+the inflated index may return false admissions but never miss an object
+whose *true* position satisfies the query.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.index.nsi import NativeSpaceIndex
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import MobileObject, ThresholdUpdatePolicy
+from repro.motion.uncertainty import UncertainMotionSegment
+
+EPSILON = 0.75
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Ground-truth objects plus their ε-bounded reported segments."""
+    rng = random.Random(31)
+    objects = []
+    for oid in range(120):
+        legs = []
+        t = 0.0
+        pos = (rng.uniform(10, 90), rng.uniform(10, 90))
+        while t < 12.0:
+            dur = rng.uniform(0.8, 2.0)
+            vel = (rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2))
+            legs.append(LinearMotion(t, pos, vel))
+            pos = tuple(p + v * dur for p, v in zip(pos, vel))
+            t += dur
+        objects.append(MobileObject(oid, PiecewiseLinearMotion(legs)))
+
+    policy = ThresholdUpdatePolicy(epsilon=EPSILON, check_dt=0.02)
+    horizon = Interval(0.0, 12.0)
+    segments = []
+    for obj in objects:
+        segments.extend(obj.reported_segments(policy, horizon))
+    return objects, segments
+
+
+@pytest.fixture(scope="module")
+def fuzzy_index(world):
+    _, segments = world
+    index = NativeSpaceIndex(dims=2, uncertainty=EPSILON)
+    index.bulk_load(segments)
+    return index
+
+
+class TestNoMisses:
+    def test_truth_never_missed(self, world, fuzzy_index, rng):
+        """Any object truly inside a query window is retrieved when the
+        query window is ε-inflated (the conservative protocol)."""
+        objects, _ = world
+        for _ in range(30):
+            t = rng.uniform(0.5, 11.5)
+            cx, cy = rng.uniform(10, 90), rng.uniform(10, 90)
+            half = 5.0
+            window = Box.from_bounds(
+                (cx - half - EPSILON, cy - half - EPSILON),
+                (cx + half + EPSILON, cy + half + EPSILON),
+            )
+            got = {
+                r.object_id
+                for r, _ in fuzzy_index.snapshot_search(
+                    Interval.point(t), window
+                )
+            }
+            for obj in objects:
+                x, y = obj.true_location(t)
+                if abs(x - cx) <= half and abs(y - cy) <= half:
+                    assert obj.object_id in got
+
+    def test_reported_positions_within_epsilon(self, world):
+        objects, segments = world
+        truth = {o.object_id: o for o in objects}
+        rng = random.Random(5)
+        for seg in rng.sample(segments, 200):
+            t = seg.time.sample(rng.random())
+            err = math.dist(
+                seg.position_at(t), truth[seg.object_id].true_location(t)
+            )
+            assert err <= EPSILON + 1e-6
+
+    def test_uncertain_wrapper_consistent_with_index(self, world):
+        _, segments = world
+        u = UncertainMotionSegment(segments[0], EPSILON)
+        index_box = NativeSpaceIndex(dims=2, uncertainty=EPSILON)._leaf_entry(
+            segments[0]
+        ).box
+        assert index_box == u.indexed_bounding_box()
+
+    def test_threshold_policy_cheaper_than_tight_one(self, world):
+        """The update-frequency/precision trade-off of Sect. 3.1: the
+        loose bound generates fewer motion segments."""
+        objects, segments = world
+        tight_policy = ThresholdUpdatePolicy(epsilon=0.15, check_dt=0.02)
+        tight = 0
+        for obj in objects[:20]:
+            tight += len(
+                list(obj.reported_segments(tight_policy, Interval(0.0, 12.0)))
+            )
+        loose = sum(1 for s in segments if s.object_id < 20)
+        assert loose < tight

@@ -1,0 +1,111 @@
+"""Tests for location functions (Eq. 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MotionError
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestLinearMotion:
+    def test_location_at_start(self):
+        m = LinearMotion(1.0, (2.0, 3.0), (1.0, -1.0))
+        assert m.location(1.0) == (2.0, 3.0)
+
+    def test_location_extrapolates(self):
+        m = LinearMotion(1.0, (2.0, 3.0), (1.0, -1.0))
+        assert m.location(3.0) == (4.0, 1.0)
+        assert m.location(0.0) == (1.0, 4.0)
+
+    def test_dims(self):
+        assert LinearMotion(0.0, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0)).dims == 3
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(MotionError):
+            LinearMotion(0.0, (0.0,), (1.0, 2.0))
+
+    def test_segment_freeze(self):
+        m = LinearMotion(1.0, (0.0, 0.0), (2.0, 0.0))
+        s = m.segment(3.0)
+        assert s.time.low == 1.0 and s.time.high == 3.0
+        assert s.position_at(3.0) == (4.0, 0.0)
+
+    def test_segment_before_start_raises(self):
+        with pytest.raises(MotionError):
+            LinearMotion(1.0, (0.0,), (1.0,)).segment(0.5)
+
+    def test_speed(self):
+        assert LinearMotion(0.0, (0.0, 0.0), (3.0, 4.0)).speed() == 5.0
+
+    @given(finite, finite, finite, finite, finite)
+    def test_location_is_linear(self, t0, x, v, a, b):
+        m = LinearMotion(t0, (x,), (v,))
+        mid = (a + b) / 2
+        expected = (m.location(a)[0] + m.location(b)[0]) / 2
+        assert m.location(mid)[0] == pytest.approx(expected, abs=1e-6)
+
+
+class TestPiecewiseLinearMotion:
+    def _motion(self):
+        return PiecewiseLinearMotion(
+            [
+                LinearMotion(0.0, (0.0, 0.0), (1.0, 0.0)),
+                LinearMotion(2.0, (2.0, 0.0), (0.0, 1.0)),
+                LinearMotion(4.0, (2.0, 2.0), (-1.0, 0.0)),
+            ]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearMotion([])
+
+    def test_unordered_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearMotion(
+                [
+                    LinearMotion(2.0, (0.0,), (0.0,)),
+                    LinearMotion(1.0, (0.0,), (0.0,)),
+                ]
+            )
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearMotion(
+                [
+                    LinearMotion(0.0, (0.0,), (0.0,)),
+                    LinearMotion(1.0, (0.0, 0.0), (0.0, 0.0)),
+                ]
+            )
+
+    def test_leg_at(self):
+        m = self._motion()
+        assert m.leg_at(1.0).start_time == 0.0
+        assert m.leg_at(2.0).start_time == 2.0
+        assert m.leg_at(10.0).start_time == 4.0
+
+    def test_leg_at_before_start_uses_first(self):
+        assert self._motion().leg_at(-5.0).start_time == 0.0
+
+    def test_location_continuous_across_legs(self):
+        m = self._motion()
+        assert m.location(2.0) == (2.0, 0.0)
+        assert m.location(3.0) == (2.0, 1.0)
+        assert m.location(5.0) == (1.0, 2.0)
+
+    def test_velocity(self):
+        m = self._motion()
+        assert m.velocity(1.0) == (1.0, 0.0)
+        assert m.velocity(3.0) == (0.0, 1.0)
+
+    def test_change_times(self):
+        assert self._motion().change_times() == (2.0, 4.0)
+
+    def test_len_and_legs(self):
+        m = self._motion()
+        assert len(m) == 3
+        assert len(m.legs) == 3
+
+    def test_start_time(self):
+        assert self._motion().start_time == 0.0

@@ -1,0 +1,169 @@
+"""Tests for mobile objects and update policies (Sect. 3.1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MotionError
+from repro.geometry.interval import Interval
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import (
+    MobileObject,
+    PeriodicUpdatePolicy,
+    ThresholdUpdatePolicy,
+)
+
+
+def zigzag(speed=1.0, period=2.0, horizon=20.0):
+    """A motion that flips x-velocity every ``period``."""
+    legs = []
+    t, x = 0.0, 0.0
+    sign = 1.0
+    while t < horizon:
+        legs.append(LinearMotion(t, (x, 0.0), (sign * speed, 0.0)))
+        x += sign * speed * period
+        t += period
+        sign = -sign
+    return PiecewiseLinearMotion(legs)
+
+
+class TestPeriodicPolicy:
+    def test_reports_at_horizon_start(self):
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(1))
+        times = policy.update_times(zigzag(), Interval(3.0, 10.0))
+        assert times[0] == 3.0
+
+    def test_times_strictly_increasing(self):
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(2))
+        times = policy.update_times(zigzag(), Interval(0.0, 20.0))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_times_within_horizon(self):
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(3))
+        times = policy.update_times(zigzag(), Interval(0.0, 20.0))
+        assert all(0.0 <= t < 20.0 for t in times)
+
+    def test_mean_period_roughly_respected(self):
+        policy = PeriodicUpdatePolicy(1.0, std_fraction=0.25, rng=random.Random(4))
+        times = policy.update_times(zigzag(horizon=500.0), Interval(0.0, 500.0))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert 0.9 < sum(gaps) / len(gaps) < 1.1
+
+    def test_deterministic_with_seeded_rng(self):
+        a = PeriodicUpdatePolicy(1.0, rng=random.Random(5)).update_times(
+            zigzag(), Interval(0.0, 20.0)
+        )
+        b = PeriodicUpdatePolicy(1.0, rng=random.Random(5)).update_times(
+            zigzag(), Interval(0.0, 20.0)
+        )
+        assert a == b
+
+    def test_invalid_period_raises(self):
+        with pytest.raises(MotionError):
+            PeriodicUpdatePolicy(0.0)
+
+    def test_min_period_floors_gaps(self):
+        policy = PeriodicUpdatePolicy(
+            1.0, std_fraction=5.0, min_period=0.5, rng=random.Random(6)
+        )
+        times = policy.update_times(zigzag(horizon=100.0), Interval(0.0, 100.0))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= 0.5
+
+
+class TestThresholdPolicy:
+    def test_straight_line_needs_no_updates(self):
+        motion = PiecewiseLinearMotion([LinearMotion(0.0, (0.0, 0.0), (1.0, 0.0))])
+        policy = ThresholdUpdatePolicy(epsilon=0.1)
+        times = policy.update_times(motion, Interval(0.0, 50.0))
+        assert times == [0.0]
+
+    def test_zigzag_triggers_updates(self):
+        policy = ThresholdUpdatePolicy(epsilon=0.5, check_dt=0.05)
+        times = policy.update_times(zigzag(), Interval(0.0, 20.0))
+        assert len(times) > 1
+
+    def test_error_bounded_by_epsilon(self):
+        """Between updates the dead-reckoned error stays within ε (checked
+        at the policy's own probe resolution)."""
+        eps = 0.5
+        motion = zigzag()
+        policy = ThresholdUpdatePolicy(epsilon=eps, check_dt=0.01)
+        times = policy.update_times(motion, Interval(0.0, 20.0))
+        boundaries = times + [20.0]
+        for t0, t1 in zip(boundaries, boundaries[1:]):
+            predicted = LinearMotion(t0, motion.location(t0), motion.velocity(t0))
+            steps = max(2, int((t1 - t0) / 0.01))
+            for k in range(steps):
+                t = t0 + (t1 - t0) * k / steps
+                err = math.dist(motion.location(t), predicted.location(t))
+                assert err <= eps + 1e-6
+
+    def test_tighter_epsilon_more_updates(self):
+        tight = ThresholdUpdatePolicy(epsilon=0.2, check_dt=0.05)
+        loose = ThresholdUpdatePolicy(epsilon=2.0, check_dt=0.05)
+        horizon = Interval(0.0, 20.0)
+        assert len(tight.update_times(zigzag(), horizon)) >= len(
+            loose.update_times(zigzag(), horizon)
+        )
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(MotionError):
+            ThresholdUpdatePolicy(epsilon=0.0)
+        with pytest.raises(MotionError):
+            ThresholdUpdatePolicy(epsilon=1.0, check_dt=0.0)
+
+
+class TestReportedSegments:
+    def test_segments_tile_the_horizon(self):
+        obj = MobileObject(7, zigzag())
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(8))
+        segs = list(obj.reported_segments(policy, Interval(0.0, 20.0)))
+        assert segs[0].time.low == 0.0
+        assert segs[-1].time.high == 20.0
+        for a, b in zip(segs, segs[1:]):
+            assert a.time.high == b.time.low  # contiguous
+        assert [s.seq for s in segs] == list(range(len(segs)))
+
+    def test_segments_match_truth_at_update_instants(self):
+        obj = MobileObject(7, zigzag())
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(9))
+        for seg in obj.reported_segments(policy, Interval(0.0, 20.0)):
+            truth = obj.true_location(seg.time.low)
+            assert seg.position_at(seg.time.low) == pytest.approx(tuple(truth))
+
+    def test_object_id_propagates(self):
+        obj = MobileObject(42, zigzag())
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(10))
+        assert all(
+            s.object_id == 42
+            for s in obj.reported_segments(policy, Interval(0.0, 5.0))
+        )
+
+    def test_empty_horizon_raises(self):
+        obj = MobileObject(0, zigzag())
+        policy = PeriodicUpdatePolicy(1.0)
+        with pytest.raises(MotionError):
+            list(obj.reported_segments(policy, Interval(5.0, 4.0)))
+
+    def test_threshold_policy_segments_are_exact_on_straight_legs(self):
+        """Dead-reckoned segments coincide with truth while velocity holds."""
+        obj = MobileObject(1, zigzag(period=5.0, horizon=20.0))
+        policy = ThresholdUpdatePolicy(epsilon=0.3, check_dt=0.01)
+        segs = list(obj.reported_segments(policy, Interval(0.0, 20.0)))
+        for seg in segs:
+            mid = seg.time.midpoint
+            err = math.dist(seg.position_at(mid), obj.true_location(mid))
+            assert err <= 0.3 + 1e-6
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_any_seed_produces_contiguous_streams(self, seed):
+        obj = MobileObject(0, zigzag())
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(seed))
+        segs = list(obj.reported_segments(policy, Interval(0.0, 10.0)))
+        assert segs
+        for a, b in zip(segs, segs[1:]):
+            assert a.time.high == b.time.low

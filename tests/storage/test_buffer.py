@@ -1,0 +1,97 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+    def test_miss_then_hit(self):
+        pool = BufferPool(2)
+        assert pool.get(1) is None
+        pool.put(1, "a")
+        assert pool.get(1) == "a"
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_len_and_contains(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        assert len(pool) == 1
+        assert 1 in pool and 2 not in pool
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        pool.put(2, "b")
+        pool.put(3, "c")  # evicts 1 (least recent)
+        assert 1 not in pool and 2 in pool and 3 in pool
+        assert pool.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        pool.put(2, "b")
+        pool.get(1)  # 1 becomes most recent
+        pool.put(3, "c")  # evicts 2
+        assert 1 in pool and 2 not in pool
+
+    def test_put_refreshes_existing(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        pool.put(2, "b")
+        pool.put(1, "a2")  # refresh, no eviction
+        pool.put(3, "c")  # evicts 2
+        assert pool.get(1) == "a2"
+        assert 2 not in pool
+
+    def test_never_exceeds_capacity(self):
+        pool = BufferPool(3)
+        for i in range(50):
+            pool.put(i, i)
+        assert len(pool) == 3
+
+
+class TestInvalidation:
+    def test_invalidate_removes(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        pool.invalidate(1)
+        assert pool.get(1) is None
+
+    def test_invalidate_absent_is_noop(self):
+        BufferPool(2).invalidate(99)
+
+    def test_clear_keeps_stats(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        pool.get(1)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.stats.hits == 1
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        pool = BufferPool(2)
+        pool.put(1, "a")
+        pool.get(1)
+        pool.get(2)
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_unused_is_zero(self):
+        assert BufferPool(1).stats.hit_ratio == 0.0
+
+    def test_accesses(self):
+        pool = BufferPool(2)
+        pool.get(1)
+        pool.put(1, "a")
+        pool.get(1)
+        assert pool.stats.accesses == 2

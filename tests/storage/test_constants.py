@@ -1,0 +1,68 @@
+"""Tests pinning the page-layout arithmetic to the paper's numbers."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.constants import (
+    PAGE_SIZE,
+    internal_entry_bytes,
+    internal_fanout,
+    leaf_entry_bytes,
+    leaf_fanout,
+)
+
+
+class TestPaperNumbers:
+    def test_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+    def test_internal_fanout_matches_paper(self):
+        # Sect. 5: "Fanout is 145 ... for internal ... nodes"; native
+        # space at d = 2 has 3 axes.
+        assert internal_fanout(3) == 145
+
+    def test_leaf_fanout_matches_paper(self):
+        # Sect. 5: "... and 127 for ... leaf-level nodes".
+        assert leaf_fanout(2) == 127
+
+    def test_dual_time_internal_fanout(self):
+        # One extra axis per internal entry.
+        assert internal_fanout(4) == 113
+
+    def test_dual_time_leaf_fanout_unchanged(self):
+        # Leaves store end-point representations either way.
+        assert leaf_fanout(2) == 127
+
+
+class TestEntryBytes:
+    def test_internal_entry_bytes(self):
+        assert internal_entry_bytes(3) == 28  # 6 float32 + child id
+
+    def test_leaf_entry_bytes(self):
+        assert leaf_entry_bytes(2) == 32  # interval+origin+velocity+oid+seq
+
+    def test_one_dimension(self):
+        assert internal_entry_bytes(1) == 12
+        assert leaf_entry_bytes(1) == 24
+
+    def test_invalid_axes_raise(self):
+        with pytest.raises(StorageError):
+            internal_entry_bytes(0)
+        with pytest.raises(StorageError):
+            leaf_entry_bytes(0)
+
+
+class TestFanoutScaling:
+    def test_smaller_pages_smaller_fanout(self):
+        assert internal_fanout(3, page_size=1024) < internal_fanout(3)
+
+    def test_fanout_at_least_two_enforced(self):
+        with pytest.raises(StorageError):
+            internal_fanout(3, page_size=40)
+        with pytest.raises(StorageError):
+            leaf_fanout(2, page_size=40)
+
+    def test_three_d_space(self):
+        # d = 3 => native axes 4, leaf entries carry 3-d vectors.
+        assert internal_fanout(4) == 113
+        assert leaf_fanout(3) == 102

@@ -1,0 +1,124 @@
+"""Tests for the counting disk manager."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, PageOverflowError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+class _UpperCodec:
+    """Toy codec: payloads are strings, stored upper-cased."""
+
+    def encode(self, payload):
+        return payload.upper().encode()
+
+    def decode(self, data):
+        return data.decode().lower()
+
+
+class TestLifecycle:
+    def test_allocate_gives_fresh_ids(self):
+        disk = DiskManager()
+        assert disk.allocate() != disk.allocate()
+
+    def test_read_unwritten_page_raises(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.read(pid)
+
+    def test_read_unallocated_raises(self):
+        with pytest.raises(PageNotFoundError):
+            DiskManager().read(99)
+
+    def test_write_unallocated_raises(self):
+        with pytest.raises(PageNotFoundError):
+            DiskManager().write(99, "x")
+
+    def test_free(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write(pid, "x")
+        disk.free(pid)
+        with pytest.raises(PageNotFoundError):
+            disk.read(pid)
+        assert disk.stats.live_pages == 0
+
+    def test_free_unallocated_raises(self):
+        with pytest.raises(PageNotFoundError):
+            DiskManager().free(5)
+
+    def test_len_contains_page_ids(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        assert len(disk) == 1
+        assert pid in disk
+        assert pid in disk.page_ids()
+
+
+class TestCounting:
+    def test_reads_and_writes_counted(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        disk.read(pid)
+        disk.read(pid)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+
+    def test_object_mode_returns_payload(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        payload = {"k": 1}
+        disk.write(pid, payload)
+        assert disk.read(pid) is payload
+
+
+class TestBinaryMode:
+    def test_codec_round_trip(self):
+        disk = DiskManager(codec=_UpperCodec())
+        pid = disk.allocate()
+        disk.write(pid, "hello")
+        assert disk.read(pid) == "hello"
+
+    def test_page_overflow_rejected(self):
+        disk = DiskManager(codec=_UpperCodec(), page_size=4)
+        pid = disk.allocate()
+        with pytest.raises(PageOverflowError):
+            disk.write(pid, "too long for a page")
+
+
+class TestWithBuffer:
+    def test_buffer_hits_skip_physical_reads(self):
+        disk = DiskManager(buffer_pool=BufferPool(4))
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        disk.read(pid)  # physical, populates buffer
+        disk.read(pid)  # buffered
+        assert disk.stats.reads == 1
+        assert disk.stats.buffered_reads == 1
+
+    def test_write_invalidates_buffer(self):
+        disk = DiskManager(buffer_pool=BufferPool(4))
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        disk.read(pid)
+        disk.write(pid, "b")  # must not serve stale 'a'
+        assert disk.read(pid) == "b"
+        assert disk.stats.reads == 2  # second read is physical again
+
+    def test_eviction_causes_physical_reread(self):
+        disk = DiskManager(buffer_pool=BufferPool(1))
+        p1, p2 = disk.allocate(), disk.allocate()
+        disk.write(p1, "a")
+        disk.write(p2, "b")
+        disk.read(p1)
+        disk.read(p2)  # evicts p1
+        disk.read(p1)  # physical again
+        assert disk.stats.reads == 3
+
+    def test_buffer_pool_property(self):
+        pool = BufferPool(4)
+        assert DiskManager(buffer_pool=pool).buffer_pool is pool
+        assert DiskManager().buffer_pool is None

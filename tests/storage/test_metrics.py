@@ -1,0 +1,75 @@
+"""Tests for the cost accounting types."""
+
+import pytest
+
+from repro.storage.metrics import CostSnapshot, QueryCost
+
+
+class TestQueryCost:
+    def test_node_read_split(self):
+        cost = QueryCost()
+        cost.count_node_read(is_leaf=True)
+        cost.count_node_read(is_leaf=False)
+        cost.count_node_read(is_leaf=True)
+        assert cost.leaf_reads == 2
+        assert cost.internal_reads == 1
+        assert cost.total_reads == 3
+
+    def test_distance_computations(self):
+        cost = QueryCost()
+        cost.count_distance_computations()
+        cost.count_distance_computations(5)
+        assert cost.distance_computations == 6
+
+    def test_segment_tests_and_results(self):
+        cost = QueryCost()
+        cost.count_segment_tests(3)
+        cost.count_results(2)
+        assert cost.segment_tests == 3
+        assert cost.results == 2
+
+    def test_reset(self):
+        cost = QueryCost()
+        cost.count_node_read(True)
+        cost.count_results()
+        cost.reset()
+        assert cost.snapshot() == CostSnapshot()
+
+
+class TestSnapshotAlgebra:
+    def test_snapshot_is_immutable_copy(self):
+        cost = QueryCost()
+        cost.count_node_read(True)
+        snap = cost.snapshot()
+        cost.count_node_read(True)
+        assert snap.leaf_reads == 1
+        assert cost.leaf_reads == 2
+
+    def test_subtraction_gives_delta(self):
+        cost = QueryCost()
+        cost.count_node_read(False)
+        before = cost.snapshot()
+        cost.count_node_read(True)
+        cost.count_distance_computations(10)
+        delta = cost.snapshot() - before
+        assert delta.leaf_reads == 1
+        assert delta.internal_reads == 0
+        assert delta.distance_computations == 10
+
+    def test_addition(self):
+        a = CostSnapshot(internal_reads=1, leaf_reads=2, distance_computations=3)
+        b = CostSnapshot(internal_reads=10, leaf_reads=20, distance_computations=30)
+        c = a + b
+        assert c.internal_reads == 11
+        assert c.leaf_reads == 22
+        assert c.distance_computations == 33
+
+    def test_scaled(self):
+        snap = CostSnapshot(internal_reads=4, leaf_reads=6, results=2)
+        avg = snap.scaled(0.5)
+        assert avg.internal_reads == pytest.approx(2.0)
+        assert avg.leaf_reads == pytest.approx(3.0)
+        assert avg.total_reads == pytest.approx(5.0)
+
+    def test_total_reads(self):
+        assert CostSnapshot(internal_reads=2, leaf_reads=3).total_reads == 5

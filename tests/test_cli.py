@@ -1,0 +1,66 @@
+"""Tests for the ``repro-dq`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigures:
+    def test_single_figure_tiny(self, capsys, tmp_path):
+        out_file = tmp_path / "figs.txt"
+        code = main(
+            [
+                "figures",
+                "--scale",
+                "tiny",
+                "--figure",
+                "fig06",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "fig06" in captured
+        assert "naive" in captured and "pdq" in captured
+        assert out_file.exists()
+        assert "fig06" in out_file.read_text()
+
+    def test_unknown_figure_rejected(self, capsys):
+        code = main(["figures", "--scale", "tiny", "--figure", "fig99"])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_npdq_figure_tiny(self, capsys):
+        code = main(["figures", "--scale", "tiny", "--figure", "fig10"])
+        assert code == 0
+        assert "npdq" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_tiny(self, capsys):
+        code = main(["stats", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "native-space index" in out
+        assert "dual-time index" in out
+        assert "fanout 145/127" in out
+
+
+class TestDemo:
+    def test_demo_runs_and_switches_modes(self, capsys):
+        code = main(["demo", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mode=snapshot" in out
+        assert "mode switches" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--scale", "galactic"])

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GeometryError,
+            errors.DimensionalityError,
+            errors.MotionError,
+            errors.StorageError,
+            errors.PageOverflowError,
+            errors.PageNotFoundError,
+            errors.IndexError_,
+            errors.QueryError,
+            errors.TrajectoryError,
+            errors.SessionError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_dimensionality_is_geometry(self):
+        assert issubclass(errors.DimensionalityError, errors.GeometryError)
+
+    def test_page_errors_are_storage(self):
+        assert issubclass(errors.PageOverflowError, errors.StorageError)
+        assert issubclass(errors.PageNotFoundError, errors.StorageError)
+
+    def test_trajectory_is_query(self):
+        assert issubclass(errors.TrajectoryError, errors.QueryError)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)
+
+    def test_catching_repro_error_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("boom")

@@ -1,0 +1,77 @@
+"""Tests for workload parameterisation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.config import QueryWorkload, WorkloadConfig
+
+
+class TestWorkloadConfig:
+    def test_paper_defaults(self):
+        cfg = WorkloadConfig.paper()
+        assert cfg.num_objects == 5000
+        assert cfg.space_side == 100.0
+        assert cfg.horizon == 100.0
+        assert cfg.update_period == 1.0
+        assert cfg.speed == 1.0
+        assert cfg.dims == 2
+
+    def test_paper_expected_segments(self):
+        # The paper reports 502,504 segments at this configuration.
+        assert WorkloadConfig.paper().expected_segments == 500_000
+
+    def test_scaled_presets_shrink(self):
+        assert (
+            WorkloadConfig.tiny().expected_segments
+            < WorkloadConfig.small().expected_segments
+            < WorkloadConfig.paper().expected_segments
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_objects": 0},
+            {"space_side": 0.0},
+            {"horizon": -1.0},
+            {"dims": 0},
+            {"update_period": 0.0},
+            {"velocity_change_period": 0.0},
+            {"speed": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(**kwargs)
+
+
+class TestQueryWorkload:
+    def test_paper_grid(self):
+        qw = QueryWorkload.paper()
+        assert qw.overlap_levels == (0.0, 25.0, 50.0, 80.0, 90.0, 99.99)
+        assert qw.window_sides == (8.0, 14.0, 20.0)
+        assert qw.snapshot_period == 0.1
+        assert qw.subsequent_count == 50
+        assert qw.trajectories == 1000
+
+    def test_duration(self):
+        qw = QueryWorkload.paper()
+        assert qw.duration == pytest.approx(5.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"overlap_levels": ()},
+            {"overlap_levels": (100.0,)},
+            {"overlap_levels": (-1.0,)},
+            {"window_sides": (0.0,)},
+            {"snapshot_period": 0.0},
+            {"subsequent_count": 0},
+            {"trajectories": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(WorkloadError):
+            QueryWorkload(**kwargs)
+
+    def test_presets_shrink(self):
+        assert QueryWorkload.tiny().trajectories < QueryWorkload.small().trajectories

@@ -1,0 +1,79 @@
+"""Tests for the named demo scenarios."""
+
+import pytest
+
+from repro.workload.scenarios import battlefield_scenario, city_scenario
+
+
+@pytest.fixture(scope="module")
+def battlefield():
+    return battlefield_scenario(seed=3)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return city_scenario(seed=3)
+
+
+class TestBattlefield:
+    def test_population(self, battlefield):
+        assert battlefield.object_count == 600  # 500 vehicles + 100 static
+
+    def test_labels_cover_all_objects(self, battlefield):
+        ids = {s.object_id for s in battlefield.segments}
+        assert ids <= set(battlefield.labels)
+
+    def test_static_objects_have_zero_velocity(self, battlefield):
+        static = [
+            s
+            for s in battlefield.segments
+            if battlefield.labels[s.object_id].startswith(("sensor", "minefield"))
+        ]
+        assert static
+        for s in static:
+            assert s.segment.velocity == (0.0, 0.0)
+            assert s.time == battlefield.horizon
+
+    def test_vehicles_move(self, battlefield):
+        moving = [
+            s
+            for s in battlefield.segments
+            if "vehicle" in battlefield.labels[s.object_id]
+        ]
+        assert any(s.segment.velocity != (0.0, 0.0) for s in moving)
+
+    def test_deterministic(self):
+        a = battlefield_scenario(seed=5)
+        b = battlefield_scenario(seed=5)
+        assert len(a.segments) == len(b.segments)
+
+
+class TestCity:
+    def test_population(self, city):
+        assert city.object_count == 135  # 120 vans + 15 depots
+
+    def test_vans_follow_closed_loops(self, city):
+        """A van's position repeats with its loop period (approximately:
+        we just check it stays within its patrol rectangle's bounds)."""
+        van_segments = [
+            s for s in city.segments if city.labels[s.object_id].startswith("van")
+        ]
+        assert van_segments
+        for s in van_segments[:200]:
+            for t in (s.time.low, s.time.midpoint, s.time.high):
+                x, y = s.position_at(t)
+                assert 0.0 <= x <= 100.0 and 0.0 <= y <= 100.0
+
+    def test_depots_static(self, city):
+        depots = [
+            s for s in city.segments if city.labels[s.object_id].startswith("depot")
+        ]
+        assert len(depots) == 15
+        assert all(s.segment.velocity == (0.0, 0.0) for s in depots)
+
+    def test_indexable(self, city):
+        from repro.index.nsi import NativeSpaceIndex
+
+        index = NativeSpaceIndex(dims=2)
+        index.bulk_load(city.segments)
+        assert len(index) == len(city.segments)

@@ -1,0 +1,186 @@
+"""Tests for query-trajectory generation at controlled overlap levels."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.config import QueryWorkload, WorkloadConfig
+from repro.workload.trajectories import (
+    generate_trajectories,
+    overlap_for_speed,
+    reflecting_waypoints,
+    speed_for_overlap,
+)
+
+
+class TestSpeedFormulas:
+    def test_paper_zero_overlap_speed(self):
+        # 8x8 window, 0.1 t.u. period, 0% overlap -> 80 u/t.u.
+        assert speed_for_overlap(0.0, 8.0, 0.1) == pytest.approx(80.0)
+
+    def test_high_overlap_slow(self):
+        assert speed_for_overlap(99.99, 8.0, 0.1) == pytest.approx(0.008)
+
+    def test_inverse_round_trip(self):
+        for overlap in (0.0, 25.0, 50.0, 80.0, 90.0, 99.99):
+            speed = speed_for_overlap(overlap, 8.0, 0.1)
+            assert overlap_for_speed(speed, 8.0, 0.1) == pytest.approx(overlap)
+
+    def test_overlap_for_excess_speed_clamps_to_zero(self):
+        assert overlap_for_speed(1000.0, 8.0, 0.1) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            speed_for_overlap(100.0, 8.0, 0.1)
+        with pytest.raises(WorkloadError):
+            speed_for_overlap(50.0, 0.0, 0.1)
+        with pytest.raises(WorkloadError):
+            overlap_for_speed(1.0, 8.0, 0.0)
+
+    @given(
+        st.floats(min_value=0, max_value=99.9, allow_nan=False),
+        st.floats(min_value=0.5, max_value=50, allow_nan=False),
+    )
+    def test_round_trip_property(self, overlap, side):
+        speed = speed_for_overlap(overlap, side, 0.1)
+        assert overlap_for_speed(speed, side, 0.1) == pytest.approx(
+            overlap, abs=1e-6
+        )
+
+
+class TestReflectingWaypoints:
+    def test_zero_speed_stays_put(self):
+        times, points = reflecting_waypoints(
+            (5.0, 5.0), (1.0, 0.0), 0.0, 2.0, (0.0, 0.0), (10.0, 10.0)
+        )
+        assert times == [0.0, 2.0]
+        assert points[0] == points[1] == (5.0, 5.0)
+
+    def test_straight_path_no_bounce(self):
+        times, points = reflecting_waypoints(
+            (1.0, 5.0), (1.0, 0.0), 2.0, 3.0, (0.0, 0.0), (10.0, 10.0)
+        )
+        assert len(points) == 2
+        assert points[-1] == pytest.approx((7.0, 5.0))
+
+    def test_bounce_reverses_direction(self):
+        times, points = reflecting_waypoints(
+            (8.0, 5.0), (1.0, 0.0), 2.0, 3.0, (0.0, 0.0), (10.0, 10.0)
+        )
+        # Hits x=10 at t=1, returns to x=6 at t=3.
+        assert len(points) == 3
+        assert points[1][0] == pytest.approx(10.0)
+        assert points[-1][0] == pytest.approx(6.0)
+
+    def test_points_stay_in_bounds(self):
+        times, points = reflecting_waypoints(
+            (3.0, 7.0), (0.7, -0.7), 5.0, 20.0, (0.0, 0.0), (10.0, 10.0)
+        )
+        for p in points:
+            assert 0.0 <= p[0] <= 10.0
+            assert 0.0 <= p[1] <= 10.0
+
+    def test_segment_speeds_preserved(self):
+        speed = 3.0
+        times, points = reflecting_waypoints(
+            (2.0, 2.0), (1.0, 0.3), speed, 15.0, (0.0, 0.0), (10.0, 10.0)
+        )
+        for (t0, p0), (t1, p1) in zip(
+            zip(times, points), zip(times[1:], points[1:])
+        ):
+            dist = math.dist(p0, p1)
+            assert dist / (t1 - t0) == pytest.approx(speed, rel=1e-6)
+
+    def test_start_outside_bounds_rejected(self):
+        with pytest.raises(WorkloadError):
+            reflecting_waypoints(
+                (20.0, 5.0), (1.0, 0.0), 1.0, 1.0, (0.0, 0.0), (10.0, 10.0)
+            )
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            reflecting_waypoints(
+                (5.0, 5.0), (1.0, 0.0), 1.0, 0.0, (0.0, 0.0), (10.0, 10.0)
+            )
+
+    def test_start_time_offsets_all_times(self):
+        times, _ = reflecting_waypoints(
+            (5.0, 5.0), (1.0, 0.0), 1.0, 2.0, (0.0, 0.0), (10.0, 10.0), 7.0
+        )
+        assert times[0] == 7.0
+        assert times[-1] == 9.0
+
+
+class TestGenerateTrajectories:
+    @pytest.fixture(scope="class")
+    def configs(self):
+        return WorkloadConfig.tiny(seed=1), QueryWorkload.tiny(seed=2)
+
+    def test_count(self, configs):
+        data, queries = configs
+        trajs = generate_trajectories(data, queries, 50.0, 8.0, count=5)
+        assert len(trajs) == 5
+
+    def test_deterministic(self, configs):
+        data, queries = configs
+        a = generate_trajectories(data, queries, 50.0, 8.0, count=3)
+        b = generate_trajectories(data, queries, 50.0, 8.0, count=3)
+        for x, y in zip(a, b):
+            assert x.time_span == y.time_span
+            assert x.window_at(x.time_span.low) == y.window_at(y.time_span.low)
+
+    def test_duration_matches_workload(self, configs):
+        data, queries = configs
+        for traj in generate_trajectories(data, queries, 80.0, 8.0, count=4):
+            assert traj.time_span.length == pytest.approx(queries.duration)
+
+    def test_windows_stay_over_data_space(self, configs):
+        data, queries = configs
+        for traj in generate_trajectories(data, queries, 0.0, 8.0, count=4):
+            for t in traj.frame_times(queries.snapshot_period):
+                w = traj.window_at(t)
+                assert w.lows[0] >= -1e-6 and w.highs[0] <= data.space_side + 1e-6
+                assert w.lows[1] >= -1e-6 and w.highs[1] <= data.space_side + 1e-6
+
+    def test_achieved_overlap_matches_target(self, configs):
+        data, queries = configs
+        for target in (50.0, 90.0):
+            trajs = generate_trajectories(data, queries, target, 8.0, count=3)
+            for traj in trajs:
+                qs = list(traj.frame_queries(queries.snapshot_period))
+                fractions = [
+                    a.spatial_overlap_fraction(b) * 100.0
+                    for a, b in zip(qs, qs[1:])
+                ]
+                # Frame covers include the inter-frame sweep, so measured
+                # overlap is a little above the instantaneous target;
+                # bounces can perturb single frames, so check the median.
+                fractions.sort()
+                median = fractions[len(fractions) // 2]
+                assert median >= target - 5.0
+
+    def test_axis_aligned_headings(self, configs):
+        data, queries = configs
+        for traj in generate_trajectories(data, queries, 50.0, 8.0, count=4):
+            a = traj.window_at(traj.time_span.low).center
+            b = traj.window_at(traj.time_span.sample(0.05)).center
+            moved = [abs(x - y) > 1e-9 for x, y in zip(a, b)]
+            assert sum(moved) <= 1
+
+    def test_window_too_big_rejected(self, configs):
+        data, queries = configs
+        with pytest.raises(WorkloadError):
+            generate_trajectories(data, queries, 50.0, 500.0, count=1)
+
+    def test_duration_longer_than_horizon_rejected(self):
+        data = WorkloadConfig(num_objects=10, horizon=2.0)
+        queries = QueryWorkload(subsequent_count=50)
+        with pytest.raises(WorkloadError):
+            generate_trajectories(data, queries, 50.0, 8.0, count=1)
+
+    def test_zero_count_rejected(self, configs):
+        data, queries = configs
+        with pytest.raises(WorkloadError):
+            generate_trajectories(data, queries, 50.0, 8.0, count=0)
