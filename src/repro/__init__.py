@@ -32,13 +32,17 @@ See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md`` /
 """
 
 from repro.errors import (
+    CorruptPageError,
     GeometryError,
+    IndexStructureError,
     MotionError,
     QueryError,
+    RecoveryError,
     ReproError,
     SessionError,
     StorageError,
     TrajectoryError,
+    TransientIOError,
     WorkloadError,
 )
 from repro.geometry import Box, Interval, TimeSet, SpaceTimeSegment
@@ -50,16 +54,26 @@ from repro.motion import (
     PiecewiseLinearMotion,
     ThresholdUpdatePolicy,
 )
-from repro.storage import BufferPool, DiskManager, QueryCost
+from repro.storage import (
+    BufferPool,
+    DiskManager,
+    FaultInjector,
+    IntentLog,
+    QueryCost,
+    RetryPolicy,
+)
 from repro.index import (
+    ChecksummedCodec,
     CurrentMotion,
     DualTimeIndex,
+    FsckReport,
     NativeSpaceIndex,
     ParametricSpaceIndex,
     RTree,
     TPRPDQEngine,
     TPRTree,
     collect_stats,
+    fsck,
     str_bulk_load,
     verify_integrity,
 )
@@ -103,6 +117,10 @@ __all__ = [
     "GeometryError",
     "MotionError",
     "StorageError",
+    "TransientIOError",
+    "CorruptPageError",
+    "RecoveryError",
+    "IndexStructureError",
     "QueryError",
     "TrajectoryError",
     "SessionError",
@@ -123,8 +141,14 @@ __all__ = [
     "DiskManager",
     "BufferPool",
     "QueryCost",
+    "FaultInjector",
+    "RetryPolicy",
+    "IntentLog",
     # index
     "RTree",
+    "ChecksummedCodec",
+    "fsck",
+    "FsckReport",
     "NativeSpaceIndex",
     "DualTimeIndex",
     "ParametricSpaceIndex",

@@ -9,6 +9,11 @@ Subcommands:
   paper's reported numbers.
 * ``demo`` — run a short observer session with automatic mode hand-off
   and narrate what happens.
+* ``fsck`` — build an index and run the full structural invariant
+  checker (optionally with a deliberately corrupted page, to prove the
+  checker notices).
+* ``chaos`` — run a PDQ under an injected fault plan and compare the
+  (possibly degraded) answer against the fault-free run.
 """
 
 from __future__ import annotations
@@ -129,6 +134,116 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.index import DualTimeIndex, NativeSpaceIndex, fsck
+    from repro.storage.disk import DiskManager
+    from repro.storage.faults import FaultInjector
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.objects import generate_motion_segments
+
+    config = getattr(WorkloadConfig, args.scale)(seed=args.seed)
+    disk = DiskManager()
+    if args.index == "native":
+        index = NativeSpaceIndex(dims=2, disk=disk)
+    else:
+        index = DualTimeIndex(dims=2, disk=disk)
+    print(f"building {args.scale} {args.index} index ...", flush=True)
+    index.bulk_load(generate_motion_segments(config))
+    if args.corrupt is not None:
+        if args.corrupt not in disk:
+            print(f"page {args.corrupt} is not allocated", file=sys.stderr)
+            return 2
+        disk.set_faults(FaultInjector().script_corruption(args.corrupt))
+        print(f"deliberately corrupted page {args.corrupt}")
+    report = fsck(index.tree)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.pdq import PDQEngine
+    from repro.index import NativeSpaceIndex
+    from repro.storage.disk import DiskManager
+    from repro.storage.faults import FaultInjector, RetryPolicy
+    from repro.workload.config import QueryWorkload, WorkloadConfig
+    from repro.workload.objects import generate_motion_segments
+    from repro.workload.trajectories import generate_trajectories
+
+    if args.retries < 1:
+        print(
+            "--retries must be >= 1 (total attempts per access)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.budget < 0:
+        print("--budget must be >= 0", file=sys.stderr)
+        return 2
+
+    data = getattr(WorkloadConfig, args.scale)(seed=args.seed)
+    queries = getattr(QueryWorkload, args.scale)(seed=args.seed)
+    segments = list(generate_motion_segments(data))
+
+    def build() -> NativeSpaceIndex:
+        index = NativeSpaceIndex(dims=2, disk=DiskManager())
+        index.bulk_load(segments)
+        return index
+
+    trajectory = generate_trajectories(
+        data, queries, overlap_percent=90.0, window_side=8.0, count=1
+    )[0]
+    period = queries.snapshot_period
+
+    print(f"building {args.scale} index ({len(segments)} segments) ...", flush=True)
+    baseline_index = build()
+    with PDQEngine(baseline_index, trajectory, track_updates=False) as pdq:
+        baseline = pdq.run(period)
+    baseline_keys = {item.key for frame in baseline for item in frame.items}
+
+    chaos_index = build()
+    try:
+        injector = FaultInjector.parse(args.plan)
+    except Exception as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    chaos_index.tree.disk.retry = RetryPolicy(attempts=args.retries)
+    chaos_index.tree.disk.set_faults(injector)
+    with PDQEngine(
+        chaos_index, trajectory, track_updates=False, fault_budget=args.budget
+    ) as pdq:
+        chaotic = pdq.run(period)
+        degraded = pdq.degraded
+        skipped = list(pdq.skipped_subtrees)
+    chaos_keys = {item.key for frame in chaotic for item in frame.items}
+
+    stats = chaos_index.tree.disk.stats
+    print(f"fault plan        : {args.plan}")
+    print(
+        f"injected          : {stats.read_faults} read faults, "
+        f"{stats.write_faults} write faults, "
+        f"{stats.corrupt_detected} corrupt reads"
+    )
+    print(
+        f"retries           : {stats.retries} "
+        f"(simulated backoff {stats.sim_latency:.2f})"
+    )
+    print(f"fault-free answer : {len(baseline_keys)} objects")
+    print(f"chaos answer      : {len(chaos_keys)} objects")
+    print(f"degraded          : {degraded} ({len(skipped)} subtree(s) skipped)")
+    if not chaos_keys <= baseline_keys:
+        print("FAIL: chaos answer is not a subset of the fault-free answer")
+        return 2
+    if degraded:
+        print("OK: degraded answer is a well-flagged subset of the baseline")
+    elif chaos_keys == baseline_keys:
+        print("OK: retries absorbed every fault; answers are identical")
+    else:
+        print("FAIL: answer shrank without a degraded flag")
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatch; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -163,6 +278,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_demo = sub.add_parser("demo", help="run a mode hand-off session demo")
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="check every structural invariant of a built index"
+    )
+    p_fsck.add_argument("--scale", choices=_SCALES, default="tiny")
+    p_fsck.add_argument("--seed", type=int, default=3)
+    p_fsck.add_argument("--index", choices=("native", "dual"), default="native")
+    p_fsck.add_argument(
+        "--corrupt",
+        type=int,
+        metavar="PAGE",
+        help="deliberately corrupt this page before checking",
+    )
+    p_fsck.set_defaults(func=_cmd_fsck)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a PDQ under an injected fault plan"
+    )
+    p_chaos.add_argument("--scale", choices=_SCALES, default="tiny")
+    p_chaos.add_argument("--seed", type=int, default=3)
+    p_chaos.add_argument(
+        "--plan",
+        default="seed=7;read=0.05",
+        help="fault plan, e.g. 'seed=7;read=0.05;corrupt@12' "
+        "(see repro.storage.faults for the syntax)",
+    )
+    p_chaos.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="disk-level attempts per physical access (transient faults)",
+    )
+    p_chaos.add_argument(
+        "--budget",
+        type=int,
+        default=2,
+        help="engine-level re-enqueues per failing node before its "
+        "subtree is skipped",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -38,24 +38,46 @@ class NaiveEvaluator:
     exact:
         Apply the exact leaf-level segment test (Sect. 3.2); on by
         default, off for the false-admission ablation.
+    fault_budget:
+        ``None`` (default) propagates storage faults to the caller.  An
+        integer enables graceful degradation: a node load that keeps
+        failing is re-enqueued up to this many extra times, then its
+        subtree is skipped and the result is flagged ``degraded`` with
+        the skipped-subtree count.
     """
 
-    def __init__(self, index: AnyIndex, exact: bool = True):
+    def __init__(
+        self,
+        index: AnyIndex,
+        exact: bool = True,
+        fault_budget: Optional[int] = None,
+    ):
         self.index = index
         self.exact = exact
+        self.fault_budget = fault_budget
         self.cost = QueryCost()
 
     def evaluate(self, query: SnapshotQuery) -> SnapshotResult:
         """Run one snapshot query; returns answers plus its own cost."""
         before = self.cost.snapshot()
+        skipped: Optional[List[int]] = (
+            [] if self.fault_budget is not None else None
+        )
         pairs = self.index.snapshot_search(
-            query.time, query.window, cost=self.cost, exact=self.exact
+            query.time,
+            query.window,
+            cost=self.cost,
+            exact=self.exact,
+            fault_budget=self.fault_budget or 0,
+            skipped=skipped,
         )
         items = [AnswerItem(record, overlap) for record, overlap in pairs]
         return SnapshotResult(
             query_time=query.time,
             items=items,
             cost=self.cost.snapshot() - before,
+            degraded=bool(skipped),
+            skipped_subtrees=len(skipped) if skipped else 0,
         )
 
     def run(

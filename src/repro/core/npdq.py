@@ -40,7 +40,7 @@ from typing import List, Optional
 from repro.core.results import AnswerItem, SnapshotResult
 from repro.core.snapshot import SnapshotQuery
 from repro.core.trajectory import QueryTrajectory
-from repro.errors import QueryError
+from repro.errors import CorruptPageError, QueryError, TransientIOError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.geometry.segment import segment_box_overlap_interval
@@ -69,19 +69,44 @@ class NPDQEngine:
         The :class:`~repro.index.DualTimeIndex` holding the segments.
     exact:
         Apply exact leaf-level segment tests (on by default).
+    fault_budget:
+        ``None`` (default) propagates storage faults.  An integer
+        enables graceful degradation: a failing node load is re-enqueued
+        up to this many extra times, then skipped.  Because the engine's
+        memory of the previous snapshot then over-claims coverage, every
+        snapshot from the first skip until :meth:`reset` is flagged
+        ``degraded``.
     """
 
-    def __init__(self, index: DualTimeIndex, exact: bool = True):
+    def __init__(
+        self,
+        index: DualTimeIndex,
+        exact: bool = True,
+        fault_budget: Optional[int] = None,
+    ):
         self.index = index
         self.exact = exact
+        self.fault_budget = fault_budget
+        self.skipped_subtrees: List[int] = []
         self.cost = QueryCost()
         self._prev: Optional[_PreviousQuery] = None
+        self._degraded = False
 
     # -- state -------------------------------------------------------------
 
     def reset(self) -> None:
-        """Forget the previous snapshot (e.g. after a teleport)."""
+        """Forget the previous snapshot (e.g. after a teleport).
+
+        Also clears the sticky ``degraded`` flag: with no history to
+        over-trust, the next snapshot is evaluated from scratch.
+        """
         self._prev = None
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """True once a subtree skip has tainted the engine's history."""
+        return self._degraded
 
     @property
     def has_history(self) -> bool:
@@ -118,9 +143,25 @@ class NPDQEngine:
         before = self.cost.snapshot()
         items: List[AnswerItem] = []
         prefetched: List[AnswerItem] = []
+        snapshot_skips = 0
+        attempts: dict = {}
         stack = [tree.root_id]
         while stack:
-            node = tree.load_node(stack.pop(), self.cost)
+            page_id = stack.pop()
+            try:
+                node = tree.load_node(page_id, self.cost)
+            except (TransientIOError, CorruptPageError):
+                if self.fault_budget is None:
+                    raise
+                tries = attempts.get(page_id, 0)
+                if tries < self.fault_budget:
+                    attempts[page_id] = tries + 1
+                    stack.insert(0, page_id)  # retry after the rest
+                else:
+                    self.skipped_subtrees.append(page_id)
+                    snapshot_skips += 1
+                    self._degraded = True
+                continue
             if node.is_leaf:
                 for e in node.entries:
                     self.cost.count_distance_computations()
@@ -187,6 +228,8 @@ class NPDQEngine:
             items=items,
             cost=self.cost.snapshot() - before,
             prefetched=prefetched,
+            degraded=self._degraded,
+            skipped_subtrees=snapshot_skips,
         )
 
     def run(

@@ -36,10 +36,9 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import QueryError
+from repro.errors import CorruptPageError, QueryError, TransientIOError
 from repro.core.results import AnswerItem, SnapshotResult
 from repro.core.trajectory import QueryTrajectory
-from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.geometry.timeset import TimeSet
 from repro.index.entry import LeafEntry
@@ -81,6 +80,13 @@ class PDQEngine:
         Register for concurrent-insert notifications (on by default;
         turn off for insert-free historical workloads to skip listener
         overhead).
+    fault_budget:
+        ``None`` (default) propagates storage faults to the caller.  An
+        integer enables graceful degradation: a node whose load keeps
+        failing is re-enqueued up to this many extra times, then its
+        subtree is skipped; subsequent frames are flagged ``degraded``
+        with the cumulative skipped-subtree count (every skipped page id
+        is kept in :attr:`skipped_subtrees`).
 
     Use as a context manager, or call :meth:`close` when done, so the
     insertion listener is detached.
@@ -92,6 +98,7 @@ class PDQEngine:
         trajectory: QueryTrajectory,
         rebuild_depth: int = 0,
         track_updates: bool = True,
+        fault_budget: Optional[int] = None,
     ):
         if trajectory.dims != index.dims:
             raise QueryError(
@@ -100,17 +107,25 @@ class PDQEngine:
         self.index = index
         self.trajectory = trajectory
         self.rebuild_depth = rebuild_depth
+        self.fault_budget = fault_budget
+        self.skipped_subtrees: List[int] = []
         self.cost = QueryCost()
         self._heap: List[tuple] = []
         self._tie = itertools.count()
         self._expanded: set = set()
         self._reported: set = set()
+        self._fault_attempts: dict = {}
         self._frontier = trajectory.time_span.low
         self._closed = False
         self._tracking = track_updates
         if track_updates:
             self.index.tree.add_listener(self._on_insert)
         self._seed_root()
+
+    @property
+    def degraded(self) -> bool:
+        """True once any subtree has been skipped due to faults."""
+        return bool(self.skipped_subtrees)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -199,7 +214,24 @@ class PDQEngine:
                 if item.page_id in self._expanded:
                     continue  # duplicate from an update notification
                 self._expanded.add(item.page_id)
-                self._expand(item.page_id)
+                try:
+                    self._expand(item.page_id)
+                except (TransientIOError, CorruptPageError):
+                    # The load failed after the disk's own retries; the
+                    # node was not expanded (nothing was enqueued yet).
+                    self._expanded.discard(item.page_id)
+                    if self.fault_budget is None:
+                        raise
+                    tries = self._fault_attempts.get(item.page_id, 0)
+                    if tries < self.fault_budget:
+                        # Re-enqueue over its remaining visibility so a
+                        # later pop gets a fresh round of disk retries.
+                        self._fault_attempts[item.page_id] = tries + 1
+                        self._push(
+                            _Pending(item.interval, page_id=item.page_id)
+                        )
+                    else:
+                        self.skipped_subtrees.append(item.page_id)
             else:
                 answer_key = (item.entry.record.key, item.interval)
                 if answer_key in self._reported:
@@ -235,6 +267,11 @@ class PDQEngine:
                     query_time=Interval(a, b),
                     items=items,
                     cost=self.cost.snapshot() - before,
+                    # A skipped subtree poisons every subsequent frame
+                    # (its objects may have appeared at any later time),
+                    # so the flag is cumulative, not per-frame.
+                    degraded=self.degraded,
+                    skipped_subtrees=len(self.skipped_subtrees),
                 )
             )
         return results

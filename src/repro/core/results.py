@@ -68,12 +68,21 @@ class SnapshotResult:
     current query's boxes covered.  Their ``visibility`` is a retention
     hint (how long the client should keep the record available), not an
     exactness claim.
+
+    Graceful degradation: when an engine runs with a fault budget and a
+    node load keeps failing, the node's subtree is skipped instead of
+    aborting the query.  ``degraded`` is then ``True`` and
+    ``skipped_subtrees`` counts the abandoned subtree roots, so callers
+    can distinguish a *partial* answer (guaranteed subset of the
+    fault-free answer) from a complete one.
     """
 
     query_time: Interval
     items: List[AnswerItem] = field(default_factory=list)
     cost: CostSnapshot = field(default_factory=CostSnapshot)
     prefetched: List[AnswerItem] = field(default_factory=list)
+    degraded: bool = False
+    skipped_subtrees: int = 0
 
     @property
     def object_ids(self) -> "set[int]":

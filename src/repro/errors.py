@@ -41,11 +41,35 @@ class PageNotFoundError(StorageError):
     """A page id was requested that the disk manager does not hold."""
 
 
-class IndexError_(ReproError):
+class TransientIOError(StorageError):
+    """A physical page access failed transiently (injected or simulated).
+
+    Retrying the same access may succeed; the disk layer's
+    :class:`~repro.storage.faults.RetryPolicy` governs how often.
+    """
+
+
+class CorruptPageError(StorageError):
+    """A page's stored content failed validation (torn write, bit rot).
+
+    Unlike :class:`TransientIOError` this is *persistent*: the bytes on
+    the page are wrong and re-reading cannot help.  Detected either by
+    the checksummed page framing
+    (:class:`~repro.index.codec.ChecksummedCodec`) or directly by the
+    fault injector in object-storage mode.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class IndexStructureError(ReproError):
     """Structural failure inside the R-tree (corruption, bad arguments).
 
-    Named with a trailing underscore to avoid shadowing the built-in
-    :class:`IndexError`.
+    Formerly exported as ``IndexError_`` (trailing underscore to avoid
+    shadowing the built-in :class:`IndexError`); that name remains
+    importable as a deprecated alias.
     """
 
 
@@ -63,3 +87,18 @@ class SessionError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload-generation parameters."""
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept so pre-rename imports keep working.
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; "
+            "use repro.errors.IndexStructureError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return IndexStructureError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

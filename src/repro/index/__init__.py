@@ -31,8 +31,14 @@ from repro.index.psi import ParametricSpaceIndex
 from repro.index.tpbox import TPBox
 from repro.index.tpr import CurrentMotion, TPRPDQEngine, TPRTree
 from repro.index.stats import TreeStats, collect_stats, verify_integrity
+from repro.index.check import FsckReport, Violation, fsck
+from repro.index.codec import ChecksummedCodec
 
 __all__ = [
+    "FsckReport",
+    "Violation",
+    "fsck",
+    "ChecksummedCodec",
     "InternalEntry",
     "LeafEntry",
     "Node",

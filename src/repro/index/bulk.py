@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.index.entry import Entry, InternalEntry, LeafEntry
 from repro.index.node import Node
 from repro.index.rtree import RTree
@@ -74,10 +74,10 @@ def _leaf_groups(
     if time_slabs is None:
         return _tile(items, capacity, tuple(axes))
     if time_slabs < 1:
-        raise IndexError_("time_slabs must be >= 1")
+        raise IndexStructureError("time_slabs must be >= 1")
     spatial = tuple(tile_axes) if tile_axes is not None else tuple(axes)[1:]
     if not spatial:
-        raise IndexError_("time-major tiling needs at least one tile axis")
+        raise IndexStructureError("time-major tiling needs at least one tile axis")
     items = sorted(items, key=lambda e: e.box.extent(0).low)
     per_slab = math.ceil(len(items) / time_slabs)
     groups: List[List[Entry]] = []
@@ -112,19 +112,19 @@ def str_bulk_load(
 
     Raises
     ------
-    IndexError_
+    IndexStructureError
         If the tree is non-empty or parameters are inconsistent.
     """
     if len(tree):
-        raise IndexError_("bulk load requires an empty tree")
+        raise IndexStructureError("bulk load requires an empty tree")
     if not 0.0 < target_fill <= 1.0:
-        raise IndexError_("target_fill must be in (0, 1]")
+        raise IndexStructureError("target_fill must be in (0, 1]")
     items = list(entries)
     if not items:
         return
     for e in items:
         if e.box.dims != tree.axes:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"entry box has {e.box.dims} axes, tree has {tree.axes}"
             )
 

@@ -168,8 +168,14 @@ class DualTimeIndex:
         window: Box,
         cost: Optional[QueryCost] = None,
         exact: bool = True,
+        fault_budget: int = 0,
+        skipped: Optional[List[int]] = None,
     ) -> List[Tuple[MotionSegment, Interval]]:
-        """Plain (non-incremental) snapshot evaluation on the dual index."""
+        """Plain (non-incremental) snapshot evaluation on the dual index.
+
+        ``fault_budget`` / ``skipped`` forward to
+        :meth:`~repro.index.RTree.search` for graceful degradation.
+        """
         qbox = self.query_box(time, window)
         native = self.native_query_box(time, window)
         results: List[Tuple[MotionSegment, Interval]] = []
@@ -183,10 +189,14 @@ class DualTimeIndex:
                 results.append((entry.record, overlap))
                 return True
 
-            for _ in self.tree.search(qbox, cost, leaf_test):
+            for _ in self.tree.search(
+                qbox, cost, leaf_test, fault_budget=fault_budget, skipped=skipped
+            ):
                 pass
         else:
-            for entry in self.tree.search(qbox, cost):
+            for entry in self.tree.search(
+                qbox, cost, fault_budget=fault_budget, skipped=skipped
+            ):
                 results.append((entry.record, entry.record.time.intersect(time)))
         return results
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.index.entry import Entry, InternalEntry, LeafEntry
 
@@ -34,7 +34,7 @@ class Node:
         timestamp: int = 0,
     ):
         if level < 0:
-            raise IndexError_(f"negative node level {level}")
+            raise IndexStructureError(f"negative node level {level}")
         self.page_id = page_id
         self.level = level
         self.entries: List[Entry] = list(entries) if entries else []
@@ -51,6 +51,13 @@ class Node:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def clone(self) -> "Node":
+        """Independent copy (entries are immutable, so a shallow list copy
+        suffices).  Used by the intent log to capture page pre-images in
+        object-storage mode, where the disk hands out this very object
+        by reference."""
+        return Node(self.page_id, self.level, list(self.entries), self.timestamp)
+
     # -- geometry ---------------------------------------------------------------
 
     def mbr(self) -> Box:
@@ -58,12 +65,12 @@ class Node:
 
         Raises
         ------
-        IndexError_
+        IndexStructureError
             If the node has no entries.
         """
         if self._mbr is None:
             if not self.entries:
-                raise IndexError_(f"node {self.page_id} has no entries")
+                raise IndexStructureError(f"node {self.page_id} has no entries")
             box = self.entries[0].box
             for e in self.entries[1:]:
                 box = box.cover(e.box)
@@ -92,64 +99,64 @@ class Node:
 
         Raises
         ------
-        IndexError_
+        IndexStructureError
             If absent or if the node is a leaf.
         """
         if self.is_leaf:
-            raise IndexError_("leaves have no child entries")
+            raise IndexStructureError("leaves have no child entries")
         for i, e in enumerate(self.entries):
             if e.child_id == child_id:  # type: ignore[union-attr]
                 del self.entries[i]
                 self.timestamp = max(self.timestamp, clock)
                 self._mbr = None
                 return e  # type: ignore[return-value]
-        raise IndexError_(f"node {self.page_id} has no child {child_id}")
+        raise IndexStructureError(f"node {self.page_id} has no child {child_id}")
 
     def remove_record(self, key: "tuple", clock: int) -> LeafEntry:
         """Remove and return the leaf entry with the given segment key.
 
         Raises
         ------
-        IndexError_
+        IndexStructureError
             If absent or if the node is internal.
         """
         if not self.is_leaf:
-            raise IndexError_("internal nodes have no records")
+            raise IndexStructureError("internal nodes have no records")
         for i, e in enumerate(self.entries):
             if e.record.key == key:  # type: ignore[union-attr]
                 del self.entries[i]
                 self.timestamp = max(self.timestamp, clock)
                 self._mbr = None
                 return e  # type: ignore[return-value]
-        raise IndexError_(f"node {self.page_id} has no record {key}")
+        raise IndexStructureError(f"node {self.page_id} has no record {key}")
 
     def update_child_box(self, child_id: int, box: Box, clock: int) -> None:
         """Tighten/grow the box of the entry pointing at ``child_id``."""
         if self.is_leaf:
-            raise IndexError_("leaves have no child entries")
+            raise IndexStructureError("leaves have no child entries")
         for i, e in enumerate(self.entries):
             if e.child_id == child_id:  # type: ignore[union-attr]
                 self.entries[i] = InternalEntry(box, child_id, timestamp=clock)
                 self.timestamp = max(self.timestamp, clock)
                 self._mbr = None
                 return
-        raise IndexError_(f"node {self.page_id} has no child {child_id}")
+        raise IndexStructureError(f"node {self.page_id} has no child {child_id}")
 
     def child_ids(self) -> "tuple[int, ...]":
         """Page ids of all children (internal nodes only)."""
         if self.is_leaf:
-            raise IndexError_("leaves have no child entries")
+            raise IndexStructureError("leaves have no child entries")
         return tuple(e.child_id for e in self.entries)  # type: ignore[union-attr]
 
     # -- validation -----------------------------------------------------------------
 
     def _check_entry_kind(self, entry: Entry) -> None:
         if self.is_leaf and not isinstance(entry, LeafEntry):
-            raise IndexError_(
+            raise IndexStructureError(
                 f"leaf node {self.page_id} given {type(entry).__name__}"
             )
         if not self.is_leaf and not isinstance(entry, InternalEntry):
-            raise IndexError_(
+            raise IndexStructureError(
                 f"internal node {self.page_id} given {type(entry).__name__}"
             )
 

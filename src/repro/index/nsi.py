@@ -116,13 +116,17 @@ class NativeSpaceIndex:
         window: Box,
         cost: Optional[QueryCost] = None,
         exact: bool = True,
+        fault_budget: int = 0,
+        skipped: Optional[List[int]] = None,
     ) -> List[Tuple[MotionSegment, Interval]]:
         """All segments inside ``window`` at some instant of ``time``.
 
         Returns ``(record, overlap_interval)`` pairs; with ``exact=False``
         the bounding-box filter alone is used (overlap intervals then fall
         back to the box-level temporal intersection) — the ablation knob
-        for the Sect. 3.2 leaf optimization.
+        for the Sect. 3.2 leaf optimization.  ``fault_budget`` /
+        ``skipped`` forward to :meth:`~repro.index.RTree.search` for
+        graceful degradation under injected faults.
         """
         qbox = self.query_box(time, window)
         results: List[Tuple[MotionSegment, Interval]] = []
@@ -136,10 +140,14 @@ class NativeSpaceIndex:
                 results.append((entry.record, overlap))
                 return True
 
-            for _ in self.tree.search(qbox, cost, leaf_test):
+            for _ in self.tree.search(
+                qbox, cost, leaf_test, fault_budget=fault_budget, skipped=skipped
+            ):
                 pass
         else:
-            for entry in self.tree.search(qbox, cost):
+            for entry in self.tree.search(
+                qbox, cost, fault_budget=fault_budget, skipped=skipped
+            ):
                 results.append(
                     (entry.record, entry.record.time.intersect(time))
                 )

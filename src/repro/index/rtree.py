@@ -21,9 +21,13 @@ Sect. 4 of the paper needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import IndexError_
+from repro.errors import (
+    CorruptPageError,
+    IndexStructureError,
+    TransientIOError,
+)
 from repro.geometry.box import Box
 from repro.index.entry import Entry, InternalEntry, LeafEntry
 from repro.index.node import Node
@@ -97,13 +101,13 @@ class RTree:
         same_path_splits: bool = True,
     ):
         if axes < 1:
-            raise IndexError_("axes must be >= 1")
+            raise IndexStructureError("axes must be >= 1")
         if max_internal < 2 or max_leaf < 2:
-            raise IndexError_("fanout must be >= 2")
+            raise IndexStructureError("fanout must be >= 2")
         if not 0.0 < fill_factor <= 0.5:
-            raise IndexError_("fill_factor must be in (0, 0.5]")
+            raise IndexStructureError("fill_factor must be in (0, 0.5]")
         if split not in SPLITTERS:
-            raise IndexError_(f"unknown split policy {split!r}")
+            raise IndexStructureError(f"unknown split policy {split!r}")
         self.axes = axes
         self.max_internal = max_internal
         self.max_leaf = max_leaf
@@ -149,7 +153,7 @@ class RTree:
 
         Raises
         ------
-        IndexError_
+        IndexStructureError
             If the page is not part of the tree.
         """
         depth = 0
@@ -157,7 +161,7 @@ class RTree:
         while cur != self._root_id:
             parent = self._parents.get(cur)
             if parent is None:
-                raise IndexError_(f"page {page_id} is not in the tree")
+                raise IndexStructureError(f"page {page_id} is not in the tree")
             cur = parent
             depth += 1
         return depth
@@ -188,6 +192,70 @@ class RTree:
     def _write(self, node: Node) -> None:
         self.disk.write(node.page_id, node)
 
+    # -- crash consistency -------------------------------------------------------
+
+    def _txn_meta(self) -> dict:
+        """Index metadata stashed with each intent-log transaction."""
+        return {
+            "root_id": self._root_id,
+            "size": self._size,
+            "clock": self._clock,
+        }
+
+    def _crash_safe(self, op: Callable[[], object]) -> object:
+        """Run a multi-page operation under the disk's intent log.
+
+        When no log is attached (or one transaction is already in
+        flight — e.g. orphan reinsertion inside a delete), the operation
+        runs bare.  Otherwise a failure either rolls back immediately
+        (``auto_rollback``, the default: atomic ops) or leaves the
+        in-flight transaction pending to simulate a crash, to be undone
+        by a later :meth:`recover`.
+        """
+        log = self.disk.intent_log
+        if log is None or log.in_flight:
+            return op()
+        log.begin(meta=self._txn_meta())
+        try:
+            result = op()
+        except Exception:
+            if log.auto_rollback:
+                self.recover()
+            raise
+        log.commit()
+        return result
+
+    def recover(self) -> bool:
+        """Undo a half-applied operation after a (simulated) crash.
+
+        Rolls back the intent log's in-flight transaction, restores the
+        root/size/clock metadata stashed at transaction start, and
+        rebuilds the parent directory from the restored topology.
+        Returns ``True`` if there was anything to recover.
+        """
+        log = self.disk.intent_log
+        if log is None or not log.in_flight:
+            return False
+        meta = log.rollback(self.disk)
+        self._root_id = meta.get("root_id", self._root_id)
+        self._size = meta.get("size", self._size)
+        self._clock = meta.get("clock", self._clock)
+        self._rebuild_parents()
+        return True
+
+    def _rebuild_parents(self) -> None:
+        """Recompute the parent directory by walking the (restored) tree."""
+        parents: Dict[int, int] = {}
+        stack = [self._root_id]
+        while stack:
+            node = self.disk.read(stack.pop())
+            if node.is_leaf:
+                continue
+            for child in node.child_ids():
+                parents[child] = node.page_id
+                stack.append(child)
+        self._parents = parents
+
     # -- insertion -------------------------------------------------------------------
 
     def insert(self, entry: LeafEntry) -> InsertionNotice:
@@ -195,9 +263,14 @@ class RTree:
 
         The entry's ``timestamp`` is overwritten with the current clock
         tick so that NPDQ's update management sees a consistent order.
+        With an intent log attached the multi-page update is atomic:
+        a failure mid-split rolls the tree back to its pre-insert state.
         """
+        return self._crash_safe(lambda: self._insert_impl(entry))  # type: ignore[return-value]
+
+    def _insert_impl(self, entry: LeafEntry) -> InsertionNotice:
         if entry.box.dims != self.axes:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"entry box has {entry.box.dims} axes, tree has {self.axes}"
             )
         self._clock += 1
@@ -322,8 +395,12 @@ class RTree:
 
         Not used by the paper's experiments (which are insert-only), and
         not coordinated with live dynamic queries — callers must not
-        delete while dynamic queries are active.
+        delete while dynamic queries are active.  With an intent log
+        attached the condense/reinsert cascade is atomic.
         """
+        return self._crash_safe(lambda: self._delete_impl(key, box))  # type: ignore[return-value]
+
+    def _delete_impl(self, key: tuple, box: Box) -> bool:
         self._clock += 1
         found = self._find_leaf(self._root_id, key, box)
         if found is None:
@@ -485,6 +562,9 @@ class RTree:
         box: Box,
         cost: Optional[QueryCost] = None,
         leaf_test: Optional[Callable[[LeafEntry], bool]] = None,
+        *,
+        fault_budget: int = 0,
+        skipped: Optional[List[int]] = None,
     ) -> Iterator[LeafEntry]:
         """Range search: yield leaf entries whose indexed box overlaps
         ``box`` and (if given) pass the exact ``leaf_test``.
@@ -492,12 +572,33 @@ class RTree:
         Every node load counts one disk access; every entry examined
         counts one distance computation; every ``leaf_test`` invocation
         counts one segment test (the Sect. 3.2 optimization's CPU cost).
+
+        Graceful degradation: when ``skipped`` is given, a node whose
+        load fails (transient fault that exhausted the disk's retry
+        policy, or detected corruption) is re-enqueued up to
+        ``fault_budget`` more times; once that budget is spent its page
+        id is appended to ``skipped`` and the subtree is abandoned,
+        making the answer a well-accounted *subset*.  Without
+        ``skipped`` the storage error propagates (legacy behaviour).
         """
         if box.dims != self.axes:
-            raise IndexError_(f"query box has {box.dims} axes, tree has {self.axes}")
+            raise IndexStructureError(f"query box has {box.dims} axes, tree has {self.axes}")
         stack = [self._root_id]
+        attempts: Dict[int, int] = {}
         while stack:
-            node = self.load_node(stack.pop(), cost)
+            page_id = stack.pop()
+            try:
+                node = self.load_node(page_id, cost)
+            except (TransientIOError, CorruptPageError):
+                if skipped is None:
+                    raise
+                tries = attempts.get(page_id, 0)
+                if tries < fault_budget:
+                    attempts[page_id] = tries + 1
+                    stack.insert(0, page_id)  # retry after the rest
+                else:
+                    skipped.append(page_id)
+                continue
             if node.is_leaf:
                 for e in node.entries:
                     if cost is not None:
@@ -539,7 +640,7 @@ class RTree:
         :func:`~repro.index.bulk.str_bulk_load` only.
         """
         if self._size:
-            raise IndexError_("cannot adopt into a non-empty tree")
+            raise IndexStructureError("cannot adopt into a non-empty tree")
         self.disk.free(self._root_id)
         self._root_id = root.page_id
         self._parents = dict(parents)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.index.entry import Entry
 
@@ -43,15 +43,15 @@ def _orient(
         if any(e.key == pinned_key for e in group_a):
             return group_b, group_a
         if not any(e.key == pinned_key for e in group_b):
-            raise IndexError_("pinned entry missing from split input")
+            raise IndexStructureError("pinned entry missing from split input")
     return group_a, group_b
 
 
 def _validate(entries: Sequence[Entry], min_fill: int) -> None:
     if len(entries) < 2:
-        raise IndexError_(f"cannot split {len(entries)} entries")
+        raise IndexStructureError(f"cannot split {len(entries)} entries")
     if min_fill < 1 or 2 * min_fill > len(entries):
-        raise IndexError_(
+        raise IndexStructureError(
             f"min_fill {min_fill} invalid for {len(entries)} entries"
         )
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.index.entry import InternalEntry, LeafEntry
 from repro.index.rtree import RTree
 
@@ -64,7 +64,7 @@ def collect_stats(tree: RTree) -> TreeStats:
 
 
 def verify_integrity(tree: RTree) -> None:
-    """Assert structural invariants; raise :class:`IndexError_` on violation.
+    """Assert structural invariants; raise :class:`IndexStructureError` on violation.
 
     Checked invariants:
 
@@ -80,35 +80,35 @@ def verify_integrity(tree: RTree) -> None:
         page_id, expected_level, parent_id = stack.pop()
         node = tree.disk.read(page_id)
         if expected_level is not None and node.level != expected_level:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"node {page_id} at level {node.level}, expected {expected_level}"
             )
         if parent_id is not None:
             recorded = tree.parent_of(page_id)
             if recorded != parent_id:
-                raise IndexError_(
+                raise IndexStructureError(
                     f"parent directory says {recorded} for node {page_id}, "
                     f"topology says {parent_id}"
                 )
             if not node.entries:
-                raise IndexError_(f"non-root node {page_id} is empty")
+                raise IndexStructureError(f"non-root node {page_id} is empty")
         if node.is_leaf:
             for e in node.entries:
                 if not isinstance(e, LeafEntry):
-                    raise IndexError_(f"leaf {page_id} holds {type(e).__name__}")
+                    raise IndexStructureError(f"leaf {page_id} holds {type(e).__name__}")
                 count += 1
         else:
             for e in node.entries:
                 if not isinstance(e, InternalEntry):
-                    raise IndexError_(
+                    raise IndexStructureError(
                         f"internal node {page_id} holds {type(e).__name__}"
                     )
                 child = tree.disk.read(e.child_id)
                 if not e.box.contains_box(child.mbr()):
-                    raise IndexError_(
+                    raise IndexStructureError(
                         f"entry box of child {e.child_id} in node {page_id} "
                         f"does not contain the child's MBR"
                     )
                 stack.append((e.child_id, node.level - 1, page_id))
     if count != len(tree):
-        raise IndexError_(f"tree reports {len(tree)} records, found {count}")
+        raise IndexStructureError(f"tree reports {len(tree)} records, found {count}")

@@ -30,7 +30,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import IndexError_, QueryError
+from repro.errors import IndexStructureError, QueryError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.geometry.segment import SpaceTimeSegment
@@ -136,11 +136,11 @@ class TPRTree:
         disk: Optional[DiskManager] = None,
     ):
         if dims < 1:
-            raise IndexError_("dims must be >= 1")
+            raise IndexStructureError("dims must be >= 1")
         if horizon <= 0:
-            raise IndexError_("horizon must be positive")
+            raise IndexStructureError("horizon must be positive")
         if max_entries < 4:
-            raise IndexError_("max_entries must be >= 4")
+            raise IndexStructureError("max_entries must be >= 4")
         self.dims = dims
         self.horizon = horizon
         self.max_entries = max_entries
@@ -173,15 +173,15 @@ class TPRTree:
 
         Raises
         ------
-        IndexError_
+        IndexStructureError
             If the object is already present (use :meth:`update`).
         """
         if record.dims != self.dims:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"record has {record.dims} dims, tree has {self.dims}"
             )
         if record.object_id in self._locations:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"object {record.object_id} already indexed; use update()"
             )
         self._insert_entry(_TPREntry(record.tpbox(), record=record))

@@ -20,7 +20,9 @@ from repro.storage.constants import (
 )
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, StorageStats
+from repro.storage.faults import FaultInjector, FaultStats, RetryPolicy, TornPage
 from repro.storage.metrics import CostSnapshot, QueryCost
+from repro.storage.wal import IntentLog
 
 __all__ = [
     "PAGE_SIZE",
@@ -35,4 +37,9 @@ __all__ = [
     "BufferPool",
     "QueryCost",
     "CostSnapshot",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
+    "TornPage",
+    "IntentLog",
 ]

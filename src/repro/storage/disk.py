@@ -14,6 +14,15 @@ node) per page and counts physical reads and writes.  Two storage modes:
 An optional :class:`~repro.storage.buffer.BufferPool` can be attached;
 buffered hits are *not* counted as physical reads, which is exactly what
 the buffering ablation needs.
+
+Fault tolerance (see :mod:`repro.storage.faults`): an optional
+:class:`~repro.storage.faults.FaultInjector` is consulted on every
+physical access and may raise transient errors, tear writes, or mark
+pages rotten; an optional :class:`~repro.storage.faults.RetryPolicy`
+retries transient faults with bounded exponential backoff (simulated
+latency is accumulated, never slept).  An optional
+:class:`~repro.storage.wal.IntentLog` records page pre-images so a
+multi-page index operation that dies mid-flight can be rolled back.
 """
 
 from __future__ import annotations
@@ -21,9 +30,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Protocol
 
-from repro.errors import PageNotFoundError, PageOverflowError, StorageError
+from repro.errors import (
+    CorruptPageError,
+    PageNotFoundError,
+    PageOverflowError,
+    StorageError,
+    TransientIOError,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.constants import PAGE_SIZE
+from repro.storage.faults import FaultInjector, RetryPolicy, TornPage
+from repro.storage.wal import IntentLog
 
 __all__ = ["PageCodec", "DiskManager", "StorageStats"]
 
@@ -47,11 +64,35 @@ class StorageStats:
     buffered_reads: int = 0
     allocated: int = 0
     freed: int = 0
+    read_faults: int = 0
+    write_faults: int = 0
+    retries: int = 0
+    torn_writes: int = 0
+    corrupt_detected: int = 0
+    sim_latency: float = 0.0
 
     @property
     def live_pages(self) -> int:
         """Pages currently allocated."""
         return self.allocated - self.freed
+
+    @property
+    def faults(self) -> int:
+        """All injected transient faults (reads + writes)."""
+        return self.read_faults + self.write_faults
+
+
+def _snapshot(stored: Any) -> Any:
+    """Pre-image copy of a raw page cell.
+
+    Bytes, ``None`` and sentinels are immutable; object-mode nodes are
+    handed out *by reference* and mutated in place by the index, so they
+    must be cloned or the pre-image would alias the post-image.
+    """
+    clone = getattr(stored, "clone", None)
+    if clone is not None:
+        return clone()
+    return stored
 
 
 class DiskManager:
@@ -66,22 +107,48 @@ class DiskManager:
         Optional LRU buffer; hits skip the physical read counter.
     page_size:
         Page capacity in bytes for binary mode.
+    faults:
+        Optional :class:`~repro.storage.faults.FaultInjector` consulted
+        on every physical access (can also be armed later via
+        :meth:`set_faults`, e.g. after a clean index build).
+    retry:
+        Optional :class:`~repro.storage.faults.RetryPolicy` applied to
+        transient faults; without one the first fault propagates.
+    intent_log:
+        Optional :class:`~repro.storage.wal.IntentLog` recording page
+        pre-images for crash-consistent multi-page updates.
     """
 
-    __slots__ = ("stats", "page_size", "_codec", "_buffer", "_pages", "_next_id")
+    __slots__ = (
+        "stats",
+        "page_size",
+        "retry",
+        "_codec",
+        "_buffer",
+        "_pages",
+        "_next_id",
+        "_faults",
+        "_wal",
+    )
 
     def __init__(
         self,
         codec: Optional[PageCodec] = None,
         buffer_pool: Optional[BufferPool] = None,
         page_size: int = PAGE_SIZE,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        intent_log: Optional[IntentLog] = None,
     ):
         self.stats = StorageStats()
         self.page_size = page_size
+        self.retry = retry
         self._codec = codec
         self._buffer = buffer_pool
         self._pages: Dict[int, Any] = {}
         self._next_id = 0
+        self._faults = faults
+        self._wal = intent_log
 
     # -- page lifecycle -----------------------------------------------------
 
@@ -89,6 +156,9 @@ class DiskManager:
         """Reserve a fresh page id (no content yet)."""
         page_id = self._next_id
         self._next_id += 1
+        if self._wal is not None and self._wal.in_flight:
+            self._wal.record_next_id(page_id)
+            self._wal.record_absent(page_id)
         self._pages[page_id] = None
         self.stats.allocated += 1
         return page_id
@@ -97,6 +167,8 @@ class DiskManager:
         """Release a page."""
         if page_id not in self._pages:
             raise PageNotFoundError(f"page {page_id} is not allocated")
+        if self._wal is not None and self._wal.in_flight:
+            self._wal.record(page_id, _snapshot(self._pages[page_id]))
         del self._pages[page_id]
         self.stats.freed += 1
         if self._buffer is not None:
@@ -105,7 +177,15 @@ class DiskManager:
     # -- access ---------------------------------------------------------------
 
     def write(self, page_id: int, payload: Any) -> None:
-        """Store ``payload`` on ``page_id``; counts one physical write."""
+        """Store ``payload`` on ``page_id``; counts one physical write.
+
+        Transient injected faults are retried per the attached
+        :class:`~repro.storage.faults.RetryPolicy`; when the budget is
+        exhausted the fault propagates, with any buffered copy of the
+        page invalidated so a later read cannot be served stale content.
+        A *torn* write persists corrupt content silently — detection is
+        deferred to the next read of the page.
+        """
         if page_id not in self._pages:
             raise PageNotFoundError(f"page {page_id} is not allocated")
         if self._codec is not None:
@@ -114,9 +194,31 @@ class DiskManager:
                 raise PageOverflowError(
                     f"payload of {len(data)} B exceeds page size {self.page_size}"
                 )
-            self._pages[page_id] = data
         else:
-            self._pages[page_id] = payload
+            data = None
+        if self._wal is not None and self._wal.in_flight:
+            self._wal.record(page_id, _snapshot(self._pages[page_id]))
+        torn = False
+        if self._faults is not None:
+            torn = self._retry_gate(
+                page_id, lambda: self._faults.before_write(page_id), "write"
+            )
+        if torn:
+            # The write "succeeds" from the caller's perspective but the
+            # persisted content is damaged: truncated, mangled bytes in
+            # binary mode, a sentinel in object mode.
+            self.stats.torn_writes += 1
+            if self._codec is not None:
+                half = max(1, len(data) // 2)  # type: ignore[arg-type]
+                self._pages[page_id] = (
+                    bytes([data[0] ^ 0xFF]) + data[1:half]  # type: ignore[index]
+                )
+            else:
+                self._pages[page_id] = TornPage(page_id)
+        else:
+            self._pages[page_id] = data if self._codec is not None else payload
+            if self._faults is not None:
+                self._faults.on_rewrite(page_id)
         self.stats.writes += 1
         if self._buffer is not None:
             # Keep the buffer coherent: a rewritten page must not be served
@@ -129,6 +231,10 @@ class DiskManager:
 
         A buffer hit counts as ``buffered_reads`` (no physical I/O); a
         miss counts as one physical read and populates the buffer.
+        Transient injected faults are retried per the attached policy;
+        corrupt content (torn page, checksum mismatch, undecodable
+        bytes) raises :class:`~repro.errors.CorruptPageError`, which is
+        *not* retried — the damage is persistent.
         """
         if self._buffer is not None:
             cached = self._buffer.get(page_id)
@@ -141,11 +247,114 @@ class DiskManager:
             raise PageNotFoundError(f"page {page_id} is not allocated") from None
         if stored is None:
             raise StorageError(f"page {page_id} was allocated but never written")
+        if self._faults is not None:
+            try:
+                self._retry_gate(
+                    page_id, lambda: self._faults.before_read(page_id), "read"
+                )
+            except CorruptPageError:
+                self.stats.corrupt_detected += 1
+                if self._buffer is not None:
+                    self._buffer.invalidate(page_id)
+                raise
+        if isinstance(stored, TornPage):
+            self.stats.corrupt_detected += 1
+            raise CorruptPageError(
+                f"page {page_id} holds a torn write (detected on read)"
+            )
+        if self._wal is not None and self._wal.in_flight:
+            # Object-mode reads hand out mutable references; capture the
+            # pre-image before the caller can mutate in place.
+            self._wal.record(page_id, _snapshot(stored))
+        if self._codec is not None:
+            try:
+                payload = self._codec.decode(stored)
+            except CorruptPageError:
+                self.stats.corrupt_detected += 1
+                raise
+            except Exception as exc:
+                self.stats.corrupt_detected += 1
+                raise CorruptPageError(
+                    f"page {page_id} bytes are undecodable: {exc}"
+                ) from exc
+        else:
+            payload = stored
         self.stats.reads += 1
-        payload = self._codec.decode(stored) if self._codec is not None else stored
         if self._buffer is not None:
             self._buffer.put(page_id, payload)
         return payload
+
+    def _retry_gate(self, page_id: int, gate, kind: str) -> Any:
+        """Run a fault gate, retrying transient faults per the policy.
+
+        Backoff delays are *simulated*: accumulated into
+        ``stats.sim_latency`` rather than slept, so chaos tests run at
+        full speed.
+        """
+        attempt = 1
+        while True:
+            try:
+                return gate()
+            except TransientIOError:
+                if kind == "read":
+                    self.stats.read_faults += 1
+                else:
+                    self.stats.write_faults += 1
+                if self._buffer is not None:
+                    # Error path must not leave a copy behind that a
+                    # later read could hit while the page is in doubt.
+                    self._buffer.invalidate(page_id)
+                if self.retry is None or attempt >= self.retry.attempts:
+                    raise
+                self.stats.retries += 1
+                self.stats.sim_latency += self.retry.delay(page_id, attempt)
+                attempt += 1
+
+    # -- fault/WAL plumbing ----------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The attached fault injector, if any."""
+        return self._faults
+
+    def set_faults(self, faults: Optional[FaultInjector]) -> None:
+        """Arm (or disarm, with ``None``) fault injection.
+
+        Typically called *after* a clean index build so chaos applies to
+        the query phase only.
+        """
+        self._faults = faults
+
+    @property
+    def intent_log(self) -> Optional[IntentLog]:
+        """The attached intent log, if any."""
+        return self._wal
+
+    def set_intent_log(self, log: Optional[IntentLog]) -> None:
+        """Attach (or detach) an intent log for crash-consistent updates."""
+        if self._wal is not None and self._wal.in_flight:
+            raise StorageError("cannot swap the intent log mid-transaction")
+        self._wal = log
+
+    # Rollback callbacks used by IntentLog.rollback(); they compensate
+    # the lifecycle counters so ``live_pages`` stays truthful.
+
+    def _rollback_remove(self, page_id: int) -> None:
+        if page_id in self._pages:
+            del self._pages[page_id]
+            self.stats.freed += 1
+        if self._buffer is not None:
+            self._buffer.invalidate(page_id)
+
+    def _rollback_restore(self, page_id: int, pre_image: Any) -> None:
+        if page_id not in self._pages:
+            self.stats.allocated += 1  # compensates the mid-txn free()
+        self._pages[page_id] = pre_image
+        if self._buffer is not None:
+            self._buffer.invalidate(page_id)
+
+    def _rollback_next_id(self, next_id: int) -> None:
+        self._next_id = next_id
 
     # -- inspection ------------------------------------------------------------
 

@@ -1,0 +1,372 @@
+"""Fault injection and retry policies for the simulated disk.
+
+Distributed moving-object systems treat node failure and partial
+answers as first-class citizens; to reproduce that here the
+:class:`~repro.storage.disk.DiskManager` consults a
+:class:`FaultInjector` on every *physical* page access.  The injector
+supports two fault sources that compose freely:
+
+* **scripted faults** — deterministic directives targeting the N-th
+  read/write operation or a specific page id (one-shot by default);
+* **seeded probabilistic faults** — per-access failure rates drawn from
+  a private :class:`random.Random`, so chaos runs replay exactly.
+
+Fault kinds:
+
+``read`` / ``write``
+    Transient I/O errors (:class:`~repro.errors.TransientIOError`).
+    The disk's :class:`RetryPolicy` retries these with bounded
+    exponential backoff and deterministic jitter.
+``torn``
+    A write "succeeds" but persists corrupt content; detection is
+    deferred to the next read (:class:`~repro.errors.CorruptPageError`),
+    via the checksummed page framing in binary mode or a torn-page
+    sentinel in object mode.
+``corrupt``
+    A page's *stored* state is marked rotten immediately; every read
+    fails until the page is rewritten.
+``latency``
+    Simulated per-access latency, accumulated (never slept) into
+    :attr:`~repro.storage.disk.StorageStats.sim_latency`.
+
+Plan syntax (``FaultInjector.parse``), directives separated by ``;`` or
+``,``::
+
+    seed=42          # RNG seed for the probabilistic faults
+    read=0.05        # each physical read fails transiently with p=0.05
+    write=0.01       # each physical write fails transiently with p=0.01
+    torn=0.01        # each physical write tears with p=0.01
+    latency=0.2      # every physical access costs 0.2 simulated ms
+    read#7           # the 7th physical read attempt fails (1-based)
+    write#3          # the 3rd physical write attempt fails
+    read@12          # the next read of page 12 fails transiently
+    read@12x3        # ... the next three reads of page 12
+    write@9          # the next write to page 9 fails transiently
+    torn@9           # the next write to page 9 tears silently
+    corrupt@4        # page 4's stored content is rotten as of now
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Set
+
+from repro.errors import CorruptPageError, StorageError, TransientIOError
+
+__all__ = ["FaultInjector", "RetryPolicy", "FaultStats", "TornPage"]
+
+
+@dataclass(frozen=True)
+class TornPage:
+    """Object-mode stand-in for a page whose write tore mid-flight.
+
+    Binary mode tears the actual bytes; object mode has no bytes, so the
+    disk stores this sentinel instead and raises
+    :class:`~repro.errors.CorruptPageError` when it is read back.
+    """
+
+    page_id: int
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (for assertions and reports)."""
+
+    read_faults: int = 0
+    write_faults: int = 0
+    torn_writes: int = 0
+    corrupt_reads: int = 0
+    latency_injected: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``attempts`` is the *total* number of tries per physical access (so
+    ``attempts=1`` means no retry at all).  Backoff delays are simulated
+    — accumulated into the disk's latency counter, never slept — and the
+    jitter term is a pure function of ``(page_id, attempt)`` so replays
+    are bit-identical.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 8.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise StorageError("retry attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise StorageError("retry delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise StorageError("jitter must be in [0, 1]")
+
+    def delay(self, page_id: int, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        # Deterministic jitter: a cheap hash of (page, attempt) mapped
+        # onto [1 - jitter, 1 + jitter].
+        h = zlib.crc32(f"{page_id}:{attempt}".encode()) / 0xFFFFFFFF
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * h)
+
+    def delays(self, page_id: int) -> Iterator[float]:
+        """All backoff delays for one access, in order."""
+        for attempt in range(1, self.attempts):
+            yield self.delay(page_id, attempt)
+
+
+class FaultInjector:
+    """Scripted plus seeded-probabilistic fault source for the disk.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the private RNG behind the probabilistic rates.
+    read_error_rate, write_error_rate:
+        Per-physical-access probability of a transient fault.
+    torn_write_rate:
+        Per-physical-write probability of silent torn-page corruption.
+    latency:
+        Simulated latency (arbitrary units, e.g. ms) charged per
+        physical access.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        read_error_rate: float = 0.0,
+        write_error_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        latency: float = 0.0,
+    ):
+        for name, rate in (
+            ("read_error_rate", read_error_rate),
+            ("write_error_rate", write_error_rate),
+            ("torn_write_rate", torn_write_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise StorageError(f"{name} must be in [0, 1]")
+        if latency < 0:
+            raise StorageError("latency must be non-negative")
+        self.read_error_rate = read_error_rate
+        self.write_error_rate = write_error_rate
+        self.torn_write_rate = torn_write_rate
+        self.latency = latency
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+        self._read_op = 0
+        self._write_op = 0
+        self._fail_read_ops: Set[int] = set()
+        self._fail_write_ops: Set[int] = set()
+        self._fail_read_pages: Dict[int, int] = {}
+        self._fail_write_pages: Dict[int, int] = {}
+        self._torn_write_pages: Dict[int, int] = {}
+        self._corrupt_pages: Set[int] = set()
+
+    # -- scripting ----------------------------------------------------------
+
+    def script_read_op(self, n: int) -> "FaultInjector":
+        """Fail the ``n``-th physical read attempt (1-based)."""
+        self._fail_read_ops.add(n)
+        return self
+
+    def script_write_op(self, n: int) -> "FaultInjector":
+        """Fail the ``n``-th physical write attempt (1-based)."""
+        self._fail_write_ops.add(n)
+        return self
+
+    def script_read_fault(self, page_id: int, times: int = 1) -> "FaultInjector":
+        """Fail the next ``times`` reads of ``page_id`` transiently."""
+        self._fail_read_pages[page_id] = (
+            self._fail_read_pages.get(page_id, 0) + times
+        )
+        return self
+
+    def script_write_fault(self, page_id: int, times: int = 1) -> "FaultInjector":
+        """Fail the next ``times`` writes to ``page_id`` transiently."""
+        self._fail_write_pages[page_id] = (
+            self._fail_write_pages.get(page_id, 0) + times
+        )
+        return self
+
+    def script_torn_write(self, page_id: int, times: int = 1) -> "FaultInjector":
+        """Tear the next ``times`` writes to ``page_id`` (silent)."""
+        self._torn_write_pages[page_id] = (
+            self._torn_write_pages.get(page_id, 0) + times
+        )
+        return self
+
+    def script_corruption(self, page_id: int) -> "FaultInjector":
+        """Declare ``page_id``'s stored content rotten as of now.
+
+        Every read raises :class:`~repro.errors.CorruptPageError` until
+        the page is rewritten.
+        """
+        self._corrupt_pages.add(page_id)
+        return self
+
+    @property
+    def corrupt_pages(self) -> "frozenset[int]":
+        """Pages currently marked rotten."""
+        return frozenset(self._corrupt_pages)
+
+    # -- plan parsing ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, plan: str) -> "FaultInjector":
+        """Build an injector from the textual fault-plan syntax.
+
+        See the module docstring for the grammar.  Raises
+        :class:`~repro.errors.StorageError` on malformed directives.
+        """
+        kwargs: Dict[str, float] = {}
+        scripted = []
+        for raw in plan.replace(",", ";").split(";"):
+            item = raw.strip()
+            if not item:
+                continue
+            try:
+                if "=" in item:
+                    key, value = item.split("=", 1)
+                    key = key.strip()
+                    if key == "seed":
+                        kwargs["seed"] = int(value)
+                    elif key == "read":
+                        kwargs["read_error_rate"] = float(value)
+                    elif key == "write":
+                        kwargs["write_error_rate"] = float(value)
+                    elif key == "torn":
+                        kwargs["torn_write_rate"] = float(value)
+                    elif key == "latency":
+                        kwargs["latency"] = float(value)
+                    else:
+                        raise StorageError(f"unknown fault rate {key!r}")
+                elif "#" in item:
+                    kind, n = item.split("#", 1)
+                    scripted.append((kind.strip(), "#", int(n), 1))
+                elif "@" in item:
+                    kind, target = item.split("@", 1)
+                    if "x" in target:
+                        page, times = target.split("x", 1)
+                    else:
+                        page, times = target, "1"
+                    scripted.append((kind.strip(), "@", int(page), int(times)))
+                else:
+                    raise StorageError(f"malformed fault directive {item!r}")
+            except (ValueError, StorageError) as exc:
+                raise StorageError(
+                    f"bad fault directive {item!r}: {exc}"
+                ) from None
+        injector = cls(**kwargs)  # type: ignore[arg-type]
+        for kind, mode, target, times in scripted:
+            if mode == "#" and kind == "read":
+                injector.script_read_op(target)
+            elif mode == "#" and kind == "write":
+                injector.script_write_op(target)
+            elif mode == "@" and kind == "read":
+                injector.script_read_fault(target, times)
+            elif mode == "@" and kind == "write":
+                injector.script_write_fault(target, times)
+            elif mode == "@" and kind == "torn":
+                injector.script_torn_write(target, times)
+            elif mode == "@" and kind == "corrupt":
+                injector.script_corruption(target)
+            else:
+                raise StorageError(f"unknown fault directive kind {kind!r}")
+        return injector
+
+    # -- hooks called by the disk ---------------------------------------------
+
+    def before_read(self, page_id: int) -> None:
+        """Gate one physical read attempt; may raise.
+
+        Raises
+        ------
+        TransientIOError
+            Scripted or probabilistic transient fault (retryable).
+        CorruptPageError
+            The page's stored content is marked rotten (not retryable).
+        """
+        self._read_op += 1
+        self.stats.latency_injected += self.latency
+        if page_id in self._corrupt_pages:
+            self.stats.corrupt_reads += 1
+            raise CorruptPageError(
+                f"page {page_id} failed validation (injected corruption)"
+            )
+        if self._read_op in self._fail_read_ops:
+            self._fail_read_ops.discard(self._read_op)
+            self.stats.read_faults += 1
+            raise TransientIOError(
+                f"injected transient fault on read op #{self._read_op}"
+            )
+        pending = self._fail_read_pages.get(page_id, 0)
+        if pending:
+            if pending == 1:
+                del self._fail_read_pages[page_id]
+            else:
+                self._fail_read_pages[page_id] = pending - 1
+            self.stats.read_faults += 1
+            raise TransientIOError(
+                f"injected transient fault reading page {page_id}"
+            )
+        if self.read_error_rate and self._rng.random() < self.read_error_rate:
+            self.stats.read_faults += 1
+            raise TransientIOError(
+                f"injected probabilistic fault reading page {page_id}"
+            )
+
+    def before_write(self, page_id: int) -> bool:
+        """Gate one physical write attempt.
+
+        Returns ``True`` when the write must be *torn* (persist corrupt
+        content without signalling the caller).
+
+        Raises
+        ------
+        TransientIOError
+            Scripted or probabilistic transient fault (retryable).
+        """
+        self._write_op += 1
+        self.stats.latency_injected += self.latency
+        if self._write_op in self._fail_write_ops:
+            self._fail_write_ops.discard(self._write_op)
+            self.stats.write_faults += 1
+            raise TransientIOError(
+                f"injected transient fault on write op #{self._write_op}"
+            )
+        pending = self._fail_write_pages.get(page_id, 0)
+        if pending:
+            if pending == 1:
+                del self._fail_write_pages[page_id]
+            else:
+                self._fail_write_pages[page_id] = pending - 1
+            self.stats.write_faults += 1
+            raise TransientIOError(
+                f"injected transient fault writing page {page_id}"
+            )
+        if self.write_error_rate and self._rng.random() < self.write_error_rate:
+            self.stats.write_faults += 1
+            raise TransientIOError(
+                f"injected probabilistic fault writing page {page_id}"
+            )
+        torn = self._torn_write_pages.get(page_id, 0)
+        if torn:
+            if torn == 1:
+                del self._torn_write_pages[page_id]
+            else:
+                self._torn_write_pages[page_id] = torn - 1
+            self.stats.torn_writes += 1
+            return True
+        if self.torn_write_rate and self._rng.random() < self.torn_write_rate:
+            self.stats.torn_writes += 1
+            return True
+        return False
+
+    def on_rewrite(self, page_id: int) -> None:
+        """A successful intact write clears rot markers for the page."""
+        self._corrupt_pages.discard(page_id)

@@ -1,0 +1,143 @@
+"""Crash consistency: a page-granular intent (undo) log.
+
+An R-tree insertion that splits touches several pages; a crash between
+those writes leaves a silently corrupt tree.  :class:`IntentLog` makes
+multi-page index operations atomic: the index ``begin()``s a
+transaction, the attached :class:`~repro.storage.disk.DiskManager`
+records a **pre-image** of every page the first time the transaction
+touches it (reads count too — object-mode storage hands out mutable
+references, so a read is a potential mutation), and either
+
+* the operation completes and ``commit()`` discards the pre-images, or
+* the operation dies mid-flight and :meth:`rollback` restores every
+  touched page, the allocation cursor, and hands back the metadata the
+  caller stashed at ``begin()`` (root id, size, clock) so it can finish
+  recovery.
+
+This is the undo half of classic ARIES-style WAL, which is all a
+simulated single-writer disk needs: there is no volatile page cache to
+flush, so redo never applies.  Shadow paging would work too; pre-images
+were chosen because they keep page ids stable, which the R-tree's parent
+directory and the PDQ engines' expanded-node sets rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import RecoveryError
+
+__all__ = ["IntentLog"]
+
+
+class _Absent:
+    """Sentinel pre-image: the page did not exist when first touched."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<absent>"
+
+
+_ABSENT = _Absent()
+
+
+class IntentLog:
+    """Pre-image undo log for one :class:`~repro.storage.disk.DiskManager`.
+
+    Parameters
+    ----------
+    auto_rollback:
+        When ``True`` (default) the index rolls an operation back as
+        soon as it fails, making inserts/deletes atomic.  Set ``False``
+        to simulate a *crash*: the failed operation leaves the tree
+        corrupt and the in-flight transaction pending until an explicit
+        recovery (``RTree.recover()``) replays the undo records.
+    """
+
+    def __init__(self, auto_rollback: bool = True):
+        self.auto_rollback = auto_rollback
+        self._active = False
+        self._meta: Optional[Dict[str, Any]] = None
+        self._pre_images: Dict[int, Any] = {}
+        self._next_id_at_begin: int = 0
+        self.commits = 0
+        self.rollbacks = 0
+
+    # -- transaction lifecycle ----------------------------------------------
+
+    @property
+    def in_flight(self) -> bool:
+        """True while a transaction is open (uncommitted)."""
+        return self._active
+
+    @property
+    def meta(self) -> Optional[Dict[str, Any]]:
+        """Metadata stashed by the current transaction's ``begin()``."""
+        return self._meta
+
+    def begin(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Open a transaction, stashing caller metadata for recovery."""
+        if self._active:
+            raise RecoveryError("intent log already has a transaction in flight")
+        self._active = True
+        self._meta = dict(meta) if meta else {}
+        self._pre_images = {}
+
+    def commit(self) -> None:
+        """Discard the undo records; the operation is durable."""
+        if not self._active:
+            raise RecoveryError("no transaction to commit")
+        self._active = False
+        self._meta = None
+        self._pre_images = {}
+        self.commits += 1
+
+    # -- recording (called by the disk) ---------------------------------------
+
+    def record_next_id(self, next_id: int) -> None:
+        """Remember the allocation cursor at transaction start."""
+        if "next_id" not in (self._meta or {}):
+            assert self._meta is not None
+            self._meta.setdefault("next_id", next_id)
+
+    def record(self, page_id: int, pre_image: Any) -> None:
+        """Record a page's pre-image on first touch (later touches no-op)."""
+        if not self._active:
+            return
+        if page_id not in self._pre_images:
+            self._pre_images[page_id] = pre_image
+
+    def record_absent(self, page_id: int) -> None:
+        """Record that ``page_id`` did not exist before this transaction."""
+        self.record(page_id, _ABSENT)
+
+    @property
+    def touched_pages(self) -> Tuple[int, ...]:
+        """Pages with recorded pre-images in the in-flight transaction."""
+        return tuple(self._pre_images)
+
+    # -- rollback ---------------------------------------------------------------
+
+    def rollback(self, disk) -> Dict[str, Any]:
+        """Restore every touched page on ``disk``; return the begin-metadata.
+
+        Pages created by the transaction are deallocated; overwritten or
+        freed pages get their pre-image back; the allocation cursor is
+        rewound; buffered copies of every touched page are invalidated.
+        """
+        if not self._active:
+            raise RecoveryError("no transaction to roll back")
+        restored: List[int] = []
+        for page_id, pre in self._pre_images.items():
+            if pre is _ABSENT:
+                disk._rollback_remove(page_id)
+            else:
+                disk._rollback_restore(page_id, pre)
+            restored.append(page_id)
+        meta = self._meta or {}
+        if "next_id" in meta:
+            disk._rollback_next_id(meta["next_id"])
+        self._active = False
+        self._pre_images = {}
+        self._meta = None
+        self.rollbacks += 1
+        return meta

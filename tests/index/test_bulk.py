@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.index.bulk import str_bulk_load
 from repro.index.entry import LeafEntry
@@ -54,16 +54,16 @@ class TestBalanced:
         tree = fresh_tree()
         es = entries(rng, 10)
         tree.insert(es[0])
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             str_bulk_load(tree, es[1:])
 
     def test_bad_fill_rejected(self, rng):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             str_bulk_load(fresh_tree(), entries(rng, 10), target_fill=0.0)
 
     def test_wrong_axes_rejected(self):
         tree = RTree(axes=4, max_internal=8, max_leaf=8)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             str_bulk_load(tree, entries(random.Random(0), 5))
 
     def test_target_fill_shapes_leaves(self, rng):
@@ -128,7 +128,7 @@ class TestTimeMajor:
         assert median_ts_width(major) < median_ts_width(balanced)
 
     def test_invalid_slab_count_rejected(self, rng):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             str_bulk_load(fresh_tree(), entries(rng, 10), time_slabs=0)
 
     def test_search_equals_linear_scan(self, rng):

@@ -2,14 +2,20 @@
 
 import pytest
 
-from repro.index.codec import DualTimeNodeCodec, NativeNodeCodec
-from repro.index.dualtime import DualTimeIndex
+from repro.index.codec import (
+    CHECKSUM_FRAME_BYTES,
+    ChecksummedCodec,
+    DualTimeNodeCodec,
+    NativeNodeCodec,
+)
 from repro.index.entry import InternalEntry, LeafEntry
 from repro.index.node import Node
 from repro.index.nsi import NativeSpaceIndex
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
-from repro.storage.constants import PAGE_SIZE
+from repro.errors import CorruptPageError
+from repro.storage.constants import PAGE_SIZE, leaf_fanout
+from repro.storage.faults import FaultInjector
 from repro.storage.disk import DiskManager
 
 from _helpers import make_segment
@@ -135,4 +141,103 @@ class TestBinaryModeIndex:
         expected = twin.snapshot_search(
             Interval(2.0, 3.0), Box.from_bounds((0, 0), (100, 100))
         )
+        assert {r.key for r, _ in got} == {r.key for r, _ in expected}
+
+
+class TestChecksummedCodec:
+    def _node(self):
+        node = Node(4, 0, timestamp=11)
+        for i in range(6):
+            rec = make_segment(i, 0, float(i), i + 1.0, (i * 5.0, 2.0))
+            node.entries.append(LeafEntry(rec.bounding_box(), rec))
+        return node
+
+    def test_round_trip_through_frame(self):
+        codec = ChecksummedCodec(NativeNodeCodec(2))
+        node = self._node()
+        data = codec.encode(node)
+        assert data[:2] == b"RP"
+        out = codec.decode(data)
+        assert out.page_id == 4
+        assert len(out.entries) == 6
+
+    def test_frame_overhead_is_eight_bytes(self):
+        inner = NativeNodeCodec(2)
+        codec = ChecksummedCodec(inner)
+        node = self._node()
+        assert (
+            len(codec.encode(node))
+            == len(inner.encode(node)) + CHECKSUM_FRAME_BYTES
+        )
+        assert CHECKSUM_FRAME_BYTES == 8
+
+    def test_full_fanout_node_still_fits_a_page(self):
+        codec = ChecksummedCodec(NativeNodeCodec(2))
+        node = Node(0, 0)
+        for i in range(leaf_fanout(2)):
+            rec = make_segment(i, 0, 0.0, 1.0, (1.0, 1.0))
+            node.entries.append(LeafEntry(rec.bounding_box(), rec))
+        assert len(codec.encode(node)) <= PAGE_SIZE
+
+    def test_single_bit_flip_detected(self):
+        codec = ChecksummedCodec(NativeNodeCodec(2))
+        data = bytearray(codec.encode(self._node()))
+        data[20] ^= 0x01
+        with pytest.raises(CorruptPageError):
+            codec.decode(bytes(data))
+
+    def test_truncation_detected(self):
+        codec = ChecksummedCodec(NativeNodeCodec(2))
+        data = codec.encode(self._node())
+        with pytest.raises(CorruptPageError):
+            codec.decode(data[: len(data) // 2])
+
+    def test_too_short_for_frame_detected(self):
+        codec = ChecksummedCodec(NativeNodeCodec(2))
+        with pytest.raises(CorruptPageError):
+            codec.decode(b"RP")
+
+    def test_bad_magic_detected(self):
+        codec = ChecksummedCodec(NativeNodeCodec(2))
+        data = codec.encode(self._node())
+        with pytest.raises(CorruptPageError):
+            codec.decode(b"XX" + data[2:])
+
+    def test_plain_codec_misses_header_tamper_checksummed_does_not(self):
+        # The raison d'etre: without the frame, flipping a byte in an
+        # entry-count-preserving spot decodes into a *wrong* node with
+        # no error at all.
+        inner = NativeNodeCodec(2)
+        framed = ChecksummedCodec(inner)
+        plain = bytearray(inner.encode(self._node()))
+        plain[16] ^= 0xFF  # first byte of the first leaf entry
+        decoded = inner.decode(bytes(plain))  # silently wrong
+        assert len(decoded.entries) == 6
+        tampered = bytearray(framed.encode(self._node()))
+        tampered[CHECKSUM_FRAME_BYTES + 16] ^= 0xFF
+        with pytest.raises(CorruptPageError):
+            framed.decode(bytes(tampered))
+
+    def test_torn_write_detected_on_binary_disk(self):
+        disk = DiskManager(
+            codec=ChecksummedCodec(NativeNodeCodec(2)),
+            faults=FaultInjector().script_torn_write(0),
+        )
+        pid = disk.allocate()
+        disk.write(pid, self._node())  # tears silently
+        with pytest.raises(CorruptPageError):
+            disk.read(pid)
+        assert disk.stats.corrupt_detected == 1
+
+    def test_binary_index_works_under_checksummed_framing(self, tiny_segments):
+        disk = DiskManager(codec=ChecksummedCodec(NativeNodeCodec(2)))
+        nsi = NativeSpaceIndex(dims=2, disk=disk)
+        for s in tiny_segments[:200]:
+            nsi.insert(s)
+        twin = NativeSpaceIndex(dims=2)
+        for s in tiny_segments[:200]:
+            twin.insert(s)
+        window = Box.from_bounds((0, 0), (100, 100))
+        got = nsi.snapshot_search(Interval(2.0, 3.0), window)
+        expected = twin.snapshot_search(Interval(2.0, 3.0), window)
         assert {r.key for r, _ in got} == {r.key for r, _ in expected}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.index.entry import InternalEntry, LeafEntry
@@ -22,7 +22,7 @@ def internal_entry(child=1, lo=0.0, hi=1.0):
 
 class TestBasics:
     def test_negative_level_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, -1)
 
     def test_is_leaf(self):
@@ -41,7 +41,7 @@ class TestBasics:
 
 class TestMBR:
     def test_empty_mbr_raises(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 0).mbr()
 
     def test_mbr_covers_all_entries(self):
@@ -69,31 +69,31 @@ class TestMBR:
 
 class TestKindChecks:
     def test_leaf_rejects_internal_entry(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 0).add(internal_entry(), clock=1)
 
     def test_internal_rejects_leaf_entry(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 1).add(leaf_entry(), clock=1)
 
     def test_replace_entries_checks_kind(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 0).replace_entries([internal_entry()], clock=1)
 
     def test_child_ids_on_leaf_raises(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 0).child_ids()
 
     def test_remove_child_on_leaf_raises(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 0).remove_child(1, clock=1)
 
     def test_remove_record_on_internal_raises(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 1).remove_record((0, 0), clock=1)
 
     def test_update_child_box_on_leaf_raises(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             Node(0, 0).update_child_box(1, Box.from_point((0.0,)), clock=1)
 
 
@@ -107,7 +107,7 @@ class TestMutation:
 
     def test_remove_missing_child_raises(self):
         node = Node(0, 1)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             node.remove_child(42, clock=1)
 
     def test_remove_record(self):
@@ -118,7 +118,7 @@ class TestMutation:
 
     def test_remove_missing_record_raises(self):
         node = Node(0, 0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             node.remove_record((9, 9), clock=1)
 
     def test_update_child_box_replaces_and_stamps(self):
@@ -132,7 +132,7 @@ class TestMutation:
 
     def test_update_missing_child_raises(self):
         node = Node(0, 1)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             node.update_child_box(5, Box.from_point((0.0,)), clock=1)
 
     def test_timestamp_monotone(self):

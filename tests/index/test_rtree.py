@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.index.entry import LeafEntry
@@ -42,13 +42,13 @@ def random_entries(rng, n):
 
 class TestConstruction:
     def test_invalid_parameters(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             RTree(axes=0, max_internal=4, max_leaf=4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             RTree(axes=2, max_internal=1, max_leaf=4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             RTree(axes=2, max_internal=4, max_leaf=4, fill_factor=0.9)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             RTree(axes=2, max_internal=4, max_leaf=4, split="bogus")
 
     def test_empty_tree(self):
@@ -58,7 +58,7 @@ class TestConstruction:
 
     def test_wrong_axes_entry_rejected(self):
         tree = RTree(axes=4, max_internal=4, max_leaf=4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.insert(leaf_entry(0, 0, 1, (0, 0)))
 
 
@@ -76,7 +76,7 @@ class TestInsertSearch:
 
     def test_search_wrong_axes_raises(self):
         tree = small_tree()
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             list(tree.search(Box.from_bounds((0, 0), (1, 1))))
 
     def test_growth_and_integrity(self, rng):
@@ -190,7 +190,7 @@ class TestParents:
     def test_depth_of_foreign_page_raises(self, rng):
         tree = small_tree()
         tree.insert(leaf_entry(0, 0, 1, (0, 0)))
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.depth_of(123456)
 
 

@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.index.entry import InternalEntry
 from repro.index.split import SPLITTERS, linear_split, quadratic_split, rstar_split
@@ -31,22 +31,22 @@ def splitter(request):
 
 class TestValidation:
     def test_too_few_entries_rejected(self, splitter):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             splitter(random_entries(random.Random(0), 1), 1, None)
 
     def test_min_fill_too_large_rejected(self, splitter):
         es = random_entries(random.Random(0), 4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             splitter(es, 3, None)
 
     def test_min_fill_zero_rejected(self, splitter):
         es = random_entries(random.Random(0), 4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             splitter(es, 0, None)
 
     def test_missing_pinned_entry_rejected(self, splitter):
         es = random_entries(random.Random(0), 6)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             splitter(es, 2, ("node", 999))
 
 

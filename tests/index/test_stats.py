@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import IndexStructureError
 from repro.geometry.box import Box
 from repro.index.entry import InternalEntry, LeafEntry
 from repro.index.rtree import RTree
@@ -48,7 +48,7 @@ class TestVerifyIntegrity:
     def test_detects_size_mismatch(self):
         tree = small_tree(20)
         tree._size += 1
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             verify_integrity(tree)
 
     def test_detects_box_not_covering_child(self):
@@ -57,7 +57,7 @@ class TestVerifyIntegrity:
         bad_box = Box.from_bounds((0.0, 0.0, 0.0), (0.1, 0.1, 0.1))
         entry = root.entries[0]
         root.entries[0] = InternalEntry(bad_box, entry.child_id)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             verify_integrity(tree)
 
     def test_detects_parent_directory_corruption(self):
@@ -65,7 +65,7 @@ class TestVerifyIntegrity:
         root = tree.disk.read(tree.root_id)
         child = root.child_ids()[0]
         tree._parents[child] = 987654
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             verify_integrity(tree)
 
     def test_detects_level_skew(self):
@@ -80,5 +80,5 @@ class TestVerifyIntegrity:
         # Point the root directly at a grandchild: level gap of 2.
         root.entries[0] = InternalEntry(root.entries[0].box, grandchild)
         tree._parents[grandchild] = root.page_id
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             verify_integrity(tree)

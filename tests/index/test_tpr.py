@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import GeometryError, IndexError_, QueryError
+from repro.errors import GeometryError, IndexStructureError, QueryError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.geometry.trapezoid import MovingWindow
@@ -124,11 +124,11 @@ class TestTPBox:
 
 class TestTPRTree:
     def test_invalid_parameters(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             TPRTree(dims=0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             TPRTree(horizon=0.0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             TPRTree(max_entries=2)
 
     def test_insert_and_contains(self, rng):
@@ -142,7 +142,7 @@ class TestTPRTree:
         tree = TPRTree(dims=2)
         rec = moving_population(rng, 1)[0]
         tree.insert(rec)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexStructureError):
             tree.insert(rec)
 
     def test_timeslice_matches_brute_force(self, rng):

@@ -1,0 +1,228 @@
+"""Chaos integration: the full stack under injected faults.
+
+Acceptance properties from the robustness work:
+
+* a PDQ run under a seeded fault plan with transient read faults and a
+  torn page either absorbs everything through retries (identical
+  answers) or returns a *flagged, degraded subset* of the fault-free
+  answer — never a superset, never silently short;
+* after a simulated crash mid-update, recovery restores a tree that
+  ``fsck`` reports clean;
+* ``fsck`` detects deliberate corruption.
+
+Plus a hypothesis property: any scripted fault plan whose per-page
+consecutive-fault runs are shorter than the retry budget is fully
+absorbed — query results are bit-identical to the fault-free run.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.pdq import PDQEngine
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import TransientIOError
+from repro.geometry.interval import Interval
+from repro.index.check import fsck
+from repro.index.entry import LeafEntry
+from repro.index.nsi import NativeSpaceIndex
+from repro.index.rtree import RTree
+from repro.motion.linear import LinearMotion, PiecewiseLinearMotion
+from repro.motion.mobile_object import MobileObject, PeriodicUpdatePolicy
+from repro.storage.disk import DiskManager
+from repro.storage.faults import FaultInjector, RetryPolicy
+from repro.storage.wal import IntentLog
+
+from _helpers import make_segment
+
+HORIZON = 8.0
+SIDE = 40.0
+PERIOD = 0.1
+
+
+def build_segments(seed=21, objects=35):
+    rng = random.Random(seed)
+    segments = []
+    for oid in range(objects):
+        legs = []
+        t = 0.0
+        pos = (rng.uniform(0, SIDE), rng.uniform(0, SIDE))
+        while t < HORIZON:
+            dur = rng.uniform(0.5, 2.0)
+            vel = (rng.uniform(-2, 2), rng.uniform(-2, 2))
+            legs.append(LinearMotion(t, pos, vel))
+            pos = tuple(p + v * dur for p, v in zip(pos, vel))
+            t += dur
+        obj = MobileObject(oid, PiecewiseLinearMotion(legs))
+        policy = PeriodicUpdatePolicy(1.0, rng=random.Random(seed * 100 + oid))
+        segments.extend(obj.reported_segments(policy, Interval(0.0, HORIZON)))
+    return segments
+
+
+def build_native(segments):
+    index = NativeSpaceIndex(dims=2, page_size=512)
+    index.bulk_load(segments)
+    return index
+
+
+def trajectory():
+    return QueryTrajectory.linear(
+        start_time=1.0,
+        end_time=3.5,
+        start_center=(SIDE / 2, SIDE / 2),
+        velocity=(2.0, 1.0),
+        half_extents=(5.0, 5.0),
+    )
+
+
+def pdq_keys(index, fault_budget=None):
+    with PDQEngine(
+        index, trajectory(), track_updates=False, fault_budget=fault_budget
+    ) as pdq:
+        frames = pdq.run(PERIOD)
+        return (
+            {i.key for f in frames for i in f.items},
+            pdq.degraded,
+            list(pdq.skipped_subtrees),
+        )
+
+
+class TestChaosAcceptance:
+    def test_pdq_under_fault_plan_degrades_to_a_flagged_subset(self):
+        segments = build_segments()
+        baseline, degraded, _ = pdq_keys(build_native(segments))
+        assert not degraded
+
+        index = build_native(segments)
+        # Target pages the query actually visits: probe a fault-free run
+        # with a recording injector first.
+        class Recorder(FaultInjector):
+            def __init__(self):
+                super().__init__()
+                self.read_pages = []
+
+            def before_read(self, page_id):
+                self.read_pages.append(page_id)
+                super().before_read(page_id)
+
+        recorder = Recorder()
+        index.tree.disk.set_faults(recorder)
+        pdq_keys(index)
+        visited = [
+            p for p in dict.fromkeys(recorder.read_pages)
+            if p != index.tree.root_id
+        ]
+        assert len(visited) >= 2
+        flaky, torn = visited[0], visited[-1]
+        plan = f"seed=13; read=0.02; read@{flaky}x2; torn@{torn}"
+        disk = index.tree.disk
+        disk.retry = RetryPolicy(attempts=3)
+        payload = disk.read(torn)
+        injector = FaultInjector.parse(plan)
+        disk.set_faults(injector)
+        # Rewrite the page in place: the scripted torn write persists
+        # damaged content silently, detected on the next read.
+        disk.write(torn, payload)
+        assert disk.stats.torn_writes == 1
+        chaos, degraded, skipped = pdq_keys(index, fault_budget=2)
+
+        assert chaos <= baseline  # faults may lose answers, never invent
+        if chaos != baseline:
+            assert degraded and skipped
+        stats = index.tree.disk.stats
+        assert stats.read_faults > 0  # the plan actually fired
+        assert stats.retries > 0
+        assert stats.corrupt_detected > 0  # the torn page was noticed
+
+    def test_retries_alone_absorb_a_mild_plan(self):
+        segments = build_segments()
+        baseline, _, _ = pdq_keys(build_native(segments))
+        index = build_native(segments)
+        index.tree.disk.retry = RetryPolicy(attempts=4)
+        index.tree.disk.set_faults(FaultInjector.parse("seed=7; read=0.05"))
+        chaos, degraded, skipped = pdq_keys(index, fault_budget=3)
+        assert chaos == baseline
+        assert not degraded and not skipped
+
+    def test_fsck_clean_after_simulated_crash_and_recovery(self):
+        log = IntentLog(auto_rollback=False)
+        disk = DiskManager(intent_log=log)
+        tree = RTree(axes=3, max_internal=4, max_leaf=4, disk=disk)
+        rng = random.Random(31)
+        entries = []
+        for i in range(40):
+            t0 = rng.uniform(0, 50)
+            rec = make_segment(
+                i, 0, t0, t0 + 1.0,
+                (rng.uniform(0, 100), rng.uniform(0, 100)),
+            )
+            entries.append(LeafEntry(rec.bounding_box(), rec))
+            tree.insert(entries[-1])
+        size_before = len(tree)
+
+        # Crash mid-insert: the third physical write of the op dies and
+        # nothing is rolled back.
+        disk.set_faults(FaultInjector().script_write_op(3))
+        rec = make_segment(99, 0, 10.0, 11.0, (50.0, 50.0))
+        with pytest.raises(TransientIOError):
+            tree.insert(LeafEntry(rec.bounding_box(), rec))
+        disk.set_faults(None)
+        assert log.in_flight  # the wreckage is still pending
+
+        assert tree.recover()
+        report = fsck(tree)
+        assert report.ok, report.summary()
+        assert len(tree) == size_before
+        assert report.records_seen == size_before
+
+    def test_fsck_detects_deliberate_corruption(self):
+        segments = build_segments()
+        index = build_native(segments)
+        assert fsck(index.tree).ok
+        victim = [
+            p for p in index.tree.disk.page_ids()
+            if p != index.tree.root_id
+        ][0]
+        index.tree.disk.set_faults(FaultInjector().script_corruption(victim))
+        report = fsck(index.tree)
+        assert not report.ok
+        assert any(
+            v.kind == "corrupt-page" and v.page_id == victim
+            for v in report.errors
+        )
+
+
+class TestRetryAbsorptionProperty:
+    """Hypothesis: fault runs shorter than the retry budget are free."""
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        fault_seed=st.integers(min_value=0, max_value=10_000),
+        faulty_pages=st.integers(min_value=1, max_value=6),
+        run_length=st.integers(min_value=1, max_value=3),
+    )
+    def test_short_fault_runs_are_invisible(
+        self, fault_seed, faulty_pages, run_length
+    ):
+        segments = build_segments(seed=9)
+        baseline, _, _ = pdq_keys(build_native(segments))
+
+        index = build_native(segments)
+        rng = random.Random(fault_seed)
+        pages = sorted(index.tree.disk.page_ids())
+        injector = FaultInjector()
+        for pid in rng.sample(pages, min(faulty_pages, len(pages))):
+            # Each page fails `run_length` consecutive reads, strictly
+            # fewer than the retry budget below.
+            injector.script_read_fault(pid, times=run_length)
+        index.tree.disk.retry = RetryPolicy(attempts=run_length + 1)
+        index.tree.disk.set_faults(injector)
+
+        chaos, degraded, skipped = pdq_keys(index, fault_budget=0)
+        assert chaos == baseline
+        assert not degraded and not skipped

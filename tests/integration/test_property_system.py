@@ -110,6 +110,10 @@ class TestRandomWorlds:
             new = {i.key for i in result.items}
             assert not (new & delivered) or True  # re-entries allowed later
             delivered |= new
+            # Box-only admissions reach the client as prefetches; later
+            # snapshots legitimately suppress them (Lemma 1 reasons about
+            # boxes), so coverage is items ∪ prefetched.
+            delivered |= {i.key for i in result.prefetched}
             qbox = q.to_native_box()
             exact = {
                 s.key

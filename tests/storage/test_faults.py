@@ -1,0 +1,300 @@
+"""Tests for fault injection and the retry policy."""
+
+import pytest
+
+from repro.errors import CorruptPageError, StorageError, TransientIOError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.faults import FaultInjector, RetryPolicy, TornPage
+
+
+class TestScriptedFaults:
+    def test_nth_read_op_fails_once(self):
+        disk = DiskManager(faults=FaultInjector().script_read_op(2))
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        assert disk.read(pid) == "a"  # read op 1
+        with pytest.raises(TransientIOError):
+            disk.read(pid)  # read op 2
+        assert disk.read(pid) == "a"  # one-shot: op 3 succeeds
+
+    def test_nth_write_op_fails_once(self):
+        disk = DiskManager(faults=FaultInjector().script_write_op(1))
+        pid = disk.allocate()
+        with pytest.raises(TransientIOError):
+            disk.write(pid, "a")
+        disk.write(pid, "a")
+        assert disk.read(pid) == "a"
+
+    def test_page_targeted_read_fault_counts_down(self):
+        disk = DiskManager(faults=FaultInjector().script_read_fault(0, times=2))
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                disk.read(pid)
+        assert disk.read(pid) == "a"
+
+    def test_page_targeted_fault_leaves_other_pages_alone(self):
+        disk = DiskManager(faults=FaultInjector().script_read_fault(0))
+        p0, p1 = disk.allocate(), disk.allocate()
+        disk.write(p0, "a")
+        disk.write(p1, "b")
+        assert disk.read(p1) == "b"
+        with pytest.raises(TransientIOError):
+            disk.read(p0)
+
+    def test_failed_write_leaves_old_content(self):
+        disk = DiskManager(faults=FaultInjector().script_write_fault(0))
+        pid = disk.allocate()
+        # The scripted fault hits the *first* write to page 0.
+        with pytest.raises(TransientIOError):
+            disk.write(pid, "new")
+        assert disk.stats.writes == 0
+
+
+class TestTornWrites:
+    def test_object_mode_stores_sentinel_detected_on_read(self):
+        disk = DiskManager(faults=FaultInjector().script_torn_write(0))
+        pid = disk.allocate()
+        disk.write(pid, "payload")  # succeeds silently
+        assert disk.stats.torn_writes == 1
+        with pytest.raises(CorruptPageError):
+            disk.read(pid)
+        assert disk.stats.corrupt_detected == 1
+
+    def test_rewrite_heals_a_torn_page(self):
+        disk = DiskManager(faults=FaultInjector().script_torn_write(0))
+        pid = disk.allocate()
+        disk.write(pid, "damaged")
+        disk.write(pid, "healed")
+        assert disk.read(pid) == "healed"
+
+    def test_torn_page_sentinel_is_frozen(self):
+        sentinel = TornPage(7)
+        assert sentinel.page_id == 7
+        with pytest.raises(Exception):
+            sentinel.page_id = 8
+
+
+class TestCorruption:
+    def test_rotten_page_fails_every_read(self):
+        injector = FaultInjector()
+        disk = DiskManager(faults=injector)
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        injector.script_corruption(pid)
+        for _ in range(3):
+            with pytest.raises(CorruptPageError):
+                disk.read(pid)
+        assert pid in injector.corrupt_pages
+
+    def test_corruption_is_not_retried(self):
+        injector = FaultInjector()
+        disk = DiskManager(faults=injector, retry=RetryPolicy(attempts=5))
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        injector.script_corruption(pid)
+        with pytest.raises(CorruptPageError):
+            disk.read(pid)
+        assert disk.stats.retries == 0
+
+    def test_rewrite_clears_rot(self):
+        injector = FaultInjector()
+        disk = DiskManager(faults=injector)
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        injector.script_corruption(pid)
+        disk.write(pid, "b")
+        assert disk.read(pid) == "b"
+        assert pid not in injector.corrupt_pages
+
+
+class TestProbabilisticFaults:
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed):
+            disk = DiskManager(
+                faults=FaultInjector(seed=seed, read_error_rate=0.3)
+            )
+            pid = disk.allocate()
+            disk.write(pid, "a")
+            outcomes = []
+            for _ in range(50):
+                try:
+                    disk.read(pid)
+                    outcomes.append(True)
+                except TransientIOError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert not all(run(7))  # 50 draws at p=0.3: some must fail
+
+    def test_zero_rates_never_fault(self):
+        disk = DiskManager(faults=FaultInjector(seed=1))
+        pid = disk.allocate()
+        for i in range(20):
+            disk.write(pid, i)
+            assert disk.read(pid) == i
+        assert disk.stats.faults == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(StorageError):
+            FaultInjector(read_error_rate=1.5)
+        with pytest.raises(StorageError):
+            FaultInjector(torn_write_rate=-0.1)
+        with pytest.raises(StorageError):
+            FaultInjector(latency=-1.0)
+
+    def test_latency_charged_per_physical_access(self):
+        injector = FaultInjector(latency=0.5)
+        disk = DiskManager(faults=injector)
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        disk.read(pid)
+        assert injector.stats.latency_injected == pytest.approx(1.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=1.0, max_delay=4.0, jitter=0.0
+        )
+        delays = list(policy.delays(page_id=0))
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(attempts=4, base_delay=1.0, jitter=0.25)
+        first = list(policy.delays(3))
+        assert first == list(policy.delays(3))
+        for attempt, delay in enumerate(first, start=1):
+            raw = min(1.0 * 2 ** (attempt - 1), policy.max_delay)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(StorageError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(StorageError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_disk_retries_absorb_transient_faults(self):
+        disk = DiskManager(
+            faults=FaultInjector().script_read_fault(0, times=2),
+            retry=RetryPolicy(attempts=3),
+        )
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        assert disk.read(pid) == "a"  # two faults absorbed by two retries
+        assert disk.stats.read_faults == 2
+        assert disk.stats.retries == 2
+        assert disk.stats.sim_latency > 0.0
+
+    def test_exhausted_budget_propagates(self):
+        disk = DiskManager(
+            faults=FaultInjector().script_read_fault(0, times=3),
+            retry=RetryPolicy(attempts=3),
+        )
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        with pytest.raises(TransientIOError):
+            disk.read(pid)
+        assert disk.stats.read_faults == 3
+
+    def test_no_policy_means_first_fault_propagates(self):
+        disk = DiskManager(faults=FaultInjector().script_write_fault(0))
+        pid = disk.allocate()
+        with pytest.raises(TransientIOError):
+            disk.write(pid, "a")
+        assert disk.stats.retries == 0
+
+    def test_error_path_invalidates_buffered_copy(self):
+        pool = BufferPool(capacity=4)
+        disk = DiskManager(
+            buffer_pool=pool,
+            faults=FaultInjector(),
+            retry=RetryPolicy(attempts=2),
+        )
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        disk.read(pid)  # warms the buffer
+        assert pool.get(pid) == "a"
+        disk.faults.script_read_fault(pid, times=5)
+        # The buffered copy would mask the fault; the read must miss the
+        # buffer only on the *next* physical attempt, so drop it first.
+        pool.invalidate(pid)
+        with pytest.raises(TransientIOError):
+            disk.read(pid)
+        assert pool.get(pid) is None  # error path left nothing stale
+
+
+class TestPlanParsing:
+    def test_rates_and_seed(self):
+        inj = FaultInjector.parse("seed=42; read=0.05; write=0.01; torn=0.1")
+        assert inj.read_error_rate == 0.05
+        assert inj.write_error_rate == 0.01
+        assert inj.torn_write_rate == 0.1
+
+    def test_scripted_directives(self):
+        inj = FaultInjector.parse("read#2, write#1, read@5x3, torn@9, corrupt@4")
+        disk = DiskManager(faults=inj)
+        pid = disk.allocate()  # page 0
+        with pytest.raises(TransientIOError):
+            disk.write(pid, "a")  # write#1
+        disk.write(pid, "a")
+        disk.read(pid)
+        with pytest.raises(TransientIOError):
+            disk.read(pid)  # read#2
+        assert 4 in inj.corrupt_pages
+
+    def test_latency_directive(self):
+        assert FaultInjector.parse("latency=0.25").latency == 0.25
+
+    def test_empty_plan_is_a_noop_injector(self):
+        inj = FaultInjector.parse("")
+        disk = DiskManager(faults=inj)
+        pid = disk.allocate()
+        disk.write(pid, "x")
+        assert disk.read(pid) == "x"
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            "bogus=1",
+            "read#x",
+            "read@abc",
+            "flip@3",
+            "justtext",
+            "read=nope",
+        ],
+    )
+    def test_malformed_plans_rejected(self, plan):
+        with pytest.raises(StorageError):
+            FaultInjector.parse(plan)
+
+
+class TestDiskPlumbing:
+    def test_set_faults_arms_and_disarms(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write(pid, "a")
+        disk.set_faults(FaultInjector().script_read_fault(pid))
+        with pytest.raises(TransientIOError):
+            disk.read(pid)
+        disk.set_faults(None)
+        assert disk.read(pid) == "a"
+
+    def test_stats_faults_aggregates_reads_and_writes(self):
+        disk = DiskManager(
+            faults=FaultInjector().script_read_fault(0).script_write_fault(0)
+        )
+        pid = disk.allocate()
+        with pytest.raises(TransientIOError):
+            disk.write(pid, "a")
+        disk.write(pid, "a")
+        with pytest.raises(TransientIOError):
+            disk.read(pid)
+        assert disk.stats.read_faults == 1
+        assert disk.stats.write_faults == 1
+        assert disk.stats.faults == 2

@@ -1,0 +1,170 @@
+"""Tests for the pre-image intent log and disk rollback."""
+
+import pytest
+
+from repro.errors import RecoveryError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.wal import IntentLog
+
+
+def disk_with_log(**disk_kwargs):
+    log = IntentLog()
+    disk = DiskManager(intent_log=log, **disk_kwargs)
+    return disk, log
+
+
+class TestLifecycle:
+    def test_begin_commit(self):
+        log = IntentLog()
+        assert not log.in_flight
+        log.begin({"root_id": 3})
+        assert log.in_flight
+        assert log.meta == {"root_id": 3}
+        log.commit()
+        assert not log.in_flight
+        assert log.commits == 1
+
+    def test_nested_begin_rejected(self):
+        log = IntentLog()
+        log.begin()
+        with pytest.raises(RecoveryError):
+            log.begin()
+
+    def test_commit_without_transaction_rejected(self):
+        with pytest.raises(RecoveryError):
+            IntentLog().commit()
+
+    def test_rollback_without_transaction_rejected(self):
+        with pytest.raises(RecoveryError):
+            IntentLog().rollback(DiskManager())
+
+    def test_swap_log_mid_transaction_rejected(self):
+        disk, log = disk_with_log()
+        log.begin()
+        with pytest.raises(StorageError):
+            disk.set_intent_log(IntentLog())
+        log.commit()
+        disk.set_intent_log(None)
+        assert disk.intent_log is None
+
+
+class TestPreImages:
+    def test_first_touch_wins(self):
+        log = IntentLog()
+        log.begin()
+        log.record(5, "original")
+        log.record(5, "later-garbage")
+        assert log.touched_pages == (5,)
+        restored = {}
+
+        class FakeDisk:
+            def _rollback_restore(self, pid, pre):
+                restored[pid] = pre
+
+            def _rollback_remove(self, pid):  # pragma: no cover
+                raise AssertionError
+
+        log.rollback(FakeDisk())
+        assert restored == {5: "original"}
+
+    def test_records_outside_transaction_are_ignored(self):
+        log = IntentLog()
+        log.record(1, "x")
+        log.begin()
+        assert log.touched_pages == ()
+        log.commit()
+
+    def test_overwrite_rolls_back_to_pre_image(self):
+        disk, log = disk_with_log()
+        pid = disk.allocate()
+        disk.write(pid, "before")
+        log.begin()
+        disk.write(pid, "during")
+        log.rollback(disk)
+        assert disk.read(pid) == "before"
+        assert log.rollbacks == 1
+
+    def test_read_during_transaction_records_pre_image(self):
+        # Object-mode reads hand out mutable references: mutating the
+        # payload in place then rewriting must still roll back cleanly.
+        # The payload must be clonable (as index nodes are) — that is
+        # how the disk detaches the pre-image from the live reference.
+        class Cell:
+            def __init__(self, items):
+                self.items = items
+
+            def clone(self):
+                return Cell(list(self.items))
+
+        disk, log = disk_with_log()
+        pid = disk.allocate()
+        disk.write(pid, Cell(["original"]))
+        log.begin()
+        payload = disk.read(pid)
+        payload.items.append("mutated-in-place")
+        disk.write(pid, payload)
+        log.rollback(disk)
+        assert disk.read(pid).items == ["original"]
+
+    def test_pages_created_in_transaction_are_deallocated(self):
+        disk, log = disk_with_log()
+        log.begin()
+        pid = disk.allocate()
+        disk.write(pid, "new")
+        next_before_rollback = disk.allocate()
+        log.rollback(disk)
+        assert pid not in disk
+        assert disk.stats.live_pages == 0
+        # The allocation cursor rewinds, so ids are reusable.
+        assert disk.allocate() <= next_before_rollback
+
+    def test_freed_pages_are_resurrected(self):
+        disk, log = disk_with_log()
+        pid = disk.allocate()
+        disk.write(pid, "keep-me")
+        log.begin()
+        disk.free(pid)
+        assert pid not in disk
+        log.rollback(disk)
+        assert disk.read(pid) == "keep-me"
+        assert disk.stats.live_pages == 1
+
+    def test_allocate_then_free_in_same_transaction(self):
+        disk, log = disk_with_log()
+        log.begin()
+        pid = disk.allocate()
+        disk.write(pid, "ephemeral")
+        disk.free(pid)
+        log.rollback(disk)
+        assert pid not in disk
+        assert disk.stats.live_pages == 0
+
+    def test_commit_keeps_changes(self):
+        disk, log = disk_with_log()
+        pid = disk.allocate()
+        disk.write(pid, "before")
+        log.begin()
+        disk.write(pid, "after")
+        log.commit()
+        assert disk.read(pid) == "after"
+
+    def test_rollback_returns_begin_meta(self):
+        disk, log = disk_with_log()
+        log.begin({"root_id": 9, "size": 4})
+        meta = log.rollback(disk)
+        assert meta["root_id"] == 9 and meta["size"] == 4
+
+
+class TestBufferCoherence:
+    def test_rollback_invalidates_buffered_copies(self):
+        pool = BufferPool(capacity=4)
+        disk, log = disk_with_log(buffer_pool=pool)
+        pid = disk.allocate()
+        disk.write(pid, "before")
+        disk.read(pid)  # warm the buffer
+        log.begin()
+        disk.write(pid, "during")
+        disk.read(pid)  # buffer now holds "during"
+        log.rollback(disk)
+        assert disk.read(pid) == "before"

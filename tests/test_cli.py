@@ -64,3 +64,72 @@ class TestParser:
     def test_rejects_bad_scale(self):
         with pytest.raises(SystemExit):
             main(["stats", "--scale", "galactic"])
+
+
+class TestFsck:
+    def test_clean_index_exits_zero(self, capsys):
+        code = main(["fsck", "--scale", "tiny", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_dual_index_also_checkable(self, capsys):
+        code = main(["fsck", "--scale", "tiny", "--index", "dual"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_deliberate_corruption_detected(self, capsys):
+        code = main(["fsck", "--scale", "tiny", "--corrupt", "2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "corrupt-page" in out
+
+    def test_corrupting_unallocated_page_rejected(self, capsys):
+        code = main(["fsck", "--scale", "tiny", "--corrupt", "999999"])
+        assert code == 2
+        assert "not allocated" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_mild_plan_absorbed_by_retries(self, capsys):
+        code = main(
+            ["chaos", "--scale", "tiny", "--plan", "seed=7;read=0.02"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_bad_plan_rejected(self, capsys):
+        code = main(["chaos", "--scale", "tiny", "--plan", "flip@3"])
+        assert code == 2
+        assert "bad fault plan" in capsys.readouterr().err
+
+    def test_invalid_retries_rejected(self, capsys):
+        code = main(["chaos", "--scale", "tiny", "--retries", "0"])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_negative_budget_rejected(self, capsys):
+        code = main(["chaos", "--scale", "tiny", "--budget", "-1"])
+        assert code == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_heavy_plan_reports_degradation_or_subset(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--scale",
+                "tiny",
+                "--plan",
+                "seed=3;read=0.3",
+                "--retries",
+                "1",
+                "--budget",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos answer" in out
+        assert "FAIL" not in out

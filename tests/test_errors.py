@@ -15,7 +15,10 @@ class TestHierarchy:
             errors.StorageError,
             errors.PageOverflowError,
             errors.PageNotFoundError,
-            errors.IndexError_,
+            errors.TransientIOError,
+            errors.CorruptPageError,
+            errors.RecoveryError,
+            errors.IndexStructureError,
             errors.QueryError,
             errors.TrajectoryError,
             errors.SessionError,
@@ -32,13 +35,29 @@ class TestHierarchy:
         assert issubclass(errors.PageOverflowError, errors.StorageError)
         assert issubclass(errors.PageNotFoundError, errors.StorageError)
 
+    def test_fault_errors_are_storage(self):
+        assert issubclass(errors.TransientIOError, errors.StorageError)
+        assert issubclass(errors.CorruptPageError, errors.StorageError)
+        assert issubclass(errors.RecoveryError, errors.StorageError)
+
     def test_trajectory_is_query(self):
         assert issubclass(errors.TrajectoryError, errors.QueryError)
 
     def test_index_error_does_not_shadow_builtin(self):
-        assert errors.IndexError_ is not IndexError
-        assert not issubclass(errors.IndexError_, IndexError)
+        assert errors.IndexStructureError is not IndexError
+        assert not issubclass(errors.IndexStructureError, IndexError)
 
     def test_catching_repro_error_catches_all(self):
         with pytest.raises(errors.ReproError):
             raise errors.WorkloadError("boom")
+
+
+class TestDeprecatedAlias:
+    def test_old_name_still_resolves(self):
+        with pytest.warns(DeprecationWarning, match="IndexStructureError"):
+            legacy = errors.IndexError_
+        assert legacy is errors.IndexStructureError
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            errors.NoSuchError_
