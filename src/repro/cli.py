@@ -11,9 +11,14 @@ Subcommands:
   and narrate what happens.
 * ``fsck`` — build an index and run the full structural invariant
   checker (optionally with a deliberately corrupted page, to prove the
-  checker notices).
-* ``chaos`` — run a PDQ under an injected fault plan and compare the
-  (possibly degraded) answer against the fault-free run.
+  checker notices); ``--repair`` additionally fixes what is mechanically
+  fixable and re-checks.
+* ``chaos`` — run a query engine (``--engine pdq|npdq|naive``) under an
+  injected fault plan and compare the (possibly degraded) answer against
+  the fault-free run; ``--soak N`` sweeps the plan across N seeds and
+  aggregates violations into one exit code.
+* ``serve`` — host N concurrent observers on the shared-execution query
+  broker over a scenario world and report per-tick serving metrics.
 """
 
 from __future__ import annotations
@@ -159,12 +164,59 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     print(report.summary())
     for violation in report.violations:
         print(f"  {violation}")
+    if args.repair:
+        from repro.index import repair as run_repair
+
+        repair_report = run_repair(index.tree)
+        print(repair_report.summary())
+        for violation in repair_report.after.violations:
+            print(f"  {violation}")
+        return 0 if repair_report.ok else 1
     return 0 if report.ok else 1
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
+def _reseed_plan(plan: str, seed: int) -> str:
+    """The fault plan with its RNG seed replaced by ``seed``."""
+    tokens = [
+        t for t in plan.split(";") if t.strip() and not t.strip().startswith("seed=")
+    ]
+    return ";".join([f"seed={seed}"] + tokens)
+
+
+def _chaos_run(engine: str, index_factory, trajectory, period, budget):
+    """One engine run; returns (answer_keys, degraded, skipped_count).
+
+    ``budget`` of ``None`` runs fault-free (the baseline); an int enables
+    engine-level graceful degradation under the injected plan.
+    """
+    from repro.core.naive import NaiveEvaluator
+    from repro.core.npdq import NPDQEngine
     from repro.core.pdq import PDQEngine
-    from repro.index import NativeSpaceIndex
+
+    index = index_factory()
+    if engine == "pdq":
+        with PDQEngine(
+            index, trajectory, track_updates=False, fault_budget=budget
+        ) as pdq:
+            frames = pdq.run(period)
+            degraded = pdq.degraded
+            skipped = len(list(pdq.skipped_subtrees))
+    elif engine == "npdq":
+        npdq = NPDQEngine(index, fault_budget=budget)
+        frames = [npdq.snapshot(q) for q in trajectory.frame_queries(period)]
+        degraded = any(f.degraded for f in frames)
+        skipped = sum(f.skipped_subtrees for f in frames)
+    else:  # naive
+        naive = NaiveEvaluator(index, fault_budget=budget)
+        frames = naive.run(trajectory, period)
+        degraded = any(f.degraded for f in frames)
+        skipped = sum(f.skipped_subtrees for f in frames)
+    keys = {item.key for frame in frames for item in frame.items}
+    return index, keys, degraded, skipped
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.index import DualTimeIndex, NativeSpaceIndex
     from repro.storage.disk import DiskManager
     from repro.storage.faults import FaultInjector, RetryPolicy
     from repro.workload.config import QueryWorkload, WorkloadConfig
@@ -180,14 +232,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.budget < 0:
         print("--budget must be >= 0", file=sys.stderr)
         return 2
+    if args.soak is not None and args.soak < 1:
+        print("--soak must be >= 1", file=sys.stderr)
+        return 2
 
     data = getattr(WorkloadConfig, args.scale)(seed=args.seed)
     queries = getattr(QueryWorkload, args.scale)(seed=args.seed)
     segments = list(generate_motion_segments(data))
+    dual = args.engine == "npdq"
 
-    def build() -> NativeSpaceIndex:
-        index = NativeSpaceIndex(dims=2, disk=DiskManager())
+    def build(plan: Optional[str] = None):
+        disk = DiskManager()
+        cls = DualTimeIndex if dual else NativeSpaceIndex
+        index = cls(dims=2, disk=disk)
         index.bulk_load(segments)
+        if plan is not None:
+            disk.retry = RetryPolicy(attempts=args.retries)
+            disk.set_faults(FaultInjector.parse(plan))
         return index
 
     trajectory = generate_trajectories(
@@ -195,52 +256,161 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )[0]
     period = queries.snapshot_period
 
-    print(f"building {args.scale} index ({len(segments)} segments) ...", flush=True)
-    baseline_index = build()
-    with PDQEngine(baseline_index, trajectory, track_updates=False) as pdq:
-        baseline = pdq.run(period)
-    baseline_keys = {item.key for frame in baseline for item in frame.items}
-
-    chaos_index = build()
     try:
-        injector = FaultInjector.parse(args.plan)
+        FaultInjector.parse(args.plan)
     except Exception as exc:
         print(f"bad fault plan: {exc}", file=sys.stderr)
         return 2
-    chaos_index.tree.disk.retry = RetryPolicy(attempts=args.retries)
-    chaos_index.tree.disk.set_faults(injector)
-    with PDQEngine(
-        chaos_index, trajectory, track_updates=False, fault_budget=args.budget
-    ) as pdq:
-        chaotic = pdq.run(period)
-        degraded = pdq.degraded
-        skipped = list(pdq.skipped_subtrees)
-    chaos_keys = {item.key for frame in chaotic for item in frame.items}
 
-    stats = chaos_index.tree.disk.stats
-    print(f"fault plan        : {args.plan}")
     print(
-        f"injected          : {stats.read_faults} read faults, "
-        f"{stats.write_faults} write faults, "
-        f"{stats.corrupt_detected} corrupt reads"
+        f"building {args.scale} {'dual' if dual else 'native'} index "
+        f"({len(segments)} segments) ...",
+        flush=True,
     )
-    print(
-        f"retries           : {stats.retries} "
-        f"(simulated backoff {stats.sim_latency:.2f})"
+    _, baseline_keys, _, _ = _chaos_run(
+        args.engine, build, trajectory, period, None
     )
+    print(f"engine            : {args.engine}")
     print(f"fault-free answer : {len(baseline_keys)} objects")
-    print(f"chaos answer      : {len(chaos_keys)} objects")
-    print(f"degraded          : {degraded} ({len(skipped)} subtree(s) skipped)")
-    if not chaos_keys <= baseline_keys:
-        print("FAIL: chaos answer is not a subset of the fault-free answer")
+
+    def one(plan: str) -> int:
+        index, keys, degraded, skipped = _chaos_run(
+            args.engine, lambda: build(plan), trajectory, period, args.budget
+        )
+        stats = index.tree.disk.stats
+        print(f"fault plan        : {plan}")
+        print(
+            f"injected          : {stats.read_faults} read faults, "
+            f"{stats.write_faults} write faults, "
+            f"{stats.corrupt_detected} corrupt reads"
+        )
+        print(
+            f"retries           : {stats.retries} "
+            f"(simulated backoff {stats.sim_latency:.2f})"
+        )
+        print(f"chaos answer      : {len(keys)} objects")
+        print(f"degraded          : {degraded} ({skipped} subtree(s) skipped)")
+        if not keys <= baseline_keys:
+            print("FAIL: chaos answer is not a subset of the fault-free answer")
+            return 2
+        if degraded:
+            print("OK: degraded answer is a well-flagged subset of the baseline")
+        elif keys == baseline_keys:
+            print("OK: retries absorbed every fault; answers are identical")
+        else:
+            print("FAIL: answer shrank without a degraded flag")
+            return 2
+        return 0
+
+    if args.soak is None:
+        return one(args.plan)
+
+    failures = 0
+    for soak_seed in range(args.soak):
+        print(f"--- soak seed {soak_seed} ---")
+        if one(_reseed_plan(args.plan, soak_seed)) != 0:
+            failures += 1
+    print(
+        f"soak: {args.soak - failures}/{args.soak} seeds clean, "
+        f"{failures} violation(s)"
+    )
+    return 0 if failures == 0 else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.index import DualTimeIndex, NativeSpaceIndex
+    from repro.server import QueryBroker, ServerConfig, SimulatedClock
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.objects import generate_motion_segments
+    from repro.workload.observers import observer_fleet, path_of
+    from repro.workload.scenarios import battlefield_scenario, city_scenario
+
+    if args.clients < 1 or args.ticks < 1:
+        print("--clients and --ticks must be >= 1", file=sys.stderr)
         return 2
-    if degraded:
-        print("OK: degraded answer is a well-flagged subset of the baseline")
-    elif chaos_keys == baseline_keys:
-        print("OK: retries absorbed every fault; answers are identical")
+
+    if args.scenario == "synthetic":
+        config = getattr(WorkloadConfig, args.scale)(seed=args.seed)
+        segments = list(generate_motion_segments(config))
+        space_side, horizon = config.space_side, config.horizon
+        name = f"synthetic/{args.scale}"
     else:
-        print("FAIL: answer shrank without a degraded flag")
-        return 2
+        maker = (
+            battlefield_scenario
+            if args.scenario == "battlefield"
+            else city_scenario
+        )
+        world = maker(seed=args.seed)
+        segments = world.segments
+        space_side, horizon = world.space_side, world.horizon.high
+        name = world.name
+
+    need_dual = args.kind in ("npdq", "auto", "mixed")
+    print(
+        f"building {name} world ({len(segments)} segments"
+        f"{', both index flavours' if need_dual else ''}) ...",
+        flush=True,
+    )
+    native = NativeSpaceIndex(dims=2)
+    native.bulk_load(segments)
+    dual = None
+    if need_dual:
+        dual = DualTimeIndex(dims=2)
+        dual.bulk_load(segments)
+
+    duration = min(args.ticks * args.period, horizon * 0.9)
+    start = min(horizon * 0.1, horizon - duration)
+    geometry = WorkloadConfig(
+        num_objects=1, space_side=space_side, horizon=horizon
+    )
+    fleet = observer_fleet(
+        geometry,
+        args.clients,
+        mode=args.mode,
+        window_side=args.window,
+        duration=duration,
+        start_time=start,
+        seed=args.seed,
+    )
+
+    broker = QueryBroker(
+        native,
+        dual=dual,
+        clock=SimulatedClock(start=start, period=args.period),
+        config=ServerConfig(
+            max_clients=max(args.clients, 1),
+            queue_depth=args.queue_depth,
+            shared_scan=not args.no_shared_scan,
+        ),
+    )
+    kinds = {
+        "pdq": ["pdq"],
+        "npdq": ["npdq"],
+        "auto": ["auto"],
+        "mixed": ["pdq", "npdq", "auto"],
+    }[args.kind]
+    for i, trajectory in enumerate(fleet):
+        kind = kinds[i % len(kinds)]
+        client_id = f"{kind}-{i}"
+        if kind == "pdq":
+            broker.register_pdq(client_id, trajectory)
+        elif kind == "npdq":
+            broker.register_npdq(client_id, trajectory)
+        else:
+            broker.register_auto(
+                client_id,
+                path_of(trajectory),
+                half_extents=(args.window / 2.0,) * 2,
+            )
+    print(
+        f"serving {args.clients} {args.kind} client(s) for {args.ticks} "
+        f"tick(s) of {args.period} t.u. "
+        f"(shared scan {'off' if args.no_shared_scan else 'on'}) ...",
+        flush=True,
+    )
+    broker.run(args.ticks)
+    print(broker.metrics.summary())
+    broker.quiesce()
     return 0
 
 
@@ -291,13 +461,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PAGE",
         help="deliberately corrupt this page before checking",
     )
+    p_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix mechanically repairable violations (orphans, loose "
+        "MBRs, parent links, record count) and re-check",
+    )
     p_fsck.set_defaults(func=_cmd_fsck)
 
     p_chaos = sub.add_parser(
-        "chaos", help="run a PDQ under an injected fault plan"
+        "chaos", help="run a query engine under an injected fault plan"
     )
     p_chaos.add_argument("--scale", choices=_SCALES, default="tiny")
     p_chaos.add_argument("--seed", type=int, default=3)
+    p_chaos.add_argument(
+        "--engine",
+        choices=("pdq", "npdq", "naive"),
+        default="pdq",
+        help="which query engine to run under faults",
+    )
+    p_chaos.add_argument(
+        "--soak",
+        type=int,
+        metavar="SEEDS",
+        help="sweep the fault plan across this many RNG seeds and "
+        "aggregate violations into one exit code",
+    )
     p_chaos.add_argument(
         "--plan",
         default="seed=7;read=0.05",
@@ -318,6 +507,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "subtree is skipped",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host N concurrent observers on the shared-execution broker",
+    )
+    p_serve.add_argument(
+        "--scenario",
+        choices=("synthetic", "battlefield", "city"),
+        default="synthetic",
+        help="world to serve over (synthetic uses --scale)",
+    )
+    p_serve.add_argument("--scale", choices=_SCALES, default="tiny")
+    p_serve.add_argument("--seed", type=int, default=3)
+    p_serve.add_argument("--clients", type=int, default=4)
+    p_serve.add_argument("--ticks", type=int, default=50)
+    p_serve.add_argument(
+        "--kind",
+        choices=("pdq", "npdq", "auto", "mixed"),
+        default="pdq",
+        help="client session kind (mixed cycles pdq/npdq/auto)",
+    )
+    p_serve.add_argument(
+        "--mode",
+        choices=("identical", "clustered", "independent"),
+        default="clustered",
+        help="spatial overlap structure of the observer fleet",
+    )
+    p_serve.add_argument("--period", type=float, default=0.1)
+    p_serve.add_argument("--window", type=float, default=8.0)
+    p_serve.add_argument("--queue-depth", type=int, default=64)
+    p_serve.add_argument(
+        "--no-shared-scan",
+        action="store_true",
+        help="disable the shared-scan scheduler (ablation baseline)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -188,6 +188,28 @@ class PDQEngine:
                 timeset = self.trajectory.box_overlap(e.box)
                 self._push_components(timeset, page_id=e.child_id)  # type: ignore[union-attr]
 
+    # -- frontier inspection (shared-scan support) --------------------------------
+
+    def frontier_pages(self, t_end: float) -> List[int]:
+        """Page ids of queued nodes this engine will expand by ``t_end``.
+
+        The serving layer's shared-scan scheduler polls every live
+        engine's frontier at tick start, batches the union by page id,
+        and reads each page once for all clients.  The heap is only
+        inspected, never mutated, so calling this is always safe; pages
+        already expanded (duplicates from update notifications) are
+        excluded.  Sorted and de-duplicated.
+        """
+        due = {
+            item.page_id
+            for start, _, item in self._heap
+            if start <= t_end
+            and item.is_node
+            and item.page_id not in self._expanded
+            and item.interval.high >= self._frontier
+        }
+        return sorted(due)
+
     # -- Algorithm 4.1 ---------------------------------------------------------------
 
     def get_next(self, t_start: float, t_end: float) -> Optional[AnswerItem]:

@@ -149,6 +149,23 @@ class DynamicQuerySession:
         """Mode used for the most recent frame."""
         return self._mode
 
+    @property
+    def predictive_engine(self):
+        """The live PDQ/SPDQ engine, or ``None`` outside predictive mode."""
+        return self._pdq
+
+    def frontier_pages(self, t_end: float) -> List[int]:
+        """Node pages the live predictive engine will expand by ``t_end``.
+
+        Empty outside predictive mode (snapshot/NPDQ frames have no
+        standing priority queue to batch).  Lets the serving layer's
+        shared-scan scheduler treat auto-mode sessions uniformly with
+        raw PDQ engines.
+        """
+        if self._pdq is None:
+            return []
+        return self._pdq.frontier_pages(t_end)
+
     def _window(self, center: Sequence[float]) -> Box:
         return Box.from_bounds(
             [c - h for c, h in zip(center, self.half_extents)],

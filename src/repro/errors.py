@@ -89,6 +89,19 @@ class WorkloadError(ReproError):
     """Invalid workload-generation parameters."""
 
 
+class ServerError(ReproError):
+    """Invalid use of the multi-client serving layer (:mod:`repro.server`)."""
+
+
+class AdmissionError(ServerError):
+    """The broker refused a client registration (admission control).
+
+    Raised when the configured client capacity is exhausted or a client
+    id is already registered; callers should back off or evict an
+    existing session rather than retry immediately.
+    """
+
+
 def __getattr__(name: str):
     # Deprecated alias kept so pre-rename imports keep working.
     if name == "IndexError_":

@@ -31,13 +31,15 @@ from repro.index.psi import ParametricSpaceIndex
 from repro.index.tpbox import TPBox
 from repro.index.tpr import CurrentMotion, TPRPDQEngine, TPRTree
 from repro.index.stats import TreeStats, collect_stats, verify_integrity
-from repro.index.check import FsckReport, Violation, fsck
+from repro.index.check import FsckReport, RepairReport, Violation, fsck, repair
 from repro.index.codec import ChecksummedCodec
 
 __all__ = [
     "FsckReport",
+    "RepairReport",
     "Violation",
     "fsck",
+    "repair",
     "ChecksummedCodec",
     "InternalEntry",
     "LeafEntry",

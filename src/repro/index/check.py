@@ -31,7 +31,7 @@ from repro.errors import StorageError
 from repro.index.entry import InternalEntry, LeafEntry
 from repro.index.rtree import RTree
 
-__all__ = ["Violation", "FsckReport", "fsck"]
+__all__ = ["Violation", "FsckReport", "RepairReport", "fsck", "repair"]
 
 
 @dataclass(frozen=True)
@@ -218,4 +218,133 @@ def fsck(tree: RTree) -> FsckReport:
             None,
             f"tree reports {len(tree)} records, found {report.records_seen}",
         )
+    return report
+
+
+@dataclass
+class RepairReport:
+    """What :func:`repair` changed, bracketed by before/after checks."""
+
+    before: FsckReport
+    after: FsckReport
+    orphans_freed: List[int] = field(default_factory=list)
+    mbrs_tightened: int = 0
+    parents_fixed: int = 0
+    size_corrected: Optional[tuple] = None  # (recorded, actual)
+
+    @property
+    def ok(self) -> bool:
+        """True when the post-repair check finds no errors."""
+        return self.after.ok
+
+    @property
+    def changed(self) -> bool:
+        """True when repair modified anything."""
+        return bool(
+            self.orphans_freed
+            or self.mbrs_tightened
+            or self.parents_fixed
+            or self.size_corrected
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        actions = (
+            f"{len(self.orphans_freed)} orphan(s) freed, "
+            f"{self.mbrs_tightened} MBR(s) tightened, "
+            f"{self.parents_fixed} parent link(s) fixed"
+        )
+        if self.size_corrected:
+            recorded, actual = self.size_corrected
+            actions += f", record count {recorded} -> {actual}"
+        state = "clean" if self.ok else "STILL CORRUPT"
+        return f"repair: {actions}; after: {state}"
+
+
+def repair(tree: RTree) -> RepairReport:
+    """Fix every mechanically repairable violation, then re-check.
+
+    Repairs, in order: the parent directory is rebuilt from the actual
+    topology; internal entry boxes are reset to their child's true MBR
+    bottom-up (fixing containment violations and over-wide boxes alike);
+    unreachable allocated pages are freed; the recorded record count is
+    reset to the number of records actually reachable.  Unreadable
+    (corrupt) pages and duplicate references cannot be repaired without
+    losing data — they survive into the ``after`` report, whose ``ok``
+    decides the outcome.
+
+    Not safe under live tracked queries (freed orphans or re-written
+    nodes may sit in a live priority queue); quiesce first.
+    """
+    before = fsck(tree)
+    report = RepairReport(before=before, after=before)
+    disk = tree.disk
+
+    # Pass 1: walk the reachable topology top-down, rebuilding the
+    # parent directory and collecting internal nodes and the true
+    # record count.
+    reachable: set = set()
+    internal_nodes: List = []
+    records = 0
+    stack: List[int] = [tree.root_id]
+    while stack:
+        page_id = stack.pop()
+        if page_id in reachable:
+            continue
+        reachable.add(page_id)
+        try:
+            node = disk.read(page_id)
+        except StorageError:
+            continue
+        if node.is_leaf:
+            records += sum(
+                1 for e in node.entries if isinstance(e, LeafEntry)
+            )
+            continue
+        internal_nodes.append(node)
+        for e in node.entries:
+            if not isinstance(e, InternalEntry):
+                continue
+            if e.child_id != tree.root_id and (
+                tree.parent_of(e.child_id) != page_id
+            ):
+                tree._parents[e.child_id] = page_id
+                report.parents_fixed += 1
+            stack.append(e.child_id)
+
+    # Pass 2: tighten entry boxes bottom-up, so a parent always sees its
+    # children's final MBRs.  The entry's own timestamp is preserved —
+    # repair must not make stale data look freshly inserted to NPDQ.
+    for node in sorted(internal_nodes, key=lambda n: n.level):
+        changed = False
+        for e in list(node.entries):
+            if not isinstance(e, InternalEntry):
+                continue
+            try:
+                child = disk.read(e.child_id)
+            except StorageError:
+                continue
+            if not child.entries:
+                continue
+            mbr = child.mbr()
+            if e.box != mbr:
+                node.update_child_box(e.child_id, mbr, e.timestamp)
+                report.mbrs_tightened += 1
+                changed = True
+        if changed:
+            disk.write(node.page_id, node)
+
+    # Pass 3: free orphans (unreachable allocated pages).
+    for page_id in disk.page_ids():
+        if page_id not in reachable:
+            disk.free(page_id)
+            tree._parents.pop(page_id, None)
+            report.orphans_freed.append(page_id)
+
+    # Pass 4: reconcile the recorded record count.
+    if records != len(tree):
+        report.size_corrected = (len(tree), records)
+        tree._size = records
+
+    report.after = fsck(tree)
     return report

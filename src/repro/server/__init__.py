@@ -1,0 +1,58 @@
+"""The serving layer: many concurrent dynamic queries, one index.
+
+The paper studies one dynamic query at a time; a server hosts N of them
+over the same motion-segment population.  This package adds the
+shared-execution broker that makes N concurrent observers cheaper than N
+isolated engines — without changing a single answer:
+
+* :mod:`~repro.server.clock` — deterministic simulated ticks;
+* :mod:`~repro.server.session` — per-client state (PDQ / NPDQ / auto),
+  bounded result queues, slow-client shedding;
+* :mod:`~repro.server.scheduler` — the shared scan: each R-tree page is
+  physically read at most once per tick across all clients;
+* :mod:`~repro.server.dispatcher` — the single-writer update stream with
+  LCA push-down to every live PDQ and crash recovery;
+* :mod:`~repro.server.broker` — the event loop tying them together;
+* :mod:`~repro.server.metrics` — per-client and per-tick accounting.
+"""
+
+from repro.server.broker import QueryBroker, ServerConfig
+from repro.server.clock import SimulatedClock, Tick
+from repro.server.dispatcher import DispatchStats, UpdateDispatcher, UpdateOp
+from repro.server.metrics import (
+    ClientMetrics,
+    LatencyModel,
+    ServerMetrics,
+    TickMetrics,
+)
+from repro.server.scheduler import BatchStats, SharedScanScheduler
+from repro.server.session import (
+    AutoSession,
+    ClientSession,
+    NPDQSession,
+    PDQSession,
+    SessionState,
+    TickResult,
+)
+
+__all__ = [
+    "QueryBroker",
+    "ServerConfig",
+    "SimulatedClock",
+    "Tick",
+    "UpdateDispatcher",
+    "UpdateOp",
+    "DispatchStats",
+    "ClientMetrics",
+    "LatencyModel",
+    "ServerMetrics",
+    "TickMetrics",
+    "BatchStats",
+    "SharedScanScheduler",
+    "ClientSession",
+    "PDQSession",
+    "NPDQSession",
+    "AutoSession",
+    "SessionState",
+    "TickResult",
+]

@@ -1,0 +1,330 @@
+"""The query broker: many clients, one index, one writer.
+
+:class:`QueryBroker` is the serving loop the paper's architecture
+implies but never spells out: N concurrent observers each running a
+dynamic query over the *same* motion-segment population, fed by a single
+update writer.  Per tick of the :class:`~repro.server.clock.SimulatedClock`
+the broker:
+
+1. applies every due update through the
+   :class:`~repro.server.dispatcher.UpdateDispatcher` (the writer runs
+   strictly *between* ticks, so readers always see a frozen index);
+2. runs the :class:`~repro.server.scheduler.SharedScanScheduler` batch
+   phase — the merged priority-queue frontier of all live clients is
+   read once per distinct page;
+3. serves each session **in registration order** (the determinism the
+   answer-invariance property test depends on), re-pinning the buffer
+   after each so later clients piggyback on pages earlier clients
+   demand-fetched mid-tick;
+4. delivers results into bounded per-client queues; a client whose
+   queue overflows is *shed* — its exact PDQ engine is swapped for a
+   δ-inflated SPDQ evaluated every ``shed_stride`` ticks — rather than
+   allowed to stall the tick for everyone else;
+5. folds physical/logical read deltas, update counts and simulated
+   latency into :class:`~repro.server.metrics.ServerMetrics`.
+
+Admission control is a hard cap: :meth:`register_pdq` & friends raise
+:class:`~repro.errors.AdmissionError` once ``max_clients`` sessions are
+live.  Closing a client frees its slot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.session import DynamicQuerySession
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import AdmissionError, ServerError
+from repro.index.dualtime import DualTimeIndex
+from repro.index.nsi import NativeSpaceIndex
+from repro.server.clock import SimulatedClock, Tick
+from repro.server.dispatcher import UpdateDispatcher
+from repro.server.metrics import LatencyModel, ServerMetrics, TickMetrics
+from repro.server.scheduler import SharedScanScheduler
+from repro.server.session import (
+    AutoSession,
+    ClientSession,
+    NPDQSession,
+    PDQSession,
+    SessionState,
+)
+
+__all__ = ["ServerConfig", "QueryBroker"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one broker instance.
+
+    ``shed_delta``/``shed_stride`` parameterise slow-client degradation:
+    the shed client's SPDQ window is inflated by δ = ``shed_delta`` and
+    evaluated once per ``shed_stride`` ticks, each evaluation covering
+    the whole stride conservatively.
+    """
+
+    max_clients: int = 64
+    queue_depth: int = 8
+    shed_delta: float = 0.5
+    shed_stride: int = 4
+    shared_scan: bool = True
+    buffer_capacity: int = 1024
+    latency: LatencyModel = LatencyModel()
+
+    def __post_init__(self) -> None:
+        if self.max_clients < 1:
+            raise ServerError("max_clients must be >= 1")
+        if self.queue_depth < 1:
+            raise ServerError("queue_depth must be >= 1")
+        if self.shed_delta < 0:
+            raise ServerError("shed_delta must be >= 0")
+        if self.shed_stride < 1:
+            raise ServerError("shed_stride must be >= 1")
+        if self.buffer_capacity < 1:
+            raise ServerError("buffer_capacity must be >= 1")
+
+
+class QueryBroker:
+    """Shared-execution server over one native-space (and optionally one
+    dual-time) index.
+
+    Parameters
+    ----------
+    native:
+        The native-space index (PDQ/SPDQ/auto clients, writer target).
+    dual:
+        Optional dual-time index over the same population (NPDQ and auto
+        clients; mirrored writer target).
+    clock:
+        Tick source; a fresh period-0.1 clock by default.
+    config:
+        Serving tunables; defaults are benchmark-friendly.
+    """
+
+    def __init__(
+        self,
+        native: NativeSpaceIndex,
+        dual: Optional[DualTimeIndex] = None,
+        clock: Optional[SimulatedClock] = None,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.native = native
+        self.dual = dual
+        self.clock = clock or SimulatedClock()
+        self.config = config or ServerConfig()
+        self.dispatcher = UpdateDispatcher(native, dual)
+        self.scheduler: Optional[SharedScanScheduler] = None
+        if self.config.shared_scan:
+            self.scheduler = SharedScanScheduler(
+                native.tree, self.config.buffer_capacity
+            )
+        self.metrics = ServerMetrics()
+        self._sessions: "OrderedDict[str, ClientSession]" = OrderedDict()
+        self._logical_seen: Dict[str, int] = {}
+
+    # -- registration / admission control -----------------------------------
+
+    @property
+    def sessions(self) -> List[ClientSession]:
+        """Live sessions in registration order."""
+        return [
+            s
+            for s in self._sessions.values()
+            if s.state is not SessionState.CLOSED
+        ]
+
+    def session(self, client_id: str) -> ClientSession:
+        """Look up one session (KeyError when never registered)."""
+        return self._sessions[client_id]
+
+    def _admit(self, session: ClientSession) -> ClientSession:
+        if len(self.sessions) >= self.config.max_clients:
+            self.metrics.rejections += 1
+            raise AdmissionError(
+                f"server full ({self.config.max_clients} clients); "
+                f"rejected {session.client_id!r}"
+            )
+        if session.client_id in self._sessions and (
+            self._sessions[session.client_id].state is not SessionState.CLOSED
+        ):
+            raise ServerError(
+                f"client id {session.client_id!r} already registered"
+            )
+        self._sessions[session.client_id] = session
+        self._logical_seen[session.client_id] = session.logical_reads
+        self.metrics.admissions += 1
+        self.metrics.clients[session.client_id] = session.metrics
+        return session
+
+    def register_pdq(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        rebuild_depth: int = 0,
+        track_updates: bool = True,
+        fault_budget: Optional[int] = None,
+    ) -> PDQSession:
+        """Admit a predictive client over the native-space index."""
+        return self._admit(  # type: ignore[return-value]
+            PDQSession(
+                client_id,
+                self.native,
+                trajectory,
+                queue_depth=self.config.queue_depth,
+                rebuild_depth=rebuild_depth,
+                track_updates=track_updates,
+                fault_budget=fault_budget,
+            )
+        )
+
+    def register_npdq(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        exact: bool = True,
+        fault_budget: Optional[int] = None,
+    ) -> NPDQSession:
+        """Admit a non-predictive client over the dual-time index."""
+        if self.dual is None:
+            raise ServerError("broker has no dual-time index for NPDQ clients")
+        return self._admit(  # type: ignore[return-value]
+            NPDQSession(
+                client_id,
+                self.dual,
+                trajectory,
+                queue_depth=self.config.queue_depth,
+                exact=exact,
+                fault_budget=fault_budget,
+            )
+        )
+
+    def register_auto(
+        self,
+        client_id: str,
+        path: Callable[[float], Sequence[float]],
+        half_extents: Sequence[float],
+        **session_kwargs,
+    ) -> AutoSession:
+        """Admit an auto-mode client (Sect. 4 mode hand-off session)."""
+        if self.dual is None:
+            raise ServerError("broker has no dual-time index for auto clients")
+        session = DynamicQuerySession(
+            self.native, self.dual, half_extents, **session_kwargs
+        )
+        return self._admit(  # type: ignore[return-value]
+            AutoSession(
+                client_id,
+                session,
+                path,
+                queue_depth=self.config.queue_depth,
+            )
+        )
+
+    def close_client(self, client_id: str) -> None:
+        """Close one session, freeing its admission slot."""
+        self._sessions[client_id].close()
+
+    # -- the serving loop ----------------------------------------------------
+
+    def _physical_reads(self) -> int:
+        reads = self.native.tree.disk.stats.reads
+        if self.dual is not None and self.dual.tree.disk is not self.native.tree.disk:
+            reads += self.dual.tree.disk.stats.reads
+        return reads
+
+    def _sim_latency(self) -> float:
+        lat = self.native.tree.disk.stats.sim_latency
+        if self.dual is not None and self.dual.tree.disk is not self.native.tree.disk:
+            lat += self.dual.tree.disk.stats.sim_latency
+        return lat
+
+    def run_tick(self) -> TickMetrics:
+        """Advance the clock one tick and serve every live session."""
+        tick = self.clock.next_tick()
+        live = self.sessions
+
+        crashes_before = self.dispatcher.stats.crashes_recovered
+        updates = self.dispatcher.apply_until(
+            tick.start, live_queries=bool(live)
+        )
+
+        reads_before = self._physical_reads()
+        latency_before = self._sim_latency()
+
+        serving = [s for s in live if s.will_serve(tick)]
+        batched_pages = 0
+        piggybacked = 0
+        if self.scheduler is not None:
+            batch = self.scheduler.begin_tick(serving, tick)
+            batched_pages = batch.fetched
+            piggybacked = batch.piggybacked
+
+        served = 0
+        for session in serving:
+            result = session.serve(tick)
+            if self.scheduler is not None:
+                self.scheduler.pin_resident()
+            if result is None:
+                continue
+            served += 1
+            ok = session.deliver(result)
+            if not ok and isinstance(session, PDQSession):
+                if session.state is SessionState.ACTIVE:
+                    session.shed(
+                        self.config.shed_delta, self.config.shed_stride
+                    )
+                    session.metrics.shed_events += 1
+                    self.metrics.shed_events += 1
+        if self.scheduler is not None:
+            self.scheduler.end_tick()
+
+        logical = 0
+        for session in live:
+            seen = self._logical_seen.get(session.client_id, 0)
+            now = session.logical_reads
+            logical += now - seen
+            session.metrics.logical_reads += now - seen
+            self._logical_seen[session.client_id] = now
+
+        physical = self._physical_reads() - reads_before
+        latency = (
+            physical * self.config.latency.read
+            + self._sim_latency()
+            - latency_before
+        )
+        self.metrics.writer_crashes += (
+            self.dispatcher.stats.crashes_recovered - crashes_before
+        )
+        self.metrics.updates_deferred = self.dispatcher.stats.expires_deferred
+        self.metrics.updates_dropped = self.dispatcher.stats.updates_dropped
+
+        tick_metrics = TickMetrics(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            clients_served=served,
+            physical_reads=physical,
+            logical_reads=logical,
+            batched_pages=batched_pages,
+            piggybacked_reads=piggybacked,
+            updates_applied=updates,
+            latency=latency,
+        )
+        self.metrics.record_tick(tick_metrics)
+        return tick_metrics
+
+    def run(self, ticks: int) -> List[TickMetrics]:
+        """Serve ``ticks`` consecutive ticks."""
+        return [self.run_tick() for _ in range(ticks)]
+
+    def quiesce(self) -> int:
+        """Close every session and flush deferred expires.
+
+        Returns the number of expire ops physically applied.  Only safe
+        once no client holds a live priority queue, which closing
+        enforces.
+        """
+        for session in list(self._sessions.values()):
+            session.close()
+        return self.dispatcher.flush_expired()

@@ -1,0 +1,76 @@
+"""Deterministic simulated time for the serving layer.
+
+The broker's event loop is driven by a :class:`SimulatedClock`: a fixed
+frame period chopped into numbered ticks.  Nothing in the serving layer
+reads wall-clock time — every latency figure is *simulated* (derived
+from physical page reads and the disk's injected latency), so server
+runs replay bit-identically under any real-time conditions, which is
+what the chaos and answer-invariance suites need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ServerError
+
+__all__ = ["Tick", "SimulatedClock"]
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One frame interval ``[start, end]`` of the serving loop."""
+
+    index: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the tick in simulated time units."""
+        return self.end - self.start
+
+
+class SimulatedClock:
+    """Fixed-period tick generator over ``[start, start + ticks*period]``.
+
+    Tick boundaries are computed as ``start + i * period`` (not by
+    repeated addition), so boundary ``i`` is bit-identical no matter how
+    many ticks preceded it — the property that lets an isolated-engine
+    baseline replay the exact frame times the broker used.
+    """
+
+    def __init__(self, start: float = 0.0, period: float = 0.1):
+        if period <= 0:
+            raise ServerError("clock period must be positive")
+        self.start = start
+        self.period = period
+        self._index = 0
+
+    @property
+    def index(self) -> int:
+        """Number of completed ticks."""
+        return self._index
+
+    @property
+    def now(self) -> float:
+        """Simulated time at the current tick boundary."""
+        return self.boundary(self._index)
+
+    def boundary(self, i: int) -> float:
+        """Simulated time of the ``i``-th tick boundary."""
+        return self.start + i * self.period
+
+    def next_tick(self) -> Tick:
+        """Advance one tick and return its interval."""
+        i = self._index
+        self._index += 1
+        return Tick(i, self.boundary(i), self.boundary(i + 1))
+
+    def ticks(self, count: int) -> Iterator[Tick]:
+        """Advance ``count`` ticks, yielding each interval."""
+        if count < 0:
+            raise ServerError("tick count must be non-negative")
+        for _ in range(count):
+            yield self.next_tick()

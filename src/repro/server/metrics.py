@@ -1,0 +1,152 @@
+"""Per-client and global accounting for the serving layer.
+
+The paper measures per-query I/O and CPU; a *server* additionally needs
+per-tick aggregates — how many physical page reads the whole client
+population cost, how much of the logical demand was absorbed by the
+shared scan, how deep the per-client result queues run, and how often
+slow clients were shed.  All latency figures are simulated (one
+configurable unit per physical read plus the disk's injected latency),
+keeping server runs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["LatencyModel", "ClientMetrics", "TickMetrics", "ServerMetrics"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Simulated cost per unit of physical work.
+
+    ``read`` is charged per physical page read, ``cpu`` per distance
+    computation; the disk's own injected latency (fault plans with
+    ``latency=...``) is added on top by the broker.
+    """
+
+    read: float = 1.0
+    cpu: float = 0.0
+
+
+@dataclass
+class ClientMetrics:
+    """What one client session has cost and received so far."""
+
+    client_id: str
+    ticks_served: int = 0
+    items_delivered: int = 0
+    logical_reads: int = 0
+    queue_peak: int = 0
+    dropped_results: int = 0
+    shed_events: int = 0
+    degraded_ticks: int = 0
+
+
+@dataclass(frozen=True)
+class TickMetrics:
+    """Aggregate outcome of one serving tick."""
+
+    index: int
+    start: float
+    end: float
+    clients_served: int
+    physical_reads: int
+    logical_reads: int
+    batched_pages: int
+    piggybacked_reads: int
+    updates_applied: int
+    latency: float
+
+    @property
+    def shared_hit_ratio(self) -> float:
+        """Fraction of logical node reads absorbed by the shared scan."""
+        if not self.logical_reads:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+
+@dataclass
+class ServerMetrics:
+    """Rolling global counters plus per-client and per-tick views."""
+
+    ticks: int = 0
+    physical_reads: int = 0
+    logical_reads: int = 0
+    batched_pages: int = 0
+    piggybacked_reads: int = 0
+    updates_applied: int = 0
+    updates_deferred: int = 0
+    updates_dropped: int = 0
+    writer_crashes: int = 0
+    shed_events: int = 0
+    admissions: int = 0
+    rejections: int = 0
+    total_latency: float = 0.0
+    clients: Dict[str, ClientMetrics] = field(default_factory=dict)
+    tick_log: List[TickMetrics] = field(default_factory=list)
+
+    def client(self, client_id: str) -> ClientMetrics:
+        """The (created-on-demand) per-client record."""
+        if client_id not in self.clients:
+            self.clients[client_id] = ClientMetrics(client_id)
+        return self.clients[client_id]
+
+    def record_tick(self, tick: TickMetrics) -> None:
+        """Fold one tick's aggregates into the global counters."""
+        self.ticks += 1
+        self.physical_reads += tick.physical_reads
+        self.logical_reads += tick.logical_reads
+        self.batched_pages += tick.batched_pages
+        self.piggybacked_reads += tick.piggybacked_reads
+        self.updates_applied += tick.updates_applied
+        self.total_latency += tick.latency
+        self.tick_log.append(tick)
+
+    @property
+    def shared_hit_ratio(self) -> float:
+        """Overall fraction of logical reads served without physical I/O."""
+        if not self.logical_reads:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+    @property
+    def reads_per_tick(self) -> float:
+        """Mean physical node reads per tick (the benchmark's measure)."""
+        return self.physical_reads / self.ticks if self.ticks else 0.0
+
+    @property
+    def mean_tick_latency(self) -> float:
+        """Mean simulated latency per tick."""
+        return self.total_latency / self.ticks if self.ticks else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (used by ``repro-dq serve``)."""
+        lines = [
+            f"ticks             : {self.ticks}",
+            f"clients           : {len(self.clients)} "
+            f"({self.admissions} admitted, {self.rejections} rejected)",
+            f"physical reads    : {self.physical_reads} "
+            f"({self.reads_per_tick:.1f}/tick)",
+            f"logical reads     : {self.logical_reads}",
+            f"shared hit ratio  : {self.shared_hit_ratio:.1%}",
+            f"batched pages     : {self.batched_pages} "
+            f"({self.piggybacked_reads} piggybacked)",
+            f"updates           : {self.updates_applied} applied, "
+            f"{self.updates_deferred} deferred, {self.updates_dropped} dropped",
+            f"writer crashes    : {self.writer_crashes} (recovered)",
+            f"shed events       : {self.shed_events}",
+            f"mean tick latency : {self.mean_tick_latency:.2f}",
+        ]
+        if self.clients:
+            lines.append("per-client:")
+            for cid in sorted(self.clients):
+                c = self.clients[cid]
+                lines.append(
+                    f"  {cid:<12} ticks={c.ticks_served:<4} "
+                    f"items={c.items_delivered:<6} reads={c.logical_reads:<6} "
+                    f"queue_peak={c.queue_peak:<3} dropped={c.dropped_results:<3} "
+                    f"shed={c.shed_events} degraded_ticks={c.degraded_ticks}"
+                )
+        return "\n".join(lines)

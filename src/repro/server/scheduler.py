@@ -1,0 +1,156 @@
+"""The shared-scan scheduler: one physical read per page per tick.
+
+A single live PDQ already reads each R-tree node at most once for its
+whole dynamic query; with N concurrent observers over the same space the
+naive serving loop still reads a popular node up to N times per tick —
+once per client.  Following the shared-execution argument of the
+continuous-query literature (group overlapping queries so the index is
+traversed once per *batch*, not once per client), the scheduler makes
+node reads shared across the whole client population within a tick:
+
+1. **batch phase** — at tick start it polls every live session's
+   priority-queue frontier (:meth:`PDQEngine.frontier_pages`), merges
+   the per-client page demand by page id, and reads each distinct page
+   once, in page-id order (the simulated analogue of an elevator pass).
+   Each fetched page is **pinned** in the shared
+   :class:`~repro.storage.BufferPool` so no client's traversal can evict
+   another client's pending page mid-tick;
+2. **drain phase** — sessions then run their normal engine code.  Every
+   ``load_node`` goes through the shared disk: pages fetched in the
+   batch (or by an earlier client this tick) are buffer hits, i.e.
+   late-joining queries piggyback on the in-flight read; pages first
+   discovered mid-expansion (children enqueued during this very tick)
+   are fetched once on demand and immediately pinned for the rest of the
+   tick;
+3. **end of tick** — all pins are released; the pool keeps pages around
+   under plain LRU for cross-tick locality.
+
+The net invariant: **within one tick, each R-tree page costs at most one
+physical read regardless of how many clients need it.**  Engines still
+count their *logical* reads in their own :class:`QueryCost`, so
+per-client accounting stays identical to isolated execution — only the
+physical I/O is deduplicated, which is what the shared-scan benchmark
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import CorruptPageError, ServerError, TransientIOError
+from repro.index.rtree import RTree
+from repro.server.clock import Tick
+from repro.server.session import ClientSession
+from repro.storage.buffer import BufferPool
+
+__all__ = ["BatchStats", "SharedScanScheduler"]
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Outcome of one tick's batch phase.
+
+    ``demanded`` counts (page, client) demand pairs; ``fetched`` is the
+    number of physical reads issued by the batch; ``piggybacked`` is the
+    demand the batch absorbed without extra I/O (already-buffered pages
+    plus duplicate demand for freshly fetched ones); ``failed`` lists
+    pages whose batch read failed (left to the owning engines' own
+    retry/degradation machinery during the drain phase).
+    """
+
+    demanded: int
+    unique_pages: int
+    fetched: int
+    piggybacked: int
+    failed: int
+
+
+class SharedScanScheduler:
+    """Batches per-tick node reads of many sessions by page id.
+
+    Parameters
+    ----------
+    tree:
+        The R-tree all hosted PDQ engines traverse (the native-space
+        index's tree).
+    buffer_capacity:
+        Capacity of the shared pool attached to the tree's disk when the
+        disk has none yet.  An existing pool is reused as-is.
+    """
+
+    def __init__(self, tree: RTree, buffer_capacity: int = 1024):
+        self.tree = tree
+        disk = tree.disk
+        if disk.buffer_pool is None:
+            disk.set_buffer_pool(BufferPool(buffer_capacity))
+        self.pool: BufferPool = disk.buffer_pool  # type: ignore[assignment]
+        self._in_tick = False
+
+    # -- tick lifecycle -----------------------------------------------------
+
+    def begin_tick(
+        self, sessions: Iterable[ClientSession], tick: Tick
+    ) -> BatchStats:
+        """Run the batch phase: merge frontiers, read each page once.
+
+        Pages that fail to read (injected faults) are skipped here —
+        each engine that needs the page will run its own retry and
+        degradation policy when it pops the node during the drain phase.
+        """
+        if self._in_tick:
+            raise ServerError("previous tick was not ended")
+        self._in_tick = True
+        demand: Dict[int, int] = {}
+        for session in sessions:
+            for page_id in session.frontier_pages(tick):
+                demand[page_id] = demand.get(page_id, 0) + 1
+        demanded = sum(demand.values())
+        fetched = 0
+        piggybacked = 0
+        failed = 0
+        for page_id in sorted(demand):
+            if page_id in self.pool:
+                piggybacked += demand[page_id]
+                self.pool.pin(page_id)
+                continue
+            try:
+                self.tree.load_node(page_id)
+            except (TransientIOError, CorruptPageError):
+                failed += 1
+                continue
+            fetched += 1
+            piggybacked += demand[page_id] - 1
+            self.pool.pin(page_id)
+        return BatchStats(
+            demanded=demanded,
+            unique_pages=len(demand),
+            fetched=fetched,
+            piggybacked=piggybacked,
+            failed=failed,
+        )
+
+    def pin_resident(self) -> None:
+        """Pin every resident page for the rest of the tick.
+
+        Called by the broker after each session's drain so that pages a
+        session demand-fetched mid-tick cannot be evicted before a later
+        session piggybacks on them — the within-tick half of the
+        at-most-once-per-tick read invariant.
+        """
+        for page_id in self.pool.resident_pages():
+            self.pool.pin(page_id)
+
+    def end_tick(self) -> None:
+        """Release every pin; LRU governs the pool again until next tick."""
+        if not self._in_tick:
+            raise ServerError("no tick in progress")
+        self.pool.unpin_all()
+        self._in_tick = False
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def pinned_pages(self) -> List[int]:
+        """Currently pinned page ids (mid-tick debugging aid)."""
+        return sorted(self.pool.pinned)

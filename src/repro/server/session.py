@@ -1,0 +1,365 @@
+"""Client sessions hosted by the broker.
+
+A :class:`ClientSession` wraps one dynamic-query consumer — a raw
+:class:`~repro.core.PDQEngine`, a raw :class:`~repro.core.NPDQEngine`,
+or a full auto-mode :class:`~repro.core.DynamicQuerySession` — behind a
+uniform per-tick interface:
+
+* :meth:`serve` evaluates the session's slice of one tick and returns a
+  :class:`TickResult` (or ``None`` when a shed session is coasting on a
+  previous conservative answer);
+* :meth:`frontier_pages` exposes the priority-queue frontier so the
+  shared-scan scheduler can batch page reads across clients;
+* :meth:`deliver` / :meth:`poll` implement the bounded result queue that
+  admission control and slow-client shedding are built on.
+
+Shedding (PDQ sessions only): instead of letting one slow client stall
+the tick, the broker degrades it — the exact PDQ engine is swapped for
+an :class:`~repro.core.SPDQEngine` whose window is inflated by
+``delta = observer_speed_bound * stride * period``, and the session is
+then evaluated only every ``stride`` ticks, each evaluation covering the
+whole stride conservatively.  Results are flagged ``degraded``; the
+client can refine them locally with :meth:`SPDQEngine.refine`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from repro.core.npdq import NPDQEngine
+from repro.core.pdq import PDQEngine
+from repro.core.results import AnswerItem
+from repro.core.session import DynamicQuerySession
+from repro.core.snapshot import SnapshotQuery
+from repro.core.spdq import SPDQEngine
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import ServerError
+from repro.geometry.interval import Interval
+from repro.server.clock import Tick
+from repro.server.metrics import ClientMetrics
+
+__all__ = [
+    "SessionState",
+    "TickResult",
+    "ClientSession",
+    "PDQSession",
+    "NPDQSession",
+    "AutoSession",
+]
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a hosted client session."""
+
+    ACTIVE = "active"
+    SHED = "shed"
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """What one client received for one serving tick.
+
+    ``covers_until`` normally equals ``end``; for a shed session's
+    strided evaluation it extends to the end of the covered stride, and
+    the items are a conservative (δ-inflated) superset for that span.
+    """
+
+    index: int
+    start: float
+    end: float
+    mode: str
+    items: Tuple[AnswerItem, ...]
+    prefetched: Tuple[AnswerItem, ...] = ()
+    degraded: bool = False
+    covers_until: Optional[float] = None
+
+    @property
+    def horizon(self) -> float:
+        """Time through which this result is valid."""
+        return self.covers_until if self.covers_until is not None else self.end
+
+
+@dataclass
+class _ResultQueue:
+    """Bounded FIFO of undelivered tick results (drop-oldest on overflow)."""
+
+    depth: int
+    items: Deque[TickResult] = field(default_factory=deque)
+    dropped: int = 0
+
+    def push(self, result: TickResult) -> bool:
+        """Enqueue; returns ``False`` when the oldest result was dropped."""
+        overflow = len(self.items) >= self.depth
+        if overflow:
+            self.items.popleft()
+            self.dropped += 1
+        self.items.append(result)
+        return not overflow
+
+    def drain(self, limit: Optional[int] = None) -> List[TickResult]:
+        """Pop up to ``limit`` results (all of them by default)."""
+        n = len(self.items) if limit is None else min(limit, len(self.items))
+        return [self.items.popleft() for _ in range(n)]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ClientSession:
+    """Common state and queue plumbing for every session kind."""
+
+    kind = "abstract"
+
+    def __init__(self, client_id: str, queue_depth: int):
+        if queue_depth < 1:
+            raise ServerError("queue_depth must be >= 1")
+        self.client_id = client_id
+        self.state = SessionState.ACTIVE
+        self.queue = _ResultQueue(queue_depth)
+        self.metrics = ClientMetrics(client_id)
+
+    # -- the per-tick contract (overridden per kind) -----------------------
+
+    def will_serve(self, tick: Tick) -> bool:
+        """Does this session need evaluation work during ``tick``?"""
+        return self.state is not SessionState.CLOSED
+
+    def frontier_pages(self, tick: Tick) -> List[int]:
+        """Node pages this session's engine will read during ``tick``."""
+        return []
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        """Evaluate this session's slice of ``tick``."""
+        raise NotImplementedError
+
+    @property
+    def logical_reads(self) -> int:
+        """Cumulative node reads this session's engine has *demanded*
+        (possibly served from the shared buffer without physical I/O)."""
+        cost = getattr(self._cost_source(), "cost", None)
+        if cost is None:
+            return 0
+        return cost.internal_reads + cost.leaf_reads
+
+    def _cost_source(self):
+        return None
+
+    # -- queue -----------------------------------------------------------------
+
+    def deliver(self, result: TickResult) -> bool:
+        """Queue a result for the client; ``False`` flags a slow client."""
+        self.metrics.ticks_served += 1
+        self.metrics.items_delivered += len(result.items)
+        if result.degraded:
+            self.metrics.degraded_ticks += 1
+        ok = self.queue.push(result)
+        self.metrics.dropped_results = self.queue.dropped
+        self.metrics.queue_peak = max(self.metrics.queue_peak, len(self.queue))
+        return ok
+
+    def poll(self, limit: Optional[int] = None) -> List[TickResult]:
+        """Client-side consumption: drain queued results."""
+        return self.queue.drain(limit)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine resources; the session stops being served."""
+        self.state = SessionState.CLOSED
+
+
+class PDQSession(ClientSession):
+    """A predictive client: one PDQ (or, after shedding, SPDQ) engine."""
+
+    kind = "pdq"
+
+    def __init__(
+        self,
+        client_id: str,
+        index,
+        trajectory: QueryTrajectory,
+        queue_depth: int,
+        rebuild_depth: int = 0,
+        track_updates: bool = True,
+        fault_budget: Optional[int] = None,
+    ):
+        super().__init__(client_id, queue_depth)
+        self.index = index
+        self.trajectory = trajectory
+        self.track_updates = track_updates
+        self.engine = PDQEngine(
+            index,
+            trajectory,
+            rebuild_depth=rebuild_depth,
+            track_updates=track_updates,
+            fault_budget=fault_budget,
+        )
+        self._shed_stride = 1
+        self._next_eval = 0  # tick index of the next evaluation
+        self._covered_until: Optional[float] = None
+
+    def will_serve(self, tick: Tick) -> bool:
+        if self.state is SessionState.CLOSED:
+            return False
+        return tick.index >= self._next_eval
+
+    def frontier_pages(self, tick: Tick) -> List[int]:
+        if not self.will_serve(tick):
+            return []
+        horizon = tick.start + self._shed_stride * tick.duration
+        return self.engine.frontier_pages(min(horizon, self._span_end()))
+
+    def _span_end(self) -> float:
+        return self.trajectory.time_span.high
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        if not self.will_serve(tick):
+            return None
+        horizon = min(
+            tick.start + self._shed_stride * tick.duration, self._span_end()
+        )
+        items = self.engine.window(tick.start, horizon)
+        self._next_eval = tick.index + self._shed_stride
+        shed = self.state is SessionState.SHED
+        degraded = shed or getattr(self.engine, "degraded", False)
+        return TickResult(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            mode="spdq" if shed else "pdq",
+            items=tuple(items),
+            degraded=degraded,
+            covers_until=horizon if shed else None,
+        )
+
+    def _cost_source(self):
+        return self.engine
+
+    def shed(self, delta: float, stride: int) -> None:
+        """Degrade to strided SPDQ evaluation with a δ-inflated window.
+
+        The exact engine is dropped and replaced by an
+        :class:`~repro.core.SPDQEngine` over the same trajectory;
+        already-reported answers are re-deliverable (the fresh engine has
+        an empty reported set), which is the conservative direction.
+        """
+        if self.state is not SessionState.ACTIVE:
+            return
+        if delta < 0 or stride < 1:
+            raise ServerError("shed delta must be >= 0 and stride >= 1")
+        self.engine.close()
+        self.engine = SPDQEngine(
+            self.index,
+            self.trajectory,
+            delta=delta,
+            track_updates=self.track_updates,
+        )
+        self._shed_stride = stride
+        self.state = SessionState.SHED
+
+    def close(self) -> None:
+        if self.state is not SessionState.CLOSED:
+            self.engine.close()
+        super().close()
+
+
+class NPDQSession(ClientSession):
+    """A non-predictive client: per-tick snapshots with NPDQ memory."""
+
+    kind = "npdq"
+
+    def __init__(
+        self,
+        client_id: str,
+        index,
+        trajectory: QueryTrajectory,
+        queue_depth: int,
+        exact: bool = True,
+        fault_budget: Optional[int] = None,
+    ):
+        super().__init__(client_id, queue_depth)
+        self.trajectory = trajectory
+        self.engine = NPDQEngine(index, exact=exact, fault_budget=fault_budget)
+
+    def _frame_query(self, tick: Tick) -> SnapshotQuery:
+        """The tick's frame query (same cover rule as ``frame_queries``)."""
+        traj = self.trajectory
+        window = traj.window_at(tick.start).cover(traj.window_at(tick.end))
+        for key in traj.key_snapshots:
+            if tick.start < key.time < tick.end:
+                window = window.cover(key.window)
+        return SnapshotQuery(Interval(tick.start, tick.end), window)
+
+    def _cost_source(self):
+        return self.engine
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        result = self.engine.snapshot(self._frame_query(tick))
+        return TickResult(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            mode="npdq",
+            items=tuple(result.items),
+            prefetched=tuple(result.prefetched),
+            degraded=result.degraded,
+        )
+
+
+class AutoSession(ClientSession):
+    """An auto-mode client: the Sect. 4 mode hand-off session.
+
+    ``path`` maps a tick-boundary time to the observer's window centre;
+    the broker observes the session once per tick at the tick's end.
+    Teleports and PDQ/NPDQ hand-offs happen inside
+    :class:`~repro.core.DynamicQuerySession` exactly as they would for a
+    privately driven session.
+    """
+
+    kind = "auto"
+
+    def __init__(
+        self,
+        client_id: str,
+        session: DynamicQuerySession,
+        path: Callable[[float], Sequence[float]],
+        queue_depth: int,
+    ):
+        super().__init__(client_id, queue_depth)
+        self.session = session
+        self.path = path
+
+    def frontier_pages(self, tick: Tick) -> List[int]:
+        if self.state is SessionState.CLOSED:
+            return []
+        return self.session.frontier_pages(tick.end)
+
+    @property
+    def logical_reads(self) -> int:
+        # The session folds a predictive engine's cost into its own only
+        # at hand-off; count the live engine separately until then.
+        cost = self.session.cost
+        total = cost.internal_reads + cost.leaf_reads
+        live = self.session.predictive_engine
+        if live is not None:
+            total += live.cost.internal_reads + live.cost.leaf_reads
+        return total
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        report = self.session.observe(tick.end, tuple(self.path(tick.end)))
+        return TickResult(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            mode=report.mode.value,
+            items=tuple(report.new_items),
+        )
+
+    def close(self) -> None:
+        if self.state is not SessionState.CLOSED:
+            self.session.close()
+        super().close()

@@ -1,4 +1,4 @@
-"""An LRU page buffer.
+"""An LRU page buffer with pinning.
 
 Sect. 4 of the paper argues that an LRU buffer at the server is *not* a
 substitute for dynamic-query processing (buffering happens at the client;
@@ -7,13 +7,21 @@ still pay communication costs).  We implement the buffer anyway so the
 claim can be tested as an ablation: the naive evaluator can be run with a
 buffer pool of any size and its *physical* page reads compared against
 PDQ/NPDQ without one.
+
+The serving layer (:mod:`repro.server`) reuses the pool for its
+shared-scan guarantee: pages fetched for the current tick are **pinned**
+so they cannot be evicted until the tick ends, ensuring every client
+whose priority-queue frontier touches the page piggybacks on the single
+physical read.  Pinned pages are exempt from LRU eviction; when every
+resident page is pinned the pool temporarily exceeds its capacity rather
+than break the at-most-once-per-tick read guarantee.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Set
 
 from repro.errors import StorageError
 
@@ -48,7 +56,7 @@ class BufferPool:
         Maximum number of resident pages; must be positive.
     """
 
-    __slots__ = ("capacity", "stats", "_pages")
+    __slots__ = ("capacity", "stats", "_pages", "_pinned")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
@@ -56,6 +64,7 @@ class BufferPool:
         self.capacity = capacity
         self.stats = BufferStats()
         self._pages: "OrderedDict[int, Any]" = OrderedDict()
+        self._pinned: Set[int] = set()
 
     def get(self, page_id: int) -> Optional[Any]:
         """Return the cached payload and refresh recency, or ``None``."""
@@ -68,23 +77,66 @@ class BufferPool:
         return payload
 
     def put(self, page_id: int, payload: Any) -> None:
-        """Insert (or refresh) a page, evicting the LRU page if full."""
+        """Insert (or refresh) a page, evicting the LRU page if full.
+
+        Pinned pages are never chosen as eviction victims; if every
+        resident page is pinned the pool grows past its capacity until
+        the pins are released.
+        """
         if page_id in self._pages:
             self._pages.move_to_end(page_id)
             self._pages[page_id] = payload
             return
         if len(self._pages) >= self.capacity:
-            self._pages.popitem(last=False)
-            self.stats.evictions += 1
+            victim = next(
+                (pid for pid in self._pages if pid not in self._pinned), None
+            )
+            if victim is not None:
+                del self._pages[victim]
+                self.stats.evictions += 1
         self._pages[page_id] = payload
+
+    # -- pinning (shared-scan support) -----------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        """Protect a resident page from eviction until :meth:`unpin`.
+
+        Raises
+        ------
+        StorageError
+            If the page is not resident (a pin must follow the read that
+            brought the page in, or it could silently protect nothing).
+        """
+        if page_id not in self._pages:
+            raise StorageError(f"cannot pin non-resident page {page_id}")
+        self._pinned.add(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        """Release one page's pin (no-op when not pinned)."""
+        self._pinned.discard(page_id)
+
+    def unpin_all(self) -> None:
+        """Release every pin (end of a serving tick)."""
+        self._pinned.clear()
+
+    @property
+    def pinned(self) -> "frozenset[int]":
+        """Page ids currently protected from eviction."""
+        return frozenset(self._pinned)
+
+    def resident_pages(self) -> "tuple[int, ...]":
+        """All resident page ids, LRU-first (shared-scan bookkeeping)."""
+        return tuple(self._pages)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page (e.g. after an in-place node update)."""
         self._pages.pop(page_id, None)
+        self._pinned.discard(page_id)
 
     def clear(self) -> None:
-        """Drop every resident page (statistics are kept)."""
+        """Drop every resident page, pins included (statistics are kept)."""
         self._pages.clear()
+        self._pinned.clear()
 
     def __len__(self) -> int:
         return len(self._pages)

@@ -239,6 +239,12 @@ class DiskManager:
         if self._buffer is not None:
             cached = self._buffer.get(page_id)
             if cached is not None:
+                if self._wal is not None and self._wal.in_flight:
+                    # A buffer hit hands out the same mutable reference a
+                    # physical read would; the pre-image must be captured
+                    # here too or an in-place mutation of a cached page
+                    # becomes unrecoverable.
+                    self._wal.record(page_id, _snapshot(self._pages[page_id]))
                 self.stats.buffered_reads += 1
                 return cached
         try:
@@ -362,6 +368,18 @@ class DiskManager:
     def buffer_pool(self) -> Optional[BufferPool]:
         """The attached buffer pool, if any."""
         return self._buffer
+
+    def set_buffer_pool(self, pool: Optional[BufferPool]) -> None:
+        """Attach (or detach, with ``None``) a buffer pool.
+
+        Used by the serving layer to interpose its shared-scan pool in
+        front of an index that was built bufferless.  Detaching keeps no
+        stale state: the outgoing pool is cleared so a later re-attach
+        cannot serve pages that were rewritten meanwhile.
+        """
+        if self._buffer is not None and self._buffer is not pool:
+            self._buffer.clear()
+        self._buffer = pool
 
     def page_ids(self) -> "tuple[int, ...]":
         """All allocated page ids (for integrity checks)."""

@@ -24,6 +24,7 @@ from repro.workload.trajectories import (
     speed_for_overlap,
     overlap_for_speed,
 )
+from repro.workload.observers import FLEET_MODES, observer_fleet, path_of
 from repro.workload.scenarios import battlefield_scenario, city_scenario
 
 __all__ = [
@@ -37,4 +38,7 @@ __all__ = [
     "overlap_for_speed",
     "battlefield_scenario",
     "city_scenario",
+    "FLEET_MODES",
+    "observer_fleet",
+    "path_of",
 ]

@@ -1,0 +1,141 @@
+"""Tests for ``repair`` — the fixing half of the fsck tooling."""
+
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.index.check import fsck, repair
+from repro.index.entry import InternalEntry
+from repro.storage.faults import FaultInjector
+
+from test_check import built_tree
+
+
+def widened(box, amount):
+    return box.inflate([amount] * box.dims)
+
+
+def shrunken(box, factor=0.3):
+    return Box(
+        [
+            Interval(iv.low, iv.low + (iv.high - iv.low) * factor)
+            for iv in box.extents
+        ]
+    )
+
+
+def first_internal(tree):
+    for pid in sorted(tree.disk.page_ids()):
+        node = tree.disk.read(pid)
+        if not node.is_leaf:
+            return node
+    raise AssertionError("tree has no internal node")
+
+
+class TestRepairs:
+    def test_clean_tree_is_a_no_op(self):
+        tree = built_tree()
+        report = repair(tree)
+        assert report.ok
+        assert not report.changed
+        assert report.before.ok and report.after.ok
+        assert "clean" in report.summary()
+
+    def test_orphans_are_freed(self):
+        tree = built_tree()
+        orphan = tree.disk.allocate()
+        tree.disk.write(orphan, "unreachable")
+        report = repair(tree)
+        assert report.ok and report.changed
+        assert report.orphans_freed == [orphan]
+        assert orphan not in tree.disk.page_ids()
+
+    def test_widened_mbr_is_tightened(self):
+        tree = built_tree(n=30)
+        node = first_internal(tree)
+        entry = next(
+            e for e in node.entries if isinstance(e, InternalEntry)
+        )
+        child_mbr = tree.disk.read(entry.child_id).mbr()
+        wide = widened(child_mbr, 5.0)
+        node.update_child_box(entry.child_id, wide, entry.timestamp)
+        tree.disk.write(node.page_id, node)
+        report = repair(tree)
+        assert report.ok
+        assert report.mbrs_tightened >= 1
+        refreshed = next(
+            e
+            for e in tree.disk.read(node.page_id).entries
+            if isinstance(e, InternalEntry) and e.child_id == entry.child_id
+        )
+        assert refreshed.box == child_mbr
+        # Repair must not fake freshness: the entry timestamp survives.
+        assert refreshed.timestamp == entry.timestamp
+
+    def test_shrunken_mbr_is_fixed(self):
+        tree = built_tree(n=30)
+        node = first_internal(tree)
+        entry = next(
+            e for e in node.entries if isinstance(e, InternalEntry)
+        )
+        node.update_child_box(
+            entry.child_id, shrunken(entry.box), entry.timestamp
+        )
+        tree.disk.write(node.page_id, node)
+        assert not fsck(tree).ok
+        report = repair(tree)
+        assert report.ok
+        assert report.mbrs_tightened >= 1
+
+    def test_mangled_parent_directory_is_rebuilt(self):
+        tree = built_tree(n=30)
+        node = first_internal(tree)
+        child = next(
+            e.child_id for e in node.entries if isinstance(e, InternalEntry)
+        )
+        tree._parents[child] = 999_999
+        assert not fsck(tree).ok
+        report = repair(tree)
+        assert report.ok
+        assert report.parents_fixed >= 1
+        assert tree.parent_of(child) == node.page_id
+
+    def test_record_count_drift_is_reconciled(self):
+        tree = built_tree(n=25)
+        tree._size += 7
+        report = repair(tree)
+        assert report.ok
+        assert report.size_corrected == (32, 25)
+        assert len(tree) == 25
+        assert "record count 32 -> 25" in report.summary()
+
+    def test_compound_damage_repaired_in_one_pass(self):
+        tree = built_tree(n=40)
+        orphan = tree.disk.allocate()
+        tree.disk.write(orphan, "junk")
+        node = first_internal(tree)
+        entry = next(
+            e for e in node.entries if isinstance(e, InternalEntry)
+        )
+        node.update_child_box(
+            entry.child_id, widened(entry.box, 9.0), entry.timestamp
+        )
+        tree.disk.write(node.page_id, node)
+        tree._parents[entry.child_id] = 123_456
+        tree._size -= 3
+        report = repair(tree)
+        assert report.ok and report.changed
+        assert fsck(tree).ok
+
+
+class TestUnfixable:
+    def test_corrupt_page_survives_repair(self):
+        tree = built_tree()
+        victim = sorted(
+            pid
+            for pid in tree.disk.page_ids()
+            if pid != tree.root_id
+        )[0]
+        tree.disk.set_faults(FaultInjector().script_corruption(victim))
+        report = repair(tree)
+        assert not report.ok
+        assert any(v.kind == "corrupt-page" for v in report.after.errors)
+        assert "STILL CORRUPT" in report.summary()

@@ -1,0 +1,219 @@
+"""The query broker: admission, shared execution, shedding, metrics."""
+
+import pytest
+
+from repro.core.pdq import PDQEngine
+from repro.errors import AdmissionError, ServerError
+from repro.server import (
+    QueryBroker,
+    ServerConfig,
+    SessionState,
+    SimulatedClock,
+    UpdateOp,
+)
+
+from _helpers import make_segment
+
+START, PERIOD, TICKS = 1.0, 0.1, 20
+
+
+def make_broker(index, dual=None, **config_kw):
+    config_kw.setdefault("queue_depth", 100)
+    return QueryBroker(
+        index,
+        dual=dual,
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(**config_kw),
+    )
+
+
+def isolated_answers(build_native, trajectory, ticks=TICKS):
+    """The per-tick answers of one privately driven exact PDQ."""
+    index = build_native()
+    clock = SimulatedClock(start=START, period=PERIOD)
+    with PDQEngine(index, trajectory) as engine:
+        frames = [
+            tuple(engine.window(t.start, t.end)) for t in clock.ticks(ticks)
+        ]
+    return frames, index.tree.disk.stats.reads
+
+
+class TestAdmissionControl:
+    def test_capacity_is_enforced(self, build_native, fleet):
+        broker = make_broker(build_native(), max_clients=2)
+        trajectories = fleet(3, mode="independent")
+        broker.register_pdq("a", trajectories[0])
+        broker.register_pdq("b", trajectories[1])
+        with pytest.raises(AdmissionError):
+            broker.register_pdq("c", trajectories[2])
+        assert broker.metrics.admissions == 2
+        assert broker.metrics.rejections == 1
+
+    def test_closing_frees_the_slot(self, build_native, fleet):
+        broker = make_broker(build_native(), max_clients=1)
+        trajectories = fleet(2, mode="independent")
+        broker.register_pdq("a", trajectories[0])
+        broker.close_client("a")
+        broker.register_pdq("b", trajectories[1])  # no raise
+        assert [s.client_id for s in broker.sessions] == ["b"]
+
+    def test_duplicate_id_rejected(self, build_native, fleet):
+        broker = make_broker(build_native())
+        (trajectory,) = fleet(1)
+        broker.register_pdq("a", trajectory)
+        with pytest.raises(ServerError):
+            broker.register_pdq("a", trajectory)
+
+    def test_npdq_requires_dual_index(self, build_native, fleet):
+        broker = make_broker(build_native())
+        with pytest.raises(ServerError):
+            broker.register_npdq("n", fleet(1)[0])
+
+
+class TestSharedExecution:
+    def test_n_identical_clients_cost_one_engine(self, build_native, fleet):
+        trajectories = fleet(8, mode="identical")
+        baseline_frames, baseline_reads = isolated_answers(
+            build_native, trajectories[0]
+        )
+
+        index = build_native()
+        broker = make_broker(index)
+        sessions = [
+            broker.register_pdq(f"c{i}", t) for i, t in enumerate(trajectories)
+        ]
+        reads_before = index.tree.disk.stats.reads
+        broker.run(TICKS)
+        shared_reads = index.tree.disk.stats.reads - reads_before
+
+        # The shared scan's invariant: 8 fully-overlapping clients cost
+        # exactly what 1 isolated engine costs.
+        assert shared_reads == baseline_reads
+        for session in sessions:
+            frames = [tuple(r.items) for r in session.poll()]
+            assert frames == baseline_frames
+
+    def test_shared_scan_never_changes_answers(self, build_native, fleet):
+        trajectories = fleet(3, mode="independent")
+        baselines = [
+            isolated_answers(build_native, t)[0] for t in trajectories
+        ]
+        broker = make_broker(build_native())
+        sessions = [
+            broker.register_pdq(f"c{i}", t) for i, t in enumerate(trajectories)
+        ]
+        broker.run(TICKS)
+        for session, baseline in zip(sessions, baselines):
+            assert [tuple(r.items) for r in session.poll()] == baseline
+
+    def test_disabling_shared_scan_costs_more(self, build_native, fleet):
+        trajectories = fleet(6, mode="identical")
+
+        def total_reads(shared):
+            index = build_native()
+            broker = make_broker(index, shared_scan=shared)
+            for i, t in enumerate(trajectories):
+                broker.register_pdq(f"c{i}", t)
+            before = index.tree.disk.stats.reads
+            broker.run(TICKS)
+            return index.tree.disk.stats.reads - before
+
+        assert total_reads(shared=True) < total_reads(shared=False)
+
+    def test_tick_metrics_account_the_scan(self, build_native, fleet):
+        broker = make_broker(build_native())
+        for i, t in enumerate(fleet(4, mode="identical")):
+            broker.register_pdq(f"c{i}", t)
+        broker.run(TICKS)
+        m = broker.metrics
+        assert m.ticks == TICKS
+        assert m.logical_reads > m.physical_reads
+        assert 0.0 < m.shared_hit_ratio < 1.0
+        assert len(m.tick_log) == TICKS
+        assert "shared hit ratio" in m.summary()
+
+
+class TestShedding:
+    def test_slow_client_is_shed_not_stalled(self, build_native, fleet):
+        (trajectory,) = fleet(1)
+        broker = make_broker(
+            build_native(), queue_depth=1, shed_delta=0.5, shed_stride=4
+        )
+        session = broker.register_pdq("slow", trajectory)
+        broker.run(10)  # nobody polls: the depth-1 queue overflows
+        assert session.state is SessionState.SHED
+        assert broker.metrics.shed_events == 1
+        assert session.metrics.dropped_results >= 1
+        results = session.poll()
+        assert results  # still receiving (degraded) service
+        assert all(r.degraded for r in results[-1:])
+        assert results[-1].mode == "spdq"
+        assert results[-1].covers_until is not None
+
+    def test_shed_session_is_served_every_stride(self, build_native, fleet):
+        (trajectory,) = fleet(1)
+        broker = make_broker(build_native(), queue_depth=1, shed_stride=4)
+        session = broker.register_pdq("slow", trajectory)
+        broker.run(2)  # second deliver overflows -> shed
+        assert session.state is SessionState.SHED
+        served_before = session.metrics.ticks_served
+        broker.run(8)
+        # Stride 4: ~2 evaluations over 8 ticks instead of 8.
+        assert session.metrics.ticks_served - served_before <= 3
+
+    def test_shed_answers_cover_the_stride(self, build_native, fleet):
+        (trajectory,) = fleet(1)
+        baseline_frames, _ = isolated_answers(build_native, trajectory)
+        broker = make_broker(build_native(), queue_depth=1, shed_stride=2)
+        session = broker.register_pdq("slow", trajectory)
+        broker.run(2)  # the depth-1 queue overflows -> shed at tick 1
+        assert session.state is SessionState.SHED
+        session.poll()
+        collected = []
+        for _ in range(TICKS - 2):
+            broker.run_tick()
+            collected.extend(session.poll())  # a client that keeps up now
+        shed_keys = {item.key for r in collected for item in r.items}
+        covered_until = max(r.horizon for r in collected)
+        # δ-inflated strided evaluation is conservative: nothing the
+        # exact engine reported over the covered post-shed span can be
+        # missing from the degraded stream.
+        expected = {
+            item.key
+            for i, frame in enumerate(baseline_frames)
+            for item in frame
+            if i >= 2 and START + (i + 1) * PERIOD <= covered_until + 1e-9
+        }
+        assert expected <= shed_keys
+
+
+class TestUpdatesAndQuiesce:
+    def test_updates_apply_between_ticks(self, build_native, fleet):
+        (trajectory,) = fleet(1)
+        index = build_native()
+        broker = make_broker(index)
+        session = broker.register_pdq("c0", trajectory)
+        center = trajectory.window_at(START + 1.0).center
+        span = trajectory.time_span
+        seg = make_segment(9001, 9, span.low, span.high, center, (0.0, 0.0))
+        broker.dispatcher.submit(UpdateOp(START + 5 * PERIOD, "insert", seg))
+        broker.run(TICKS)
+        keys = {i.key for r in session.poll() for i in r.items}
+        assert seg.key in keys
+        assert broker.metrics.updates_applied == 1
+
+    def test_quiesce_flushes_deferred_expires(
+        self, build_native, fleet, tiny_segments
+    ):
+        index = build_native()
+        broker = make_broker(index)
+        broker.register_pdq("c0", fleet(1)[0])
+        broker.dispatcher.submit(
+            UpdateOp(START, "expire", tiny_segments[0])
+        )
+        broker.run(3)
+        assert broker.dispatcher.stats.expires_deferred == 1
+        assert len(index) == len(tiny_segments)
+        assert broker.quiesce() == 1
+        assert len(index) == len(tiny_segments) - 1
+        assert broker.sessions == []

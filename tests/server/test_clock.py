@@ -1,0 +1,39 @@
+"""The simulated clock: deterministic, drift-free tick boundaries."""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.clock import SimulatedClock, Tick
+
+
+class TestSimulatedClock:
+    def test_boundaries_are_drift_free(self):
+        clock = SimulatedClock(start=1.0, period=0.1)
+        ticks = list(clock.ticks(100))
+        # boundary(i) is computed, not accumulated: the 100th boundary is
+        # bit-identical to the direct formula.
+        assert ticks[-1].end == 1.0 + 100 * 0.1
+        for i, tick in enumerate(ticks):
+            assert tick.index == i
+            assert tick.start == clock.boundary(i)
+            assert tick.end == clock.boundary(i + 1)
+
+    def test_two_clocks_agree(self):
+        a = SimulatedClock(start=0.5, period=0.25)
+        b = SimulatedClock(start=0.5, period=0.25)
+        list(a.ticks(7))
+        for tick in b.ticks(7):
+            pass
+        assert a.now == b.now
+        assert a.index == b.index == 7
+
+    def test_tick_duration(self):
+        assert Tick(0, 2.0, 2.5).duration == 0.5
+
+    def test_invalid_period(self):
+        with pytest.raises(ServerError):
+            SimulatedClock(period=0.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ServerError):
+            list(SimulatedClock().ticks(-1))
