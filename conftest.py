@@ -1,0 +1,9 @@
+"""Root conftest: opt-in runtime sanitizers.
+
+Registering the plugin here (the rootdir) is required — pytest rejects
+``pytest_plugins`` in nested conftests.  The plugin itself is a no-op
+unless ``REPRO_SANITIZE=1`` is set in the environment, so plain test
+runs are unaffected.
+"""
+
+pytest_plugins = ["repro.analysis.pytest_plugin"]

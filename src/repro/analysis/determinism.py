@@ -1,0 +1,266 @@
+"""Determinism rules: only the simulated clock may source time.
+
+Everything this reproduction claims — bit-identical chaos replays,
+answer-invariance of the shared-scan broker, crash recovery drills —
+rests on runs being pure functions of their seeds.  One wall-clock read
+or unseeded RNG in the engine layers silently voids all of it (the PR-2
+fleet generator seeded from a randomized ``hash()`` was exactly such a
+bug).  These rules fence the engine layers (``core``, ``index``,
+``server``, ``workload``, ``motion``) off from ambient entropy; the CLI
+and experiment harness may still read wall-clock time for progress
+reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import (
+    ImportMap,
+    Rule,
+    Violation,
+    ancestors,
+    parent_map,
+    terminal_name,
+)
+
+__all__ = ["WallClockRule", "UnseededRandomRule", "HashSeedRule"]
+
+_ENGINE_SCOPE = (
+    ("repro", "core"),
+    ("repro", "index"),
+    ("repro", "server"),
+    ("repro", "workload"),
+    ("repro", "motion"),
+)
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "sleep",
+    }
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    """DQD01 — wall-clock time source in an engine layer.
+
+    **Invariant:** inside ``core``/``index``/``server``/``workload``/
+    ``motion``, the only time source is
+    :class:`~repro.server.clock.SimulatedClock` (or an explicit
+    simulated-time parameter).  ``time.time()``, ``time.sleep()``,
+    ``datetime.now()`` and friends make results depend on when and how
+    fast the host runs, which breaks replayability and poisons the
+    simulated latency accounting the serving benchmarks report.
+    """
+
+    id = "DQD01"
+    title = "wall-clock time source in an engine layer"
+    scope = _ENGINE_SCOPE
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        imports = ImportMap(module)
+        time_aliases = imports.aliases_of("time")
+        dt_module_aliases = imports.aliases_of("datetime")
+        # from time import time/monotonic/... -> bare-name calls
+        time_members = {
+            local
+            for local, orig in imports.members_from("time").items()
+            if orig in _TIME_FUNCS
+        }
+        # from datetime import datetime/date -> datetime.now() etc.
+        dt_class_aliases = {
+            local
+            for local, orig in imports.members_from("datetime").items()
+            if orig in ("datetime", "date")
+        }
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in time_members:
+                yield self.violation(
+                    node,
+                    path,
+                    f"call to wall-clock '{func.id}()'; only SimulatedClock "
+                    "may source time here",
+                )
+            elif isinstance(func, ast.Attribute):
+                recv = func.value
+                recv_name = terminal_name(recv)
+                if (
+                    func.attr in _TIME_FUNCS
+                    and isinstance(recv, ast.Name)
+                    and recv.id in time_aliases
+                ):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"call to wall-clock 'time.{func.attr}()'; only "
+                        "SimulatedClock may source time here",
+                    )
+                elif func.attr in _DATETIME_FUNCS and (
+                    (isinstance(recv, ast.Name) and recv.id in dt_class_aliases)
+                    or (
+                        isinstance(recv, ast.Attribute)
+                        and recv.attr in ("datetime", "date")
+                        and isinstance(recv.value, ast.Name)
+                        and recv.value.id in dt_module_aliases
+                    )
+                    or (recv_name in dt_module_aliases)
+                ):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"call to wall-clock 'datetime.{func.attr}()'; only "
+                        "SimulatedClock may source time here",
+                    )
+
+
+class UnseededRandomRule(Rule):
+    """DQD02 — unseeded or process-global randomness in an engine layer.
+
+    **Invariant:** every RNG in the engine layers is a
+    ``random.Random(seed)`` instance threaded in explicitly.  The
+    module-level ``random.*`` functions share one process-global,
+    time-seeded state (any import anywhere can perturb the draw
+    sequence), and a bare ``random.Random()`` seeds itself from the OS
+    — both make workloads unreproducible across runs and machines.
+    """
+
+    id = "DQD02"
+    title = "unseeded or process-global randomness in an engine layer"
+    scope = _ENGINE_SCOPE
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        imports = ImportMap(module)
+        random_aliases = imports.aliases_of("random")
+        random_members = imports.members_from("random")
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                if func.value.id not in random_aliases:
+                    continue
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.violation(
+                            node,
+                            path,
+                            "random.Random() without a seed; thread an "
+                            "explicit seed through instead",
+                        )
+                elif func.attr == "SystemRandom":
+                    yield self.violation(
+                        node,
+                        path,
+                        "random.SystemRandom is OS entropy and can never "
+                        "replay; use a seeded random.Random",
+                    )
+                else:
+                    yield self.violation(
+                        node,
+                        path,
+                        f"module-level 'random.{func.attr}()' uses the "
+                        "process-global RNG; use a seeded random.Random "
+                        "instance",
+                    )
+            elif isinstance(func, ast.Name) and func.id in random_members:
+                original = random_members[func.id]
+                if original == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.violation(
+                            node,
+                            path,
+                            "Random() without a seed; thread an explicit "
+                            "seed through instead",
+                        )
+                elif original == "SystemRandom":
+                    yield self.violation(
+                        node,
+                        path,
+                        "SystemRandom is OS entropy and can never replay; "
+                        "use a seeded random.Random",
+                    )
+                else:
+                    yield self.violation(
+                        node,
+                        path,
+                        f"'{original}()' from the process-global RNG; use a "
+                        "seeded random.Random instance",
+                    )
+
+
+class HashSeedRule(Rule):
+    """DQD03 — RNG seed derived from ``hash()``.
+
+    **Invariant:** seeds are arithmetic on integers the caller passed
+    in.  ``hash()`` of a str/bytes is salted per *process* (PEP 456),
+    so a seed like ``hash(mode)`` replays within one run and diverges
+    on the next — the exact bug the fleet generator shipped with.
+    Derive salts from stable data (an index into a constant tuple, an
+    explicit integer table) instead.
+    """
+
+    id = "DQD03"
+    title = "RNG seed derived from hash()"
+    scope = _ENGINE_SCOPE
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        parents = parent_map(module)
+        for node in ast.walk(module):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                continue
+            if self._feeds_a_seed(node, parents):
+                yield self.violation(
+                    node,
+                    path,
+                    "hash() is salted per process (PEP 456); derive seeds "
+                    "from stable integers instead",
+                )
+
+    @staticmethod
+    def _feeds_a_seed(node: ast.Call, parents) -> bool:
+        for ancestor in ancestors(node, parents):
+            if isinstance(ancestor, ast.Call):
+                func = ancestor.func
+                name = terminal_name(func)
+                if name in ("Random", "seed"):
+                    return True
+            elif isinstance(ancestor, ast.keyword):
+                if ancestor.arg and "seed" in ancestor.arg.lower():
+                    return True
+            elif isinstance(ancestor, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    ancestor.targets
+                    if isinstance(ancestor, ast.Assign)
+                    else [ancestor.target]
+                )
+                for target in targets:
+                    name = terminal_name(target)
+                    if name and "seed" in name.lower():
+                        return True
+            elif isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # Scope boundary: a hash() in an unrelated statement of the
+                # same function must not be blamed on a seed elsewhere.
+                return False
+        return False

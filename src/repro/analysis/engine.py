@@ -1,0 +1,248 @@
+"""The lint engine: walk, check, suppress, ratchet.
+
+Drives every registered rule over a file tree and reconciles the hits
+against three escape hatches, in order:
+
+1. **line suppression** — ``# repro: disable=DQD01`` (comma-separate
+   several ids, or ``all``) on the offending line;
+2. **file suppression** — ``# repro: disable-file=DQD01`` anywhere in
+   the file (generated fixtures, test corpora);
+3. **the baseline** — a committed JSON ratchet
+   (:data:`DEFAULT_BASELINE`) holding per-``path::rule`` counts of
+   pre-existing violations.  Existing debt is tolerated, *new* debt
+   fails, and fixing debt then running ``--update-baseline`` ratchets
+   the allowance down.
+
+Exit codes (used by ``repro-dq lint`` and CI): 0 clean or fully
+baselined, 1 new violations, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.crashsafety import (
+    MutableDefaultArgRule,
+    SharedMutableClassAttrRule,
+    UnloggedPageMutationRule,
+)
+from repro.analysis.determinism import (
+    HashSeedRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.layering import (
+    DeprecatedAliasRule,
+    GenericRaiseRule,
+    GeometryIsolationRule,
+    PhysicalStorageImportRule,
+)
+from repro.analysis.rules import Rule, Violation
+from repro.errors import LintConfigError
+
+__all__ = ["ALL_RULES", "LintEngine", "LintReport", "DEFAULT_BASELINE"]
+
+#: Every registered rule, id-sorted; ``repro-dq lint --rules`` prints this.
+ALL_RULES: Tuple[Rule, ...] = tuple(
+    sorted(
+        (
+            WallClockRule(),
+            UnseededRandomRule(),
+            HashSeedRule(),
+            PhysicalStorageImportRule(),
+            GeometryIsolationRule(),
+            GenericRaiseRule(),
+            DeprecatedAliasRule(),
+            UnloggedPageMutationRule(),
+            MutableDefaultArgRule(),
+            SharedMutableClassAttrRule(),
+        ),
+        key=lambda rule: rule.id,
+    )
+)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_SUPPRESS = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_ids(raw: str) -> set:
+    return {token.strip().upper() for token in raw.split(",") if token.strip()}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new was found (baselined debt is tolerated)."""
+        return not self.violations and not self.parse_errors
+
+    def render(self, show_baselined: bool = False) -> str:
+        """Human-readable report, one violation per line."""
+        lines = [v.render() for v in self.violations]
+        if show_baselined:
+            lines += [f"{v.render()} [baselined]" for v in self.baselined]
+        lines += [f"{path}: parse error" for path in self.parse_errors]
+        summary = (
+            f"{self.files_checked} files checked: "
+            f"{len(self.violations)} new violation(s), "
+            f"{len(self.baselined)} baselined, {self.suppressed} suppressed"
+        )
+        return "\n".join(lines + [summary])
+
+
+class LintEngine:
+    """Run :data:`ALL_RULES` (or a subset) over files and directories."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules: Tuple[Rule, ...] = tuple(rules) if rules else ALL_RULES
+
+    # -- file discovery -----------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Iterable[str]) -> List[Path]:
+        """Expand files/directories into a sorted, deduplicated .py list."""
+        found: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                found.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                    and not any(part.startswith(".") for part in p.parts)
+                )
+            elif path.suffix == ".py":
+                found.append(path)
+            elif not path.exists():
+                raise LintConfigError(f"no such file or directory: {raw}")
+        seen = set()
+        unique = []
+        for path in found:
+            if path not in seen:
+                seen.add(path)
+                unique.append(path)
+        return unique
+
+    # -- per-file checking ----------------------------------------------------
+
+    def check_file(self, path: Path) -> Tuple[List[Violation], int, bool]:
+        """Lint one file: (kept violations, suppressed count, parsed ok)."""
+        display = str(path)
+        try:
+            source = path.read_text()
+            module = ast.parse(source, filename=display)
+        except (SyntaxError, ValueError, OSError):
+            return [], 0, False
+        lines = source.splitlines()
+        file_suppressed: set = set()
+        for line in lines:
+            match = _SUPPRESS_FILE.search(line)
+            if match:
+                file_suppressed |= _parse_ids(match.group(1))
+        parts = path.resolve().parts
+        kept: List[Violation] = []
+        suppressed = 0
+        for rule in self.rules:
+            if not rule.applies(tuple(parts)):
+                continue
+            for violation in rule.check(module, source, display):
+                if self._suppressed(violation, lines, file_suppressed):
+                    suppressed += 1
+                else:
+                    kept.append(violation)
+        return kept, suppressed, True
+
+    @staticmethod
+    def _suppressed(
+        violation: Violation, lines: List[str], file_suppressed: set
+    ) -> bool:
+        if "ALL" in file_suppressed or violation.rule in file_suppressed:
+            return True
+        if 1 <= violation.line <= len(lines):
+            match = _SUPPRESS.search(lines[violation.line - 1])
+            if match:
+                ids = _parse_ids(match.group(1))
+                return "ALL" in ids or violation.rule in ids
+        return False
+
+    # -- the full run ------------------------------------------------------------
+
+    def run(
+        self,
+        paths: Iterable[str],
+        baseline: Optional[Dict[str, int]] = None,
+    ) -> LintReport:
+        """Lint ``paths``; violations covered by ``baseline`` counts are
+        reported separately and do not fail the run."""
+        report = LintReport()
+        allowance: Dict[str, int] = dict(baseline or {})
+        for path in self.discover(paths):
+            violations, suppressed, parsed = self.check_file(path)
+            report.files_checked += 1
+            report.suppressed += suppressed
+            if not parsed:
+                report.parse_errors.append(str(path))
+                continue
+            for violation in sorted(
+                violations, key=lambda v: (v.line, v.col, v.rule)
+            ):
+                if allowance.get(violation.baseline_key, 0) > 0:
+                    allowance[violation.baseline_key] -= 1
+                    report.baselined.append(violation)
+                else:
+                    report.violations.append(violation)
+        return report
+
+    # -- baseline persistence ------------------------------------------------------
+
+    @staticmethod
+    def load_baseline(path: str) -> Dict[str, int]:
+        """Read a baseline file (missing file = empty baseline)."""
+        file = Path(path)
+        if not file.exists():
+            return {}
+        try:
+            data = json.loads(file.read_text())
+            violations = data["violations"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise LintConfigError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(violations, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v >= 0
+            for k, v in violations.items()
+        ):
+            raise LintConfigError(f"unreadable baseline {path}: malformed counts")
+        return dict(violations)
+
+    @staticmethod
+    def save_baseline(path: str, report: LintReport) -> Dict[str, int]:
+        """Write the report's violations (new + baselined) as the new ratchet."""
+        counts: Dict[str, int] = {}
+        for violation in report.violations + report.baselined:
+            counts[violation.baseline_key] = (
+                counts.get(violation.baseline_key, 0) + 1
+            )
+        payload = {
+            "comment": (
+                "Known pre-existing lint debt, tolerated by repro-dq lint. "
+                "Fix a violation, then run 'repro-dq lint --update-baseline' "
+                "to ratchet this file down. Never ratchet it up by hand."
+            ),
+            "violations": {k: counts[k] for k in sorted(counts)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+        return counts

@@ -1,0 +1,211 @@
+"""Layering rules: the dependency arrows only point downward.
+
+The package is a strict stack — ``geometry`` at the bottom, then
+``motion``/``storage``, then ``index``, then ``core``, then ``server``
+on top.  Two arrows matter enough to enforce mechanically: nothing
+above the index layer touches the physical page store (all reads must
+be deduplicatable by the shared :class:`~repro.storage.BufferPool`, or
+the serving layer's at-most-once-per-tick read guarantee silently
+erodes), and ``geometry`` stays importable in total isolation (every
+hypothesis property suite and the codec round-trip tests depend on
+that).  A third rule keeps the error contract honest: callers are
+promised that one ``except ReproError`` catches everything the library
+raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import Rule, Violation
+
+__all__ = [
+    "PhysicalStorageImportRule",
+    "GeometryIsolationRule",
+    "GenericRaiseRule",
+    "DeprecatedAliasRule",
+]
+
+
+class PhysicalStorageImportRule(Rule):
+    """DQL01 — ``server``/``core`` importing the physical page store.
+
+    **Invariant:** query engines and the serving layer never talk to
+    :class:`~repro.storage.disk.DiskManager` directly; every physical
+    read flows through an index object and its attached
+    :class:`~repro.storage.buffer.BufferPool`.  A direct disk import up
+    here is how pages get read outside the shared scan's pin window —
+    uncounted, unbatched, and invisible to the crash-safety pre-image
+    capture.
+    """
+
+    id = "DQL01"
+    title = "server/core importing repro.storage.disk"
+    scope = (("repro", "server"), ("repro", "core"))
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.storage.disk"):
+                        yield self.violation(
+                            node,
+                            path,
+                            "direct import of repro.storage.disk; physical "
+                            "reads must go through the index layer and its "
+                            "BufferPool",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro.storage.disk"):
+                    yield self.violation(
+                        node,
+                        path,
+                        "direct import from repro.storage.disk; physical "
+                        "reads must go through the index layer and its "
+                        "BufferPool",
+                    )
+                elif node.module == "repro.storage" and any(
+                    alias.name == "DiskManager" for alias in node.names
+                ):
+                    yield self.violation(
+                        node,
+                        path,
+                        "importing DiskManager via repro.storage is still a "
+                        "physical-storage dependency; go through the index "
+                        "layer and its BufferPool",
+                    )
+
+
+class GeometryIsolationRule(Rule):
+    """DQL02 — ``geometry`` importing a layer above itself.
+
+    **Invariant:** ``repro.geometry`` depends on the standard library
+    and ``repro.errors`` only.  It is the foundation every other layer
+    builds on; an upward import here is an import cycle waiting to
+    happen and would make the geometry property suites drag index and
+    storage machinery into every run.
+    """
+
+    id = "DQL02"
+    title = "geometry importing a layer above itself"
+    scope = (("repro", "geometry"),)
+
+    _ALLOWED = ("repro.geometry", "repro.errors")
+
+    def _allowed(self, dotted: str) -> bool:
+        return any(
+            dotted == base or dotted.startswith(base + ".")
+            for base in self._ALLOWED
+        )
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro") and not self._allowed(
+                        alias.name
+                    ):
+                        yield self.violation(
+                            node,
+                            path,
+                            f"geometry must not import {alias.name}; only "
+                            "repro.geometry and repro.errors are below it",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if not node.module.startswith("repro"):
+                    continue
+                if node.module == "repro":
+                    for alias in node.names:
+                        dotted = f"repro.{alias.name}"
+                        if not self._allowed(dotted):
+                            yield self.violation(
+                                node,
+                                path,
+                                f"geometry must not import {dotted}; only "
+                                "repro.geometry and repro.errors are below it",
+                            )
+                elif not self._allowed(node.module):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"geometry must not import {node.module}; only "
+                        "repro.geometry and repro.errors are below it",
+                    )
+
+
+class GenericRaiseRule(Rule):
+    """DQL03 — raising a generic builtin instead of a ``repro.errors`` type.
+
+    **Invariant:** every exception the library raises derives from
+    :class:`~repro.errors.ReproError`, so callers (and the broker's
+    degradation machinery) can draw the line between "this library
+    failed in a classified way" and "a genuine bug escaped".  A bare
+    ``raise Exception``/``ValueError`` punches a hole in that contract.
+    ``NotImplementedError`` and ``assert`` remain fine — they flag
+    caller bugs, not library failure domains.
+    """
+
+    id = "DQL03"
+    title = "generic builtin raise bypassing repro.errors"
+    scope = (("repro",),)
+
+    _GENERIC = frozenset(
+        {"Exception", "BaseException", "RuntimeError", "ValueError",
+         "AssertionError"}
+    )
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in self._GENERIC:
+                yield self.violation(
+                    node,
+                    path,
+                    f"raise {name} bypasses the repro.errors hierarchy; "
+                    "raise the matching ReproError subclass",
+                )
+
+
+class DeprecatedAliasRule(Rule):
+    """DQX01 — resurrecting the removed ``IndexError_`` alias.
+
+    **Invariant:** the pre-rename spelling of
+    :class:`~repro.errors.IndexStructureError` went through its
+    deprecation cycle and is gone.  Any new reference — an import, an
+    assignment, a re-export — would resurrect a name chosen only to
+    dodge the ``IndexError`` builtin, and restart the confusion the
+    rename paid for.
+    """
+
+    id = "DQX01"
+    title = "reference to the removed IndexError_ alias"
+    scope = None  # everywhere, tests included
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        for node in ast.walk(module):
+            name = None
+            if isinstance(node, ast.Name) and node.id == "IndexError_":
+                name = node.id
+            elif isinstance(node, ast.Attribute) and node.attr == "IndexError_":
+                name = node.attr
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                if any(
+                    "IndexError_" in (alias.name, alias.asname or "")
+                    for alias in node.names
+                ):
+                    name = "IndexError_"
+            if name:
+                yield self.violation(
+                    node,
+                    path,
+                    "IndexError_ was removed after its deprecation cycle; "
+                    "use IndexStructureError",
+                )

@@ -1,0 +1,67 @@
+"""Pytest plugin that runs the whole suite under the runtime sanitizers.
+
+Activated by ``REPRO_SANITIZE=1`` in the environment (the rootdir
+``conftest.py`` registers the plugin unconditionally; registration
+without the variable is a no-op).  While active:
+
+* a :class:`~repro.analysis.sanitizers.SanitizerSuite` is enabled in
+  :mod:`repro.analysis.runtime`, so every disk read, WAL record, and
+  clock tick in the product code is checked live;
+* the :class:`~repro.analysis.sanitizers.WallClockGuard` patches
+  ``time.time`` & friends against engine-side wall-clock reads;
+* after each test, :meth:`SanitizerSuite.checkpoint_and_reset` sweeps
+  all still-tracked pages (catching unlogged mutations the test never
+  re-read) and clears state so tests stay independent.
+
+Sanitizer failures surface as ordinary test errors carrying
+:class:`~repro.errors.SanitizerError`.
+"""
+
+from __future__ import annotations
+
+import os
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+_state = {"suite": None}
+
+
+def _enabled() -> bool:
+    return os.environ.get(_ENV_FLAG, "").strip() in {"1", "true", "yes", "on"}
+
+
+def pytest_configure(config) -> None:
+    if not _enabled():
+        return
+    from repro.analysis import runtime
+    from repro.analysis.sanitizers import SanitizerSuite
+
+    suite = SanitizerSuite()
+    runtime.enable(suite)
+    suite.wallclock.install()
+    _state["suite"] = suite
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: skip the per-test sanitizer checkpoint for this test",
+    )
+
+
+def pytest_runtest_teardown(item) -> None:
+    suite = _state["suite"]
+    if suite is None:
+        return
+    if item.get_closest_marker("no_sanitize") is not None:
+        suite.page_writes.reset()
+        return
+    suite.checkpoint_and_reset()
+
+
+def pytest_unconfigure(config) -> None:
+    suite = _state.pop("suite", None)
+    _state["suite"] = None
+    if suite is None:
+        return
+    from repro.analysis import runtime
+
+    suite.wallclock.uninstall()
+    runtime.disable()

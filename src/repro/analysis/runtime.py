@@ -1,0 +1,92 @@
+"""Hook registry connecting product hot paths to the runtime sanitizers.
+
+The storage and server layers call the module-level functions below at
+their invariant-relevant moments (a page read, a WAL pre-image record,
+a tick boundary).  With no suite enabled — the default — every call is
+one ``None`` check, so production and benchmark runs pay nothing.  The
+pytest plugin (or a test, or ``REPRO_SANITIZE=1``) enables a
+:class:`~repro.analysis.sanitizers.SanitizerSuite`, after which every
+hook forwards to it and an invariant violation raises
+:class:`~repro.errors.SanitizerError` at the exact offending call.
+
+This module must stay import-light (stdlib + ``repro.errors`` only):
+it is imported by ``repro.storage.disk``, the bottom of the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["enable", "disable", "active", "suite"]
+
+_suite: Optional[Any] = None
+
+
+def enable(sanitizer_suite: Any) -> None:
+    """Route hooks to ``sanitizer_suite`` until :func:`disable`."""
+    global _suite
+    _suite = sanitizer_suite
+
+
+def disable() -> None:
+    """Drop the active suite; hooks become no-ops again."""
+    global _suite
+    _suite = None
+
+
+def active() -> bool:
+    """Is a sanitizer suite currently enabled?"""
+    return _suite is not None
+
+
+def suite() -> Optional[Any]:
+    """The enabled suite, if any."""
+    return _suite
+
+
+# -- hooks called by product code ------------------------------------------
+#
+# Each is a no-op unless a suite is enabled.  Keep the disabled path to a
+# single global read and comparison: these sit on the disk's read path.
+
+
+def page_read(disk: Any, page_id: int, payload: Any) -> None:
+    """A page payload is about to be handed to a caller."""
+    if _suite is not None:
+        _suite.page_read(disk, page_id, payload)
+
+
+def page_logged(disk: Any, page_id: int) -> None:
+    """The intent log recorded a pre-image for this page."""
+    if _suite is not None:
+        _suite.page_logged(disk, page_id)
+
+
+def page_write(disk: Any, page_id: int) -> None:
+    """A page was overwritten through the disk's write path."""
+    if _suite is not None:
+        _suite.page_write(disk, page_id)
+
+
+def page_freed(disk: Any, page_id: int) -> None:
+    """A page was deallocated."""
+    if _suite is not None:
+        _suite.page_freed(disk, page_id)
+
+
+def wal_closed(log: Any) -> None:
+    """An intent-log transaction committed or rolled back."""
+    if _suite is not None:
+        _suite.wal_closed(log)
+
+
+def tick(clock: Any, tick_obj: Any) -> None:
+    """A simulated clock produced the next tick."""
+    if _suite is not None:
+        _suite.tick(clock, tick_obj)
+
+
+def tick_end(broker: Any) -> None:
+    """A broker finished serving one tick."""
+    if _suite is not None:
+        _suite.tick_end(broker)

@@ -19,6 +19,10 @@ Subcommands:
   aggregates violations into one exit code.
 * ``serve`` — host N concurrent observers on the shared-execution query
   broker over a scenario world and report per-tick serving metrics.
+* ``lint`` — run the project-specific static analyzer
+  (:mod:`repro.analysis`) over the source tree: determinism, layering
+  and crash-safety rules, with per-line suppressions and a committed
+  baseline ratchet.
 """
 
 from __future__ import annotations
@@ -381,6 +385,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_clients=max(args.clients, 1),
             queue_depth=args.queue_depth,
             shared_scan=not args.no_shared_scan,
+            promote_after=args.promote_after,
         ),
     )
     kinds = {
@@ -412,6 +417,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(broker.metrics.summary())
     broker.quiesce()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.engine import ALL_RULES, DEFAULT_BASELINE, LintEngine
+    from repro.errors import LintConfigError
+
+    if args.rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    engine = LintEngine()
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    try:
+        baseline = (
+            {} if args.no_baseline else engine.load_baseline(baseline_path)
+        )
+        report = engine.run(args.paths, baseline)
+    except LintConfigError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        counts = engine.save_baseline(baseline_path, report)
+        print(
+            f"wrote {baseline_path}: {sum(counts.values())} tolerated "
+            f"violation(s) across {len(counts)} site(s)"
+        )
+        return 0
+
+    print(report.render(show_baselined=args.show_baselined))
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -542,7 +579,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable the shared-scan scheduler (ablation baseline)",
     )
+    p_serve.add_argument(
+        "--promote-after",
+        type=int,
+        default=0,
+        help="promote a shed client back to exact PDQ after its queue "
+        "stays shallow this many consecutive strides (0 disables)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static analyzer (determinism, "
+        "layering, crash-safety rules)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of tolerated pre-existing violations "
+        "(default: lint-baseline.json if it exists)",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every violation as new",
+    )
+    p_lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings (ratchet)",
+    )
+    p_lint.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list violations tolerated by the baseline",
+    )
+    p_lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list every rule id with its one-line summary and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

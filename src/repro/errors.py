@@ -68,8 +68,9 @@ class IndexStructureError(ReproError):
     """Structural failure inside the R-tree (corruption, bad arguments).
 
     Formerly exported as ``IndexError_`` (trailing underscore to avoid
-    shadowing the built-in :class:`IndexError`); that name remains
-    importable as a deprecated alias.
+    shadowing the built-in :class:`IndexError`); that alias finished its
+    deprecation cycle and was removed.  Lint rule ``DQX01`` keeps it
+    from coming back.
     """
 
 
@@ -102,16 +103,24 @@ class AdmissionError(ServerError):
     """
 
 
-def __getattr__(name: str):
-    # Deprecated alias kept so pre-rename imports keep working.
-    if name == "IndexError_":
-        import warnings
+class AnalysisError(ReproError):
+    """Failure raised by the :mod:`repro.analysis` tooling."""
 
-        warnings.warn(
-            "repro.errors.IndexError_ is deprecated; "
-            "use repro.errors.IndexStructureError",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return IndexStructureError
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+class LintConfigError(AnalysisError):
+    """The lint engine was invoked with unusable inputs.
+
+    Raised for non-existent lint paths and unreadable/malformed baseline
+    files — usage errors, reported as exit code 2 by ``repro-dq lint``,
+    distinct from exit code 1 for actual violations.
+    """
+
+
+class SanitizerError(AnalysisError):
+    """A runtime sanitizer observed a broken invariant.
+
+    Only raised while a :class:`~repro.analysis.sanitizers.SanitizerSuite`
+    is enabled; nothing in the library catches it, so in a sanitized test
+    run it propagates to the test harness and pinpoints the first
+    offending call.
+    """

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+from repro.errors import GeometryError
+
 __all__ = ["Interval", "EMPTY_INTERVAL"]
 
 _INF = math.inf
@@ -89,11 +91,11 @@ class Interval:
 
         Raises
         ------
-        ValueError
+        GeometryError
             If the interval is empty.
         """
         if self.is_empty:
-            raise ValueError("empty interval has no midpoint")
+            raise GeometryError("empty interval has no midpoint")
         return 0.5 * (self.low + self.high)
 
     def contains(self, value: float) -> bool:
@@ -174,11 +176,11 @@ class Interval:
 
         Raises
         ------
-        ValueError
+        GeometryError
             If the interval is empty.
         """
         if self.is_empty:
-            raise ValueError("cannot clamp to an empty interval")
+            raise GeometryError("cannot clamp to an empty interval")
         return min(max(value, self.low), self.high)
 
     def sample(self, fraction: float) -> float:
@@ -186,11 +188,11 @@ class Interval:
 
         Raises
         ------
-        ValueError
+        GeometryError
             If the interval is empty.
         """
         if self.is_empty:
-            raise ValueError("cannot sample an empty interval")
+            raise GeometryError("cannot sample an empty interval")
         return self.low + fraction * (self.high - self.low)
 
     # -- operator sugar ------------------------------------------------------

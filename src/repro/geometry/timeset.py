@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+from repro.errors import GeometryError
 from repro.geometry.interval import EMPTY_INTERVAL, Interval
 
 __all__ = ["TimeSet"]
@@ -71,14 +72,14 @@ class TimeSet:
     def start(self) -> float:
         """Earliest instant; raises on empty set."""
         if self.is_empty:
-            raise ValueError("empty TimeSet has no start")
+            raise GeometryError("empty TimeSet has no start")
         return self._components[0].low
 
     @property
     def end(self) -> float:
         """Latest instant; raises on empty set."""
         if self.is_empty:
-            raise ValueError("empty TimeSet has no end")
+            raise GeometryError("empty TimeSet has no end")
         return self._components[-1].high
 
     @property

@@ -78,7 +78,9 @@ class PeriodicUpdatePolicy(UpdatePolicy):
         self.mean_period = mean_period
         self.std = std_fraction * mean_period
         self.min_period = mean_period * 0.01 if min_period is None else min_period
-        self._rng = rng if rng is not None else random.Random()
+        # A seeded default: unseeded randomness here would make every
+        # workload unreproducible by default (lint rule DQD02).
+        self._rng = rng if rng is not None else random.Random(0)
 
     def update_times(
         self, motion: PiecewiseLinearMotion, horizon: Interval

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis import runtime as _sanitize
 from repro.core.session import DynamicQuerySession
 from repro.core.trajectory import QueryTrajectory
 from repro.errors import AdmissionError, ServerError
@@ -62,12 +63,20 @@ class ServerConfig:
     the shed client's SPDQ window is inflated by δ = ``shed_delta`` and
     evaluated once per ``shed_stride`` ticks, each evaluation covering
     the whole stride conservatively.
+
+    ``promote_after``/``promote_depth`` parameterise the reverse path:
+    a shed client whose post-delivery queue length stays at most
+    ``promote_depth`` for ``promote_after`` consecutive strides is
+    promoted back to an exact per-tick PDQ engine.  ``promote_after=0``
+    (the default) disables promotion — once shed, always shed.
     """
 
     max_clients: int = 64
     queue_depth: int = 8
     shed_delta: float = 0.5
     shed_stride: int = 4
+    promote_after: int = 0
+    promote_depth: int = 1
     shared_scan: bool = True
     buffer_capacity: int = 1024
     latency: LatencyModel = LatencyModel()
@@ -81,6 +90,10 @@ class ServerConfig:
             raise ServerError("shed_delta must be >= 0")
         if self.shed_stride < 1:
             raise ServerError("shed_stride must be >= 1")
+        if self.promote_after < 0:
+            raise ServerError("promote_after must be >= 0")
+        if self.promote_depth < 1:
+            raise ServerError("promote_depth must be >= 1")
         if self.buffer_capacity < 1:
             raise ServerError("buffer_capacity must be >= 1")
 
@@ -276,8 +289,15 @@ class QueryBroker:
                     )
                     session.metrics.shed_events += 1
                     self.metrics.shed_events += 1
+            elif ok and isinstance(session, PDQSession):
+                if session.observe_queue(
+                    self.config.promote_after, self.config.promote_depth
+                ):
+                    session.metrics.promote_events += 1
+                    self.metrics.promote_events += 1
         if self.scheduler is not None:
             self.scheduler.end_tick()
+        _sanitize.tick_end(self)
 
         logical = 0
         for session in live:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.analysis import runtime as _sanitize
 from repro.errors import ServerError
 
 __all__ = ["Tick", "SimulatedClock"]
@@ -66,7 +67,9 @@ class SimulatedClock:
         """Advance one tick and return its interval."""
         i = self._index
         self._index += 1
-        return Tick(i, self.boundary(i), self.boundary(i + 1))
+        tick = Tick(i, self.boundary(i), self.boundary(i + 1))
+        _sanitize.tick(self, tick)
+        return tick
 
     def ticks(self, count: int) -> Iterator[Tick]:
         """Advance ``count`` ticks, yielding each interval."""

@@ -41,6 +41,7 @@ class ClientMetrics:
     queue_peak: int = 0
     dropped_results: int = 0
     shed_events: int = 0
+    promote_events: int = 0
     degraded_ticks: int = 0
 
 
@@ -81,6 +82,7 @@ class ServerMetrics:
     updates_dropped: int = 0
     writer_crashes: int = 0
     shed_events: int = 0
+    promote_events: int = 0
     admissions: int = 0
     rejections: int = 0
     total_latency: float = 0.0
@@ -136,7 +138,8 @@ class ServerMetrics:
             f"updates           : {self.updates_applied} applied, "
             f"{self.updates_deferred} deferred, {self.updates_dropped} dropped",
             f"writer crashes    : {self.writer_crashes} (recovered)",
-            f"shed events       : {self.shed_events}",
+            f"shed events       : {self.shed_events} "
+            f"({self.promote_events} promoted back)",
             f"mean tick latency : {self.mean_tick_latency:.2f}",
         ]
         if self.clients:
@@ -147,6 +150,7 @@ class ServerMetrics:
                     f"  {cid:<12} ticks={c.ticks_served:<4} "
                     f"items={c.items_delivered:<6} reads={c.logical_reads:<6} "
                     f"queue_peak={c.queue_peak:<3} dropped={c.dropped_results:<3} "
-                    f"shed={c.shed_events} degraded_ticks={c.degraded_ticks}"
+                    f"shed={c.shed_events} promoted={c.promote_events} "
+                    f"degraded_ticks={c.degraded_ticks}"
                 )
         return "\n".join(lines)

@@ -20,6 +20,13 @@ an :class:`~repro.core.SPDQEngine` whose window is inflated by
 then evaluated only every ``stride`` ticks, each evaluation covering the
 whole stride conservatively.  Results are flagged ``degraded``; the
 client can refine them locally with :meth:`SPDQEngine.refine`.
+
+Shedding is reversible: when the broker's hysteresis (``promote_after``
+in :class:`~repro.server.broker.ServerConfig`) sees the shed client's
+queue stay shallow for enough consecutive strides — the client caught
+up and is draining faster than the strided evaluations arrive —
+:meth:`PDQSession.promote` rebuilds an exact PDQ engine and the session
+returns to per-tick exact service.
 """
 
 from __future__ import annotations
@@ -191,6 +198,8 @@ class PDQSession(ClientSession):
         self.index = index
         self.trajectory = trajectory
         self.track_updates = track_updates
+        self.rebuild_depth = rebuild_depth
+        self.fault_budget = fault_budget
         self.engine = PDQEngine(
             index,
             trajectory,
@@ -200,7 +209,11 @@ class PDQSession(ClientSession):
         )
         self._shed_stride = 1
         self._next_eval = 0  # tick index of the next evaluation
-        self._covered_until: Optional[float] = None
+        # Reads demanded by engines this session has already retired
+        # (shed/promote swaps); keeps ``logical_reads`` monotonic across
+        # engine replacements so the broker's per-tick deltas stay >= 0.
+        self._retired_reads = 0
+        self._shallow_strides = 0  # consecutive shallow-queue strides
 
     def will_serve(self, tick: Tick) -> bool:
         if self.state is SessionState.CLOSED:
@@ -239,6 +252,17 @@ class PDQSession(ClientSession):
     def _cost_source(self):
         return self.engine
 
+    @property
+    def logical_reads(self) -> int:
+        cost = self.engine.cost
+        return self._retired_reads + cost.internal_reads + cost.leaf_reads
+
+    def _retire_engine(self) -> None:
+        """Close the current engine, folding its reads into the total."""
+        cost = self.engine.cost
+        self._retired_reads += cost.internal_reads + cost.leaf_reads
+        self.engine.close()
+
     def shed(self, delta: float, stride: int) -> None:
         """Degrade to strided SPDQ evaluation with a δ-inflated window.
 
@@ -251,7 +275,7 @@ class PDQSession(ClientSession):
             return
         if delta < 0 or stride < 1:
             raise ServerError("shed delta must be >= 0 and stride >= 1")
-        self.engine.close()
+        self._retire_engine()
         self.engine = SPDQEngine(
             self.index,
             self.trajectory,
@@ -259,7 +283,55 @@ class PDQSession(ClientSession):
             track_updates=self.track_updates,
         )
         self._shed_stride = stride
+        self._shallow_strides = 0
         self.state = SessionState.SHED
+
+    def promote(self) -> None:
+        """Return a shed session to exact per-tick PDQ service.
+
+        The δ-inflated SPDQ engine is dropped and a fresh exact
+        :class:`~repro.core.PDQEngine` is built with the session's
+        original parameters.  Like :meth:`shed` in reverse, the fresh
+        engine's empty reported set may re-deliver already-seen answers
+        — the conservative direction.  Evaluation resumes on the very
+        next tick, even mid-stride: the client is keeping up, so the
+        sooner it sees exact answers the better.
+        """
+        if self.state is not SessionState.SHED:
+            return
+        self._retire_engine()
+        self.engine = PDQEngine(
+            self.index,
+            self.trajectory,
+            rebuild_depth=self.rebuild_depth,
+            track_updates=self.track_updates,
+            fault_budget=self.fault_budget,
+        )
+        self._shed_stride = 1
+        self._next_eval = 0
+        self._shallow_strides = 0
+        self.state = SessionState.ACTIVE
+
+    def observe_queue(self, promote_after: int, promote_depth: int) -> bool:
+        """Hysteresis step after one successfully delivered shed stride.
+
+        Counts consecutive strides whose post-delivery queue length is at
+        most ``promote_depth`` (the client is draining as fast as the
+        broker produces); ``promote_after`` such strides trigger
+        :meth:`promote`.  A deep queue resets the streak — one good
+        stride must not flap a still-struggling client back to exact
+        service.  Returns ``True`` when this call promoted.
+        """
+        if self.state is not SessionState.SHED or promote_after < 1:
+            return False
+        if len(self.queue) <= promote_depth:
+            self._shallow_strides += 1
+        else:
+            self._shallow_strides = 0
+        if self._shallow_strides >= promote_after:
+            self.promote()
+            return True
+        return False
 
     def close(self) -> None:
         if self.state is not SessionState.CLOSED:

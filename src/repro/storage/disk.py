@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Protocol
 
+from repro.analysis import runtime as _sanitize
 from repro.errors import (
     CorruptPageError,
     PageNotFoundError,
@@ -169,8 +170,10 @@ class DiskManager:
             raise PageNotFoundError(f"page {page_id} is not allocated")
         if self._wal is not None and self._wal.in_flight:
             self._wal.record(page_id, _snapshot(self._pages[page_id]))
+            _sanitize.page_logged(self, page_id)
         del self._pages[page_id]
         self.stats.freed += 1
+        _sanitize.page_freed(self, page_id)
         if self._buffer is not None:
             self._buffer.invalidate(page_id)
 
@@ -198,6 +201,7 @@ class DiskManager:
             data = None
         if self._wal is not None and self._wal.in_flight:
             self._wal.record(page_id, _snapshot(self._pages[page_id]))
+            _sanitize.page_logged(self, page_id)
         torn = False
         if self._faults is not None:
             torn = self._retry_gate(
@@ -220,6 +224,7 @@ class DiskManager:
             if self._faults is not None:
                 self._faults.on_rewrite(page_id)
         self.stats.writes += 1
+        _sanitize.page_write(self, page_id)
         if self._buffer is not None:
             # Keep the buffer coherent: a rewritten page must not be served
             # stale.  We invalidate rather than refresh so that writes do
@@ -239,12 +244,16 @@ class DiskManager:
         if self._buffer is not None:
             cached = self._buffer.get(page_id)
             if cached is not None:
+                # Sanitizer check first: a pre-image recorded below must
+                # not excuse a mutation that happened before this read.
+                _sanitize.page_read(self, page_id, cached)
                 if self._wal is not None and self._wal.in_flight:
                     # A buffer hit hands out the same mutable reference a
                     # physical read would; the pre-image must be captured
                     # here too or an in-place mutation of a cached page
                     # becomes unrecoverable.
                     self._wal.record(page_id, _snapshot(self._pages[page_id]))
+                    _sanitize.page_logged(self, page_id)
                 self.stats.buffered_reads += 1
                 return cached
         try:
@@ -268,10 +277,12 @@ class DiskManager:
             raise CorruptPageError(
                 f"page {page_id} holds a torn write (detected on read)"
             )
+        _sanitize.page_read(self, page_id, stored)
         if self._wal is not None and self._wal.in_flight:
             # Object-mode reads hand out mutable references; capture the
             # pre-image before the caller can mutate in place.
             self._wal.record(page_id, _snapshot(stored))
+            _sanitize.page_logged(self, page_id)
         if self._codec is not None:
             try:
                 payload = self._codec.decode(stored)
@@ -384,6 +395,15 @@ class DiskManager:
     def page_ids(self) -> "tuple[int, ...]":
         """All allocated page ids (for integrity checks)."""
         return tuple(self._pages)
+
+    def raw_page(self, page_id: int) -> Any:
+        """The stored cell for ``page_id`` without counting an access.
+
+        Inspection-only (sanitizer checkpoints, debugging): no fault
+        gate, no buffer traffic, no stats.  Returns ``None`` for pages
+        that are unallocated or allocated-but-unwritten.
+        """
+        return self._pages.get(page_id)
 
     def __len__(self) -> int:
         return len(self._pages)

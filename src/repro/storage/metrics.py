@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["QueryCost", "CostSnapshot"]
+__all__ = ["QueryCost", "CostSnapshot", "AverageCost"]
 
 
 @dataclass(frozen=True)

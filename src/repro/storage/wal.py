@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis import runtime as _sanitize
 from repro.errors import RecoveryError
 
 __all__ = ["IntentLog"]
@@ -90,6 +91,7 @@ class IntentLog:
         self._meta = None
         self._pre_images = {}
         self.commits += 1
+        _sanitize.wal_closed(self)
 
     # -- recording (called by the disk) ---------------------------------------
 
@@ -140,4 +142,5 @@ class IntentLog:
         self._pre_images = {}
         self._meta = None
         self.rollbacks += 1
+        _sanitize.wal_closed(self)
         return meta

@@ -1,0 +1,201 @@
+"""One seeded-fixture test per lint rule: each must fail `repro-dq lint`.
+
+Every test writes a minimal source file violating exactly one rule into
+a path that matches the rule's scope, runs the real CLI entry point on
+it, and asserts the run exits non-zero naming that rule — proving the
+rule fires end to end, not just at the AST-visitor level.
+"""
+
+import pytest
+
+from repro.analysis.engine import ALL_RULES
+from repro.cli import main
+
+
+def lint_file(tmp_path, capsys, relpath, source):
+    """Write one fixture file and lint it via the CLI; return (exit, out)."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    code = main(["lint", str(target), "--no-baseline"])
+    return code, capsys.readouterr().out
+
+
+def assert_flags(tmp_path, capsys, rule_id, relpath, source):
+    code, out = lint_file(tmp_path, capsys, relpath, source)
+    assert code == 1, f"{rule_id} fixture should fail lint:\n{out}"
+    assert rule_id in out
+
+
+class TestDeterminismRules:
+    def test_dqd01_wall_clock_call(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQD01",
+            "repro/core/mod.py",
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+        )
+
+    def test_dqd01_from_import_and_datetime(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/mod.py",
+            "from time import monotonic\n"
+            "import datetime\n\n\n"
+            "def stamp():\n"
+            "    return monotonic(), datetime.datetime.now()\n",
+        )
+        assert code == 1
+        assert out.count("DQD01") == 2
+
+    def test_dqd02_unseeded_random(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQD02",
+            "repro/workload/mod.py",
+            "import random\n\n_RNG = random.Random()\n",
+        )
+
+    def test_dqd02_module_level_rng(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQD02",
+            "repro/motion/mod.py",
+            "import random\n\n\ndef jitter():\n    return random.gauss(0, 1)\n",
+        )
+
+    def test_dqd03_hash_derived_seed(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQD03",
+            "repro/workload/mod.py",
+            "import random\n\n\n"
+            "def rng_for(mode):\n"
+            "    seed = hash(mode)\n"
+            "    return random.Random(seed)\n",
+        )
+
+
+class TestLayeringRules:
+    def test_dql01_server_importing_disk(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL01",
+            "repro/server/mod.py",
+            "from repro.storage.disk import DiskManager\n",
+        )
+
+    def test_dql01_core_importing_disk_module(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL01",
+            "repro/core/mod.py",
+            "import repro.storage.disk\n",
+        )
+
+    def test_dql02_geometry_importing_upward(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL02",
+            "repro/geometry/mod.py",
+            "from repro.index.node import Node\n",
+        )
+
+    def test_dql02_geometry_may_use_errors(self, tmp_path, capsys):
+        code, _ = lint_file(
+            tmp_path,
+            capsys,
+            "repro/geometry/mod.py",
+            "from repro.errors import GeometryError\n"
+            "from repro.geometry.interval import Interval\n",
+        )
+        assert code == 0
+
+    def test_dql03_generic_raise(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL03",
+            "repro/core/mod.py",
+            "def check(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('negative')\n",
+        )
+
+    def test_dqx01_resurrected_alias(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQX01",
+            "anywhere/mod.py",
+            "from repro.errors import IndexError_ as Legacy\n",
+        )
+
+
+class TestCrashSafetyRules:
+    def test_dqc01_unlogged_pool_page_mutation(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQC01",
+            "repro/index/mod.py",
+            "def widen(pool, pid, entry):\n"
+            "    node = pool.get(pid)\n"
+            "    node.entries.append(entry)\n",
+        )
+
+    def test_dqc01_wal_evidence_clears_it(self, tmp_path, capsys):
+        code, _ = lint_file(
+            tmp_path,
+            capsys,
+            "repro/index/mod.py",
+            "def widen(pool, pid, entry, intent_log):\n"
+            "    intent_log.record(pid, None)\n"
+            "    node = pool.get(pid)\n"
+            "    node.entries.append(entry)\n",
+        )
+        assert code == 0
+
+    def test_dqc02_mutable_default_arg(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQC02",
+            "repro/core/mod.py",
+            "def collect(items=[]):\n    return items\n",
+        )
+
+    def test_dqc03_shared_mutable_class_attr(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQC03",
+            "repro/server/mod.py",
+            "class Session:\n    queue = []\n",
+        )
+
+
+class TestRuleHygiene:
+    def test_every_rule_has_id_title_and_why(self):
+        seen = set()
+        for rule in ALL_RULES:
+            assert rule.id and rule.id not in seen
+            seen.add(rule.id)
+            assert rule.title
+            # The docstring is the catalog entry: it must state the
+            # invariant being protected, not just restate the title.
+            assert rule.__doc__ and "Invariant" in rule.__doc__
+
+    def test_rules_listing_via_cli(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out

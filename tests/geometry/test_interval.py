@@ -5,6 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import GeometryError
 from repro.geometry.interval import EMPTY_INTERVAL, Interval
 
 finite = st.floats(
@@ -130,18 +131,18 @@ class TestOperations:
         assert i.clamp(1.5) == 1.5
 
     def test_clamp_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             EMPTY_INTERVAL.clamp(0.0)
 
     def test_sample(self):
         assert Interval(2.0, 4.0).sample(0.5) == 3.0
 
     def test_sample_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             EMPTY_INTERVAL.sample(0.5)
 
     def test_midpoint_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             EMPTY_INTERVAL.midpoint
 
     def test_length_of_empty_is_zero(self):

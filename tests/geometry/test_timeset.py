@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import GeometryError
 from repro.geometry.interval import EMPTY_INTERVAL, Interval
 from repro.geometry.timeset import TimeSet
 
@@ -56,11 +57,11 @@ class TestAccessors:
         assert ts.span == Interval(0.0, 5.0)
 
     def test_start_of_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             TimeSet.empty().start
 
     def test_end_of_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             TimeSet.empty().end
 
     def test_span_of_empty(self):

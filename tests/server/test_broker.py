@@ -187,6 +187,123 @@ class TestShedding:
         assert expected <= shed_keys
 
 
+class TestPromotion:
+    """Hysteresis: a caught-up shed client returns to exact service."""
+
+    def shed_session(self, build_native, fleet, **config_kw):
+        """A freshly shed session with its result backlog drained.
+
+        ``run(2)`` with nobody polling overflows the depth-1 queue at
+        tick 1 and sheds; draining afterwards means every later shed
+        delivery lands in an empty queue, so the hysteresis timeline is
+        fully determined by ``shed_stride`` (evaluations at ticks 2, 4,
+        6, ...).
+        """
+        (trajectory,) = fleet(1)
+        config_kw.setdefault("queue_depth", 1)
+        config_kw.setdefault("shed_stride", 2)
+        broker = make_broker(build_native(), **config_kw)
+        session = broker.register_pdq("slow", trajectory)
+        broker.run(2)
+        assert session.state is SessionState.SHED
+        session.poll()
+        return broker, session
+
+    def test_promotion_is_off_by_default(self, build_native, fleet):
+        broker, session = self.shed_session(build_native, fleet)
+        for _ in range(10):
+            broker.run_tick()
+            session.poll()  # the client catches up, but promote_after=0
+        assert session.state is SessionState.SHED
+        assert broker.metrics.promote_events == 0
+
+    def test_caught_up_client_is_promoted(self, build_native, fleet):
+        broker, session = self.shed_session(
+            build_native, fleet, promote_after=2
+        )
+        # Polling between ticks keeps the queue shallow, so the strided
+        # deliveries at ticks 2 and 4 are two consecutive good strides.
+        for _ in range(4):
+            broker.run_tick()
+            session.poll()
+        assert session.state is SessionState.ACTIVE
+        assert isinstance(session.engine, PDQEngine)
+        assert session.metrics.promote_events == 1
+        assert broker.metrics.promote_events == 1
+        assert "promoted back" in broker.metrics.summary()
+
+    def test_post_promotion_service_is_exact(self, build_native, fleet):
+        broker, session = self.shed_session(
+            build_native, fleet, promote_after=1
+        )
+        broker.run_tick()  # tick 2: shed delivery lands, hysteresis fires
+        assert session.state is SessionState.ACTIVE
+        session.poll()  # drain the final (spdq) stride result
+        broker.run_tick()  # exact per-tick service has resumed
+        results = session.poll()
+        assert results, "a promoted session is served every tick again"
+        assert all(r.mode == "pdq" for r in results)
+        assert not any(r.degraded for r in results)
+        assert all(r.covers_until is None for r in results)
+
+    def test_deep_queue_resets_the_streak(self, build_native, fleet):
+        _, session = self.shed_session(build_native, fleet)
+        assert not session.observe_queue(2, 1)  # shallow: streak 1
+        session.queue.items.extend([None, None])
+        assert not session.observe_queue(2, 1)  # deep: streak reset to 0
+        session.queue.items.clear()
+        assert not session.observe_queue(2, 1)  # shallow again: streak 1
+        assert session.observe_queue(2, 1)  # streak 2: promotes
+        assert session.state is SessionState.ACTIVE
+
+    def test_promote_is_a_noop_unless_shed(self, build_native, fleet):
+        (trajectory,) = fleet(1)
+        broker = make_broker(build_native())
+        session = broker.register_pdq("c", trajectory)
+        engine = session.engine
+        session.promote()  # ACTIVE: nothing happens
+        assert session.engine is engine
+        assert not session.observe_queue(1, 1)
+
+    def test_logical_reads_stay_monotonic_across_swaps(
+        self, build_native, fleet
+    ):
+        broker, session = self.shed_session(
+            build_native, fleet, promote_after=1
+        )
+        seen = session.logical_reads
+        for _ in range(8):
+            broker.run_tick()
+            session.poll()
+            assert session.logical_reads >= seen
+            seen = session.logical_reads
+        assert session.state is SessionState.ACTIVE
+        assert seen > 0
+
+    def test_promoted_answers_cover_the_exact_frames(
+        self, build_native, fleet
+    ):
+        (trajectory,) = fleet(1)
+        baseline_frames, _ = isolated_answers(build_native, trajectory)
+        broker, session = self.shed_session(
+            build_native, fleet, promote_after=1
+        )
+        collected = []
+        for _ in range(TICKS - 2):
+            broker.run_tick()
+            collected.extend(session.poll())
+        assert session.state is SessionState.ACTIVE
+        exact = [r for r in collected if r.mode == "pdq"]
+        assert exact
+        # Conservative direction of the swap: everything the isolated
+        # exact engine reported for a post-promotion tick must have been
+        # delivered (possibly earlier, possibly by the covering stride).
+        delivered = {item.key for r in collected for item in r.items}
+        for result in exact:
+            frame_keys = {i.key for i in baseline_frames[result.index]}
+            assert frame_keys <= delivered
+
+
 class TestUpdatesAndQuiesce:
     def test_updates_apply_between_ticks(self, build_native, fleet):
         (trajectory,) = fleet(1)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage.metrics import CostSnapshot, QueryCost
+from repro.storage.metrics import AverageCost, CostSnapshot, QueryCost
 
 
 class TestQueryCost:
@@ -73,3 +73,40 @@ class TestSnapshotAlgebra:
 
     def test_total_reads(self):
         assert CostSnapshot(internal_reads=2, leaf_reads=3).total_reads == 5
+
+
+class TestAverageCost:
+    def test_defaults_are_float_zeros(self):
+        avg = AverageCost()
+        for name in (
+            "internal_reads",
+            "leaf_reads",
+            "distance_computations",
+            "segment_tests",
+            "results",
+        ):
+            assert getattr(avg, name) == 0.0
+
+    def test_scaled_covers_every_counter(self):
+        snap = CostSnapshot(
+            internal_reads=4,
+            leaf_reads=6,
+            distance_computations=8,
+            segment_tests=10,
+            results=2,
+        )
+        avg = snap.scaled(0.25)
+        assert isinstance(avg, AverageCost)
+        assert avg.internal_reads == pytest.approx(1.0)
+        assert avg.leaf_reads == pytest.approx(1.5)
+        assert avg.distance_computations == pytest.approx(2.0)
+        assert avg.segment_tests == pytest.approx(2.5)
+        assert avg.results == pytest.approx(0.5)
+
+    def test_total_reads(self):
+        avg = AverageCost(internal_reads=1.5, leaf_reads=2.5)
+        assert avg.total_reads == pytest.approx(4.0)
+
+    def test_is_immutable(self):
+        with pytest.raises(AttributeError):
+            AverageCost().results = 1.0

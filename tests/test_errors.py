@@ -23,6 +23,11 @@ class TestHierarchy:
             errors.TrajectoryError,
             errors.SessionError,
             errors.WorkloadError,
+            errors.ServerError,
+            errors.AdmissionError,
+            errors.AnalysisError,
+            errors.LintConfigError,
+            errors.SanitizerError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -47,16 +52,19 @@ class TestHierarchy:
         assert errors.IndexStructureError is not IndexError
         assert not issubclass(errors.IndexStructureError, IndexError)
 
+    def test_analysis_errors_are_analysis(self):
+        assert issubclass(errors.LintConfigError, errors.AnalysisError)
+        assert issubclass(errors.SanitizerError, errors.AnalysisError)
+
     def test_catching_repro_error_catches_all(self):
         with pytest.raises(errors.ReproError):
             raise errors.WorkloadError("boom")
 
 
-class TestDeprecatedAlias:
-    def test_old_name_still_resolves(self):
-        with pytest.warns(DeprecationWarning, match="IndexStructureError"):
-            legacy = errors.IndexError_
-        assert legacy is errors.IndexStructureError
+class TestRemovedAlias:
+    def test_old_name_is_gone(self):
+        with pytest.raises(AttributeError):
+            errors.IndexError_  # repro: disable=DQX01
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):
