@@ -1,10 +1,13 @@
 """Shared-scan serving benchmark: N overlapping clients, sublinear I/O.
 
 The broker's batch phase reads each distinct R-tree page at most once
-per tick across all clients, so a fleet of fully-overlapping observers
-should cost barely more physical I/O than a single one.  The headline
-assertion: 64 identical clients cost **less than 2x** the node reads of
-1 client (the issue's sublinearity bar), against a 64x naive baseline.
+per tick across all clients — priority-queue frontiers over the native
+tree for PDQ observers, motion-forecast prediction walks over the
+dual-time tree for NPDQ observers — so a fleet of fully-overlapping
+clients should cost barely more physical I/O than a single one.  The
+headline assertions: 64 identical PDQ clients cost **less than 2x** the
+node reads of 1 client, and 16 identical NPDQ observers batched cost
+**at most half** the reads of the same 16 unbatched.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import pytest
 from conftest import _data_config
 from _bench_common import emit
 
+from repro.index.dualtime import DualTimeIndex
 from repro.index.nsi import NativeSpaceIndex
 from repro.server import QueryBroker, ServerConfig, SimulatedClock
 from repro.workload.objects import generate_motion_segments
@@ -42,13 +46,22 @@ def fleet():
     )
 
 
-def serve_fleet(segments, fleet, n_clients, shared=True):
-    """One broker run over n identical observers; returns (reads, metrics)."""
+def serve_fleet(segments, fleet, n_clients, shared=True, kind="pdq"):
+    """One broker run over n identical observers; returns (reads, metrics).
+
+    ``kind`` picks the client mix: all-PDQ over the native tree, all-NPDQ
+    over the dual-time tree, or an alternating mixed fleet over both.
+    ``reads`` counts physical node reads on every disk the fleet touched.
+    """
     index = NativeSpaceIndex(dims=2)
     index.bulk_load(segments)
-    trajectories = fleet[:n_clients]
+    dual = None
+    if kind != "pdq":
+        dual = DualTimeIndex(dims=2)
+        dual.bulk_load(segments)
     broker = QueryBroker(
         index,
+        dual=dual,
         clock=SimulatedClock(start=START, period=PERIOD),
         config=ServerConfig(
             max_clients=max(CLIENT_COUNTS),
@@ -56,37 +69,75 @@ def serve_fleet(segments, fleet, n_clients, shared=True):
             shared_scan=shared,
         ),
     )
-    for i, t in enumerate(trajectories):
-        broker.register_pdq(f"c{i}", t)
-    before = index.tree.disk.stats.reads
+    for i, t in enumerate(fleet[:n_clients]):
+        if kind == "npdq" or (kind == "mixed" and i % 2):
+            broker.register_npdq(f"c{i}", t)
+        else:
+            broker.register_pdq(f"c{i}", t)
     broker.run(TICKS)
-    reads = index.tree.disk.stats.reads - before
+    reads = broker.metrics.physical_reads
     broker.quiesce()
     return reads, broker.metrics
 
 
-def test_shared_scan_is_sublinear(segments, fleet):
-    rows = []
-    reads_by_n = {}
+def sweep(segments, fleet, kind):
+    rows, reads_by_n = [], {}
     for n in CLIENT_COUNTS:
-        reads, metrics = serve_fleet(segments, fleet, n)
+        reads, metrics = serve_fleet(segments, fleet, n, kind=kind)
         reads_by_n[n] = reads
         rows.append(
             f"{n:>8} {reads:>10} {metrics.logical_reads:>10} "
-            f"{metrics.shared_hit_ratio:>8.2%}"
+            f"{metrics.shared_hit_ratio:>8.2%} {metrics.predicted_pages:>10} "
+            f"{metrics.mispredict_rate:>10.2%}"
         )
     emit(
-        "shared-scan serving: N identical observers, "
+        f"shared-scan serving ({kind}): N identical observers, "
         f"{TICKS} ticks of {PERIOD}\n"
-        f"{'clients':>8} {'physical':>10} {'logical':>10} {'hit rate':>8}\n"
-        + "\n".join(rows)
+        f"{'clients':>8} {'physical':>10} {'logical':>10} {'hit rate':>8} "
+        f"{'predicted':>10} {'mispredict':>10}\n" + "\n".join(rows)
     )
+    return reads_by_n
+
+
+def test_shared_scan_is_sublinear(segments, fleet):
+    reads_by_n = sweep(segments, fleet, "pdq")
     # The issue's headline bar: 64 fully-overlapping clients under 2x
     # the physical node reads of a single client.
     assert reads_by_n[64] < 2 * reads_by_n[1]
     # And monotone sanity: more clients never read fewer pages.
     for smaller, larger in zip(CLIENT_COUNTS, CLIENT_COUNTS[1:]):
         assert reads_by_n[smaller] <= reads_by_n[larger]
+
+
+def test_npdq_shared_scan_is_sublinear(segments, fleet):
+    reads_by_n = sweep(segments, fleet, "npdq")
+    # Frontier prediction gives non-predictive clients the same batching
+    # economics the PDQ frontier gives predictive ones.
+    assert reads_by_n[64] < 2 * reads_by_n[1]
+
+
+def test_mixed_fleet_shares_both_trees(segments, fleet):
+    reads_by_n = sweep(segments, fleet, "mixed")
+    # A mixed fleet batches over two trees, so its single-client-pair
+    # cost is roughly one PDQ plus one NPDQ engine; scaling to 64
+    # clients must still come nowhere near linear.
+    assert reads_by_n[64] < 2 * reads_by_n[4]
+
+
+def test_npdq_batched_halves_unbatched_reads(segments, fleet):
+    # The PR's acceptance bar: 16 fully-overlapping NPDQ observers
+    # served through the predicted shared scan cost at most half the
+    # physical reads of the same fleet unbatched.
+    n = 16
+    batched, metrics = serve_fleet(segments, fleet, n, kind="npdq")
+    unbatched, _ = serve_fleet(segments, fleet, n, shared=False, kind="npdq")
+    emit(
+        f"{n} identical NPDQ observers: batched {batched} reads "
+        f"vs unbatched {unbatched} reads "
+        f"(mispredict rate {metrics.mispredict_rate:.2%})"
+    )
+    assert batched * 2 <= unbatched
+    assert metrics.mispredicted_pages == 0
 
 
 def test_shared_scan_beats_private_scans(segments, fleet):

@@ -16,8 +16,9 @@ Each sanitizer watches one invariant through the hooks in
   gap-free, and bit-identical to the boundary formula; a drifting
   clock breaks the answer-invariance replay guarantee.
 * :class:`WallClockGuard` — patches ``time.time`` & friends so any
-  wall-clock read from inside ``repro.*`` engine code (the CLI and this
-  package excepted) raises immediately.
+  wall-clock read from inside ``repro.*`` raises immediately, except at
+  the few allow-listed ``(module, function)`` call sites that
+  legitimately report progress to a human.
 
 All state lives in the sanitizers, none in the product objects, so the
 sanitizers can be enabled around any existing test without touching it.
@@ -270,10 +271,18 @@ class WallClockGuard:
 
     While installed, ``time.time``/``monotonic``/``perf_counter`` (and
     the ``_ns`` variants) and ``time.sleep`` raise
-    :class:`~repro.errors.SanitizerError` when the *caller* is a
-    ``repro.*`` module other than the CLI or this package.  Test code,
-    pytest, and hypothesis keep working — the guard inspects the
-    calling frame's module and passes everyone else through.
+    :class:`~repro.errors.SanitizerError` when the *caller* is any
+    ``repro.*`` frame except the explicitly allow-listed call sites in
+    :attr:`_ALLOWED_SITES` — ``(module, function)`` pairs naming the
+    few places that legitimately report wall-clock progress to a human.
+    Test code, pytest, and hypothesis keep working — the guard inspects
+    the calling frame and passes everyone else through.
+
+    The allow-list is deliberately *sites*, not module prefixes: a
+    wholesale ``repro.cli`` exemption would silently bless a future
+    wall-clock read anywhere in the CLI (or in ``repro.experiments``,
+    which needs none at all).  ``tests/analysis/test_wallclock_sites.py``
+    keeps the list honest against the source tree.
     """
 
     _PATCHED = (
@@ -285,7 +294,9 @@ class WallClockGuard:
         "perf_counter_ns",
         "sleep",
     )
-    _ALLOWED_PREFIXES = ("repro.cli", "repro.analysis", "repro.experiments")
+    #: (module, function) pairs allowed to read the wall clock: only the
+    #: CLI's figure runner, which prints elapsed-time progress lines.
+    _ALLOWED_SITES = (("repro.cli", "_cmd_figures"),)
 
     def __init__(self) -> None:
         self._originals: Dict[str, Any] = {}
@@ -306,14 +317,27 @@ class WallClockGuard:
         self._originals.clear()
 
     def _guarded(self, name: str, original: Any) -> Any:
-        allowed = self._ALLOWED_PREFIXES
+        allowed = self._ALLOWED_SITES
 
         def guard(*args: Any, **kwargs: Any) -> Any:
-            caller = sys._getframe(1).f_globals.get("__name__", "")
-            if caller.startswith("repro.") and not caller.startswith(allowed):
+            # Guards can stack (a test-installed guard over the pytest
+            # plugin's): every ``guard`` closure shares this one code
+            # object, so skip such frames to reach the real caller.
+            code = sys._getframe(0).f_code
+            frame = sys._getframe(1)
+            while frame is not None and frame.f_code is code:
+                frame = frame.f_back
+            if frame is None:
+                return original(*args, **kwargs)
+            caller = frame.f_globals.get("__name__", "")
+            if caller.startswith("repro.") and (
+                (caller, frame.f_code.co_name) not in allowed
+            ):
                 raise SanitizerError(
-                    f"wall-clock call time.{name}() from {caller}; engine "
-                    "code must use SimulatedClock"
+                    f"wall-clock call time.{name}() from "
+                    f"{caller}.{frame.f_code.co_name}; engine code must use "
+                    "SimulatedClock (allow-listed sites: "
+                    f"{', '.join('.'.join(s) for s in allowed)})"
                 )
             return original(*args, **kwargs)
 

@@ -386,6 +386,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             shared_scan=not args.no_shared_scan,
             promote_after=args.promote_after,
+            npdq_predict_margin=args.npdq_margin,
         ),
     )
     kinds = {
@@ -585,6 +586,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0,
         help="promote a shed client back to exact PDQ after its queue "
         "stays shallow this many consecutive strides (0 disables)",
+    )
+    p_serve.add_argument(
+        "--npdq-margin",
+        type=float,
+        default=2.0,
+        help="slack of NPDQ frontier prediction, in multiples of the "
+        "largest observed inter-frame step (smaller batches fewer pages "
+        "but mispredicts more; mispredicts only cost demand fetches)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

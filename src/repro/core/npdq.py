@@ -89,6 +89,7 @@ class NPDQEngine:
         self.fault_budget = fault_budget
         self.skipped_subtrees: List[int] = []
         self.cost = QueryCost()
+        self.last_loaded_pages: List[int] = []
         self._prev: Optional[_PreviousQuery] = None
         self._degraded = False
 
@@ -112,6 +113,52 @@ class NPDQEngine:
     def has_history(self) -> bool:
         """True once at least one snapshot has been evaluated."""
         return self._prev is not None
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_pages(
+        self,
+        query: SnapshotQuery,
+        cost: Optional[QueryCost] = None,
+        failed: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Page ids :meth:`snapshot` would load for ``query``, read-only.
+
+        Replays the snapshot descent — overlap against the dual-time
+        query box, Lemma-1 coverage pruning against the remembered
+        previous query — without evaluating leaf entries or advancing
+        the engine's memory, so calling it changes no answer and no
+        per-query cost (reads are charged to the caller-supplied
+        ``cost``, if any, never to :attr:`cost`).
+
+        Because :meth:`~repro.index.DualTimeIndex.frontier_walk` is
+        monotone in the query box, predicting with any *superset* of
+        the query actually evaluated later yields a superset of the
+        pages actually loaded — provided the tree and the engine's
+        previous-query memory are unchanged in between, which is the
+        serving layer's tick discipline (updates apply strictly between
+        ticks, prediction and evaluation happen within one).
+
+        Storage faults never propagate: a failing page is included in
+        the result (and in ``failed``) but its subtree stays
+        unenumerated, so a faulty walk can only under-predict — which
+        costs the evaluation demand fetches, never answers.
+        """
+        if query.dims != self.index.dims:
+            raise QueryError(
+                f"query has {query.dims} dims, index has {self.index.dims}"
+            )
+        dual = self.index.query_box(query.time, query.window)
+        prev = self._prev
+        if prev is None:
+            return self.index.frontier_walk(dual, cost=cost, failed=failed)
+        return self.index.frontier_walk(
+            dual,
+            prev_box=prev.dual_box,
+            prev_clock=prev.clock,
+            cost=cost,
+            failed=failed,
+        )
 
     # -- evaluation ----------------------------------------------------------
 
@@ -143,6 +190,7 @@ class NPDQEngine:
         before = self.cost.snapshot()
         items: List[AnswerItem] = []
         prefetched: List[AnswerItem] = []
+        self.last_loaded_pages = []
         snapshot_skips = 0
         attempts: dict = {}
         stack = [tree.root_id]
@@ -162,6 +210,7 @@ class NPDQEngine:
                     snapshot_skips += 1
                     self._degraded = True
                 continue
+            self.last_loaded_pages.append(page_id)
             if node.is_leaf:
                 for e in node.entries:
                     self.cost.count_distance_computations()

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Tuple
 
-from repro.errors import QueryError
+from repro.errors import CorruptPageError, QueryError, TransientIOError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.geometry.segment import segment_box_overlap_interval
@@ -199,6 +199,67 @@ class DualTimeIndex:
             ):
                 results.append((entry.record, entry.record.time.intersect(time)))
         return results
+
+    def frontier_walk(
+        self,
+        query_box: Box,
+        prev_box: Optional[Box] = None,
+        prev_clock: int = -1,
+        cost: Optional[QueryCost] = None,
+        failed: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Enumerate the pages a coverage-pruned descent would touch.
+
+        Descends the tree for ``query_box`` applying the NPDQ
+        discardability test against a remembered previous query
+        (``prev_box`` in dual-time space, read at operation-clock
+        ``prev_clock``): a child is skipped iff its timestamp is no newer
+        than ``prev_clock`` *and* ``prev_box`` covers its share of the
+        query (Lemma 1).  Returns every page id visited, in descent
+        order — the page set :meth:`~repro.core.NPDQEngine.snapshot`
+        would load for the same query against the same previous state,
+        because the walk replays exactly the pruning decisions the
+        engine makes on internal entries.
+
+        **Monotonicity** (the shared-scan superset lemma): enlarging
+        ``query_box`` can only grow the result.  A bigger box passes the
+        overlap test wherever the smaller one did, and makes the
+        coverage test *harder* to satisfy (``prev ⊇ Q' ∩ R`` implies
+        ``prev ⊇ Q ∩ R`` when ``Q ⊆ Q'``), so every page the smaller
+        query descends into, the bigger one does too.
+
+        The walk never raises on storage faults: a page that fails to
+        load is still reported (it *would* be touched) and appended to
+        ``failed``, but its subtree cannot be enumerated — the engine's
+        own retry/degradation machinery deals with it during evaluation.
+        """
+        pages: List[int] = []
+        stack = [self.tree.root_id]
+        while stack:
+            page_id = stack.pop()
+            pages.append(page_id)
+            try:
+                node = self.tree.load_node(page_id, cost)
+            except (TransientIOError, CorruptPageError):
+                if failed is not None:
+                    failed.append(page_id)
+                continue
+            if node.is_leaf:
+                continue
+            for e in node.entries:
+                if cost is not None:
+                    cost.count_distance_computations()
+                shared = e.box.intersect(query_box)
+                if shared.is_empty:
+                    continue
+                if (
+                    prev_box is not None
+                    and e.timestamp <= prev_clock
+                    and prev_box.contains_box(shared)
+                ):
+                    continue
+                stack.append(e.child_id)
+        return pages
 
     def __len__(self) -> int:
         return len(self.tree)

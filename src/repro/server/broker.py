@@ -10,8 +10,10 @@ the broker:
    :class:`~repro.server.dispatcher.UpdateDispatcher` (the writer runs
    strictly *between* ticks, so readers always see a frozen index);
 2. runs the :class:`~repro.server.scheduler.SharedScanScheduler` batch
-   phase — the merged priority-queue frontier of all live clients is
-   read once per distinct page;
+   phase — the merged frontier of all live clients (priority-queue
+   frontiers over the native tree for PDQ/auto, motion-forecast
+   prediction walks over the dual-time tree for NPDQ) is read once per
+   distinct page;
 3. serves each session **in registration order** (the determinism the
    answer-invariance property test depends on), re-pinning the buffer
    after each so later clients piggyback on pages earlier clients
@@ -69,6 +71,13 @@ class ServerConfig:
     ``promote_depth`` for ``promote_after`` consecutive strides is
     promoted back to an exact per-tick PDQ engine.  ``promote_after=0``
     (the default) disables promotion — once shed, always shed.
+
+    ``npdq_predict_margin`` scales the slack of NPDQ frontier
+    prediction: each client's forecast window is inflated by this many
+    multiples of the largest inter-frame step observed for it.  A
+    smaller margin predicts (and batch-reads) fewer pages but
+    mispredicts more often under erratic motion; mispredicts only cost
+    demand fetches, never answers.
     """
 
     max_clients: int = 64
@@ -79,6 +88,7 @@ class ServerConfig:
     promote_depth: int = 1
     shared_scan: bool = True
     buffer_capacity: int = 1024
+    npdq_predict_margin: float = 2.0
     latency: LatencyModel = LatencyModel()
 
     def __post_init__(self) -> None:
@@ -96,6 +106,8 @@ class ServerConfig:
             raise ServerError("promote_depth must be >= 1")
         if self.buffer_capacity < 1:
             raise ServerError("buffer_capacity must be >= 1")
+        if self.npdq_predict_margin < 0:
+            raise ServerError("npdq_predict_margin must be >= 0")
 
 
 class QueryBroker:
@@ -130,7 +142,9 @@ class QueryBroker:
         self.scheduler: Optional[SharedScanScheduler] = None
         if self.config.shared_scan:
             self.scheduler = SharedScanScheduler(
-                native.tree, self.config.buffer_capacity
+                native.tree,
+                self.config.buffer_capacity,
+                extra_trees=(dual.tree,) if dual is not None else (),
             )
         self.metrics = ServerMetrics()
         self._sessions: "OrderedDict[str, ClientSession]" = OrderedDict()
@@ -209,6 +223,7 @@ class QueryBroker:
                 queue_depth=self.config.queue_depth,
                 exact=exact,
                 fault_budget=fault_budget,
+                predict_margin=self.config.npdq_predict_margin,
             )
         )
 
@@ -274,10 +289,17 @@ class QueryBroker:
             piggybacked = batch.piggybacked
 
         served = 0
+        predicted = actual = mispredicted = 0
         for session in serving:
             result = session.serve(tick)
             if self.scheduler is not None:
                 self.scheduler.pin_resident()
+            if isinstance(session, NPDQSession):
+                record = session.last_prediction
+                if record is not None and record.tick_index == tick.index:
+                    predicted += len(record.pages)
+                    actual += len(record.actual)
+                    mispredicted += len(record.mispredicted)
             if result is None:
                 continue
             served += 1
@@ -328,6 +350,9 @@ class QueryBroker:
             logical_reads=logical,
             batched_pages=batched_pages,
             piggybacked_reads=piggybacked,
+            predicted_pages=predicted,
+            actual_pages=actual,
+            mispredicted_pages=mispredicted,
             updates_applied=updates,
             latency=latency,
         )

@@ -43,6 +43,12 @@ class ClientMetrics:
     shed_events: int = 0
     promote_events: int = 0
     degraded_ticks: int = 0
+    # NPDQ frontier prediction (zero for other session kinds): pages the
+    # prediction walk enumerated, pages the evaluation actually loaded,
+    # and loaded pages the walk missed (demand-fetched, never wrong).
+    predicted_pages: int = 0
+    actual_pages: int = 0
+    mispredicted_pages: int = 0
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,11 @@ class TickMetrics:
     piggybacked_reads: int
     updates_applied: int
     latency: float
+    # NPDQ frontier prediction, summed over the tick's NPDQ sessions
+    # (defaults keep pre-prediction call sites constructible unchanged).
+    predicted_pages: int = 0
+    actual_pages: int = 0
+    mispredicted_pages: int = 0
 
     @property
     def shared_hit_ratio(self) -> float:
@@ -66,6 +77,13 @@ class TickMetrics:
         if not self.logical_reads:
             return 0.0
         return 1.0 - self.physical_reads / self.logical_reads
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of NPDQ-loaded pages the prediction walks missed."""
+        if not self.actual_pages:
+            return 0.0
+        return self.mispredicted_pages / self.actual_pages
 
 
 @dataclass
@@ -77,6 +95,9 @@ class ServerMetrics:
     logical_reads: int = 0
     batched_pages: int = 0
     piggybacked_reads: int = 0
+    predicted_pages: int = 0
+    actual_pages: int = 0
+    mispredicted_pages: int = 0
     updates_applied: int = 0
     updates_deferred: int = 0
     updates_dropped: int = 0
@@ -102,6 +123,9 @@ class ServerMetrics:
         self.logical_reads += tick.logical_reads
         self.batched_pages += tick.batched_pages
         self.piggybacked_reads += tick.piggybacked_reads
+        self.predicted_pages += tick.predicted_pages
+        self.actual_pages += tick.actual_pages
+        self.mispredicted_pages += tick.mispredicted_pages
         self.updates_applied += tick.updates_applied
         self.total_latency += tick.latency
         self.tick_log.append(tick)
@@ -112,6 +136,17 @@ class ServerMetrics:
         if not self.logical_reads:
             return 0.0
         return 1.0 - self.physical_reads / self.logical_reads
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of NPDQ-loaded pages the prediction walks missed.
+
+        Mispredicts never change answers; each costs one demand fetch
+        during the drain phase instead of a batched read.
+        """
+        if not self.actual_pages:
+            return 0.0
+        return self.mispredicted_pages / self.actual_pages
 
     @property
     def reads_per_tick(self) -> float:
@@ -135,6 +170,9 @@ class ServerMetrics:
             f"shared hit ratio  : {self.shared_hit_ratio:.1%}",
             f"batched pages     : {self.batched_pages} "
             f"({self.piggybacked_reads} piggybacked)",
+            f"npdq prediction   : {self.predicted_pages} predicted, "
+            f"{self.actual_pages} read, {self.mispredicted_pages} "
+            f"mispredicted ({self.mispredict_rate:.1%} mispredict rate)",
             f"updates           : {self.updates_applied} applied, "
             f"{self.updates_deferred} deferred, {self.updates_dropped} dropped",
             f"writer crashes    : {self.writer_crashes} (recovered)",
@@ -146,11 +184,17 @@ class ServerMetrics:
             lines.append("per-client:")
             for cid in sorted(self.clients):
                 c = self.clients[cid]
-                lines.append(
+                line = (
                     f"  {cid:<12} ticks={c.ticks_served:<4} "
                     f"items={c.items_delivered:<6} reads={c.logical_reads:<6} "
                     f"queue_peak={c.queue_peak:<3} dropped={c.dropped_results:<3} "
                     f"shed={c.shed_events} promoted={c.promote_events} "
                     f"degraded_ticks={c.degraded_ticks}"
                 )
+                if c.predicted_pages or c.mispredicted_pages:
+                    line += (
+                        f" predicted={c.predicted_pages}"
+                        f" mispredicted={c.mispredicted_pages}"
+                    )
+                lines.append(line)
         return "\n".join(lines)

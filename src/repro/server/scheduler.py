@@ -9,20 +9,27 @@ traversed once per *batch*, not once per client), the scheduler makes
 node reads shared across the whole client population within a tick:
 
 1. **batch phase** — at tick start it polls every live session's
-   priority-queue frontier (:meth:`PDQEngine.frontier_pages`), merges
-   the per-client page demand by page id, and reads each distinct page
-   once, in page-id order (the simulated analogue of an elevator pass).
-   Each fetched page is **pinned** in the shared
-   :class:`~repro.storage.BufferPool` so no client's traversal can evict
-   another client's pending page mid-tick;
+   frontier (:meth:`PDQEngine.frontier_pages` for predictive clients,
+   the motion-forecast prediction walk of
+   :meth:`NPDQSession.frontier_pages` for non-predictive ones), merges
+   the per-client page demand *per index tree* — PDQ/auto frontiers
+   live in the native-space tree, NPDQ frontiers in the dual-time tree,
+   and the two trees' page-id namespaces are independent — and reads
+   each distinct page once, in page-id order (the simulated analogue of
+   an elevator pass).  NPDQ prediction walks read pages while
+   enumerating them; those reads flow through the same shared buffer
+   pool, so overlapping walks piggyback on each other exactly like
+   explicit batch reads.  Each batched page is **pinned** in its tree's
+   shared :class:`~repro.storage.BufferPool` so no client's traversal
+   can evict another client's pending page mid-tick;
 2. **drain phase** — sessions then run their normal engine code.  Every
    ``load_node`` goes through the shared disk: pages fetched in the
    batch (or by an earlier client this tick) are buffer hits, i.e.
    late-joining queries piggyback on the in-flight read; pages first
-   discovered mid-expansion (children enqueued during this very tick)
-   are fetched once on demand and immediately pinned for the rest of the
-   tick;
-3. **end of tick** — all pins are released; the pool keeps pages around
+   discovered mid-expansion (children enqueued during this very tick,
+   or NPDQ mispredicts) are fetched once on demand and immediately
+   pinned for the rest of the tick;
+3. **end of tick** — all pins are released; the pools keep pages around
    under plain LRU for cross-tick locality.
 
 The net invariant: **within one tick, each R-tree page costs at most one
@@ -30,13 +37,15 @@ physical read regardless of how many clients need it.**  Engines still
 count their *logical* reads in their own :class:`QueryCost`, so
 per-client accounting stays identical to isolated execution — only the
 physical I/O is deduplicated, which is what the shared-scan benchmark
-measures.
+measures.  (Prediction-walk reads are charged to the session's separate
+``prediction_cost``, so they surface in tick physical I/O without
+perturbing any per-client logical count.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import CorruptPageError, ServerError, TransientIOError
 from repro.index.rtree import RTree
@@ -51,12 +60,15 @@ __all__ = ["BatchStats", "SharedScanScheduler"]
 class BatchStats:
     """Outcome of one tick's batch phase.
 
-    ``demanded`` counts (page, client) demand pairs; ``fetched`` is the
-    number of physical reads issued by the batch; ``piggybacked`` is the
-    demand the batch absorbed without extra I/O (already-buffered pages
-    plus duplicate demand for freshly fetched ones); ``failed`` lists
-    pages whose batch read failed (left to the owning engines' own
-    retry/degradation machinery during the drain phase).
+    ``demanded`` counts (page, client) demand pairs across every tree;
+    ``unique_pages`` counts distinct (tree, page) pairs; ``fetched`` is
+    the number of physical reads the batch phase issued, including the
+    reads NPDQ prediction walks performed while enumerating their
+    frontiers; ``piggybacked`` is the demand the batch absorbed without
+    extra I/O (already-buffered pages plus duplicate demand for freshly
+    fetched ones); ``failed`` lists pages whose batch read failed (left
+    to the owning engines' own retry/degradation machinery during the
+    drain phase).
     """
 
     demanded: int
@@ -67,25 +79,55 @@ class BatchStats:
 
 
 class SharedScanScheduler:
-    """Batches per-tick node reads of many sessions by page id.
+    """Batches per-tick node reads of many sessions by (tree, page id).
 
     Parameters
     ----------
     tree:
-        The R-tree all hosted PDQ engines traverse (the native-space
-        index's tree).
+        The primary R-tree (the native-space index's tree, which
+        PDQ/SPDQ/auto frontiers traverse).
     buffer_capacity:
-        Capacity of the shared pool attached to the tree's disk when the
+        Capacity of the shared pool attached to a tree's disk when the
         disk has none yet.  An existing pool is reused as-is.
+    extra_trees:
+        Further trees whose frontiers the scan should batch — in
+        practice the dual-time tree NPDQ prediction walks descend.  A
+        tree sharing the primary tree's disk shares its pool.
     """
 
-    def __init__(self, tree: RTree, buffer_capacity: int = 1024):
+    def __init__(
+        self,
+        tree: RTree,
+        buffer_capacity: int = 1024,
+        extra_trees: Sequence[RTree] = (),
+    ):
         self.tree = tree
+        self.buffer_capacity = buffer_capacity
+        self.trees: List[RTree] = []
+        self._disks: List[object] = []
+        for t in (tree, *extra_trees):
+            self._adopt(t)
+        self.pool: BufferPool = tree.disk.buffer_pool  # type: ignore[assignment]
+        self._in_tick = False
+
+    def _adopt(self, tree: RTree) -> None:
+        """Track ``tree``, attaching a shared pool to its disk if bare."""
+        if any(t is tree for t in self.trees):
+            return
         disk = tree.disk
         if disk.buffer_pool is None:
-            disk.set_buffer_pool(BufferPool(buffer_capacity))
-        self.pool: BufferPool = disk.buffer_pool  # type: ignore[assignment]
-        self._in_tick = False
+            disk.set_buffer_pool(BufferPool(self.buffer_capacity))
+        self.trees.append(tree)
+        if not any(d is disk for d in self._disks):
+            self._disks.append(disk)
+
+    def _pools(self) -> List[BufferPool]:
+        return [
+            d.buffer_pool for d in self._disks if d.buffer_pool is not None
+        ]
+
+    def _reads(self) -> int:
+        return sum(d.stats.reads for d in self._disks)
 
     # -- tick lifecycle -----------------------------------------------------
 
@@ -101,31 +143,60 @@ class SharedScanScheduler:
         if self._in_tick:
             raise ServerError("previous tick was not ended")
         self._in_tick = True
-        demand: Dict[int, int] = {}
+        reads_before = self._reads()
+        resident_before = {
+            id(pool): set(pool.resident_pages()) for pool in self._pools()
+        }
+        # Demand is collected per tree: page ids are only unique within
+        # one disk's namespace.  NPDQ prediction walks run here, inside
+        # the tick, so their physical reads land in this tick's account.
+        demand: List[Tuple[RTree, Dict[int, int]]] = []
+        buckets: Dict[int, Dict[int, int]] = {}
         for session in sessions:
-            for page_id in session.frontier_pages(tick):
-                demand[page_id] = demand.get(page_id, 0) + 1
-        demanded = sum(demand.values())
+            collect = getattr(session, "frontier_demand", None)
+            if collect is not None:
+                pairs = collect(tick)
+            else:  # duck-typed session: primary-tree frontier only
+                pairs = [(self.tree, session.frontier_pages(tick))]
+            for tree, pages in pairs:
+                self._adopt(tree)
+                bucket = buckets.get(id(tree))
+                if bucket is None:
+                    bucket = buckets[id(tree)] = {}
+                    demand.append((tree, bucket))
+                for page_id in pages:
+                    bucket[page_id] = bucket.get(page_id, 0) + 1
+        walk_fetched = self._reads() - reads_before
+        demanded = sum(sum(b.values()) for _, b in demand)
         fetched = 0
         piggybacked = 0
         failed = 0
-        for page_id in sorted(demand):
-            if page_id in self.pool:
-                piggybacked += demand[page_id]
-                self.pool.pin(page_id)
-                continue
-            try:
-                self.tree.load_node(page_id)
-            except (TransientIOError, CorruptPageError):
-                failed += 1
-                continue
-            fetched += 1
-            piggybacked += demand[page_id] - 1
-            self.pool.pin(page_id)
+        for tree, bucket in demand:
+            pool = tree.disk.buffer_pool
+            warm = resident_before.get(id(pool), set())
+            for page_id in sorted(bucket):
+                if pool is not None and page_id in pool:
+                    # A page resident since before the batch is pure
+                    # piggyback; one a prediction walk just fetched
+                    # already cost its one physical read (in
+                    # ``walk_fetched``), so only its *extra* demand is.
+                    extra = 0 if page_id in warm else 1
+                    piggybacked += bucket[page_id] - extra
+                    pool.pin(page_id)
+                    continue
+                try:
+                    tree.load_node(page_id)
+                except (TransientIOError, CorruptPageError):
+                    failed += 1
+                    continue
+                fetched += 1
+                piggybacked += bucket[page_id] - 1
+                if pool is not None:
+                    pool.pin(page_id)
         return BatchStats(
             demanded=demanded,
-            unique_pages=len(demand),
-            fetched=fetched,
+            unique_pages=sum(len(b) for _, b in demand),
+            fetched=fetched + walk_fetched,
             piggybacked=piggybacked,
             failed=failed,
         )
@@ -138,14 +209,16 @@ class SharedScanScheduler:
         session piggybacks on them — the within-tick half of the
         at-most-once-per-tick read invariant.
         """
-        for page_id in self.pool.resident_pages():
-            self.pool.pin(page_id)
+        for pool in self._pools():
+            for page_id in pool.resident_pages():
+                pool.pin(page_id)
 
     def end_tick(self) -> None:
-        """Release every pin; LRU governs the pool again until next tick."""
+        """Release every pin; LRU governs the pools again until next tick."""
         if not self._in_tick:
             raise ServerError("no tick in progress")
-        self.pool.unpin_all()
+        for pool in self._pools():
+            pool.unpin_all()
         self._in_tick = False
 
     # -- introspection ------------------------------------------------------------
@@ -153,4 +226,7 @@ class SharedScanScheduler:
     @property
     def pinned_pages(self) -> List[int]:
         """Currently pinned page ids (mid-tick debugging aid)."""
-        return sorted(self.pool.pinned)
+        pinned = set()
+        for pool in self._pools():
+            pinned.update(pool.pinned)
+        return sorted(pinned)

@@ -34,7 +34,15 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.npdq import NPDQEngine
 from repro.core.pdq import PDQEngine
@@ -44,13 +52,17 @@ from repro.core.snapshot import SnapshotQuery
 from repro.core.spdq import SPDQEngine
 from repro.core.trajectory import QueryTrajectory
 from repro.errors import ServerError
+from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.server.clock import Tick
 from repro.server.metrics import ClientMetrics
+from repro.storage.metrics import QueryCost
 
 __all__ = [
     "SessionState",
     "TickResult",
+    "FrontierPredictor",
+    "PredictionRecord",
     "ClientSession",
     "PDQSession",
     "NPDQSession",
@@ -116,6 +128,95 @@ class _ResultQueue:
         return len(self.items)
 
 
+class FrontierPredictor:
+    """Forecasts an NPDQ client's next frame window from observed motion.
+
+    The broker never sees a non-predictive client's trajectory — only
+    the frame windows the client has already submitted.  The predictor
+    keeps the last observed window, the last inter-frame displacement of
+    its centre, and the largest per-axis step seen so far; the next
+    window is forecast as *translate the last window by the last
+    displacement, cover with the untranslated window* (direction
+    reversals cost nothing extra that way) *and inflate by ``margin``
+    times the largest observed per-axis step* (speed jitter, wall
+    reflections landing mid-tick).  ``margin >= 1`` suffices for any
+    motion whose per-axis speed never exceeds the observed maximum; the
+    default 2.0 adds reflection headroom.
+
+    A bad forecast is *safe*: the prediction walk then under-enumerates
+    and evaluation demand-fetches the difference (counted as
+    mispredicts), so the forecast need only be good, never sound.
+    """
+
+    def __init__(self, margin: float = 2.0):
+        if margin < 0:
+            raise ServerError("prediction margin must be >= 0")
+        self.margin = margin
+        self._window: Optional[Box] = None
+        self._center: Optional[Tuple[float, ...]] = None
+        self._displacement: Optional[Tuple[float, ...]] = None
+        self._max_step: Optional[List[float]] = None
+
+    def observe(self, window: Box) -> None:
+        """Record one frame window the client actually queried."""
+        center = window.center
+        if self._center is not None:
+            disp = tuple(c - p for c, p in zip(center, self._center))
+            self._displacement = disp
+            if self._max_step is None:
+                self._max_step = [abs(d) for d in disp]
+            else:
+                self._max_step = [
+                    max(m, abs(d)) for m, d in zip(self._max_step, disp)
+                ]
+        self._window = window
+        self._center = center
+
+    def predict(self) -> Optional[Box]:
+        """The forecast window, or ``None`` until two frames were seen."""
+        if self._window is None or self._displacement is None:
+            return None
+        moved = self._window.translate(self._displacement)
+        slack = [self.margin * m for m in self._max_step or ()]
+        return self._window.cover(moved).inflate(slack)
+
+    def reset(self) -> None:
+        """Forget all observed motion (e.g. after a client teleport)."""
+        self._window = None
+        self._center = None
+        self._displacement = None
+        self._max_step = None
+
+
+@dataclass
+class PredictionRecord:
+    """One tick's frontier prediction and, after evaluation, its outcome.
+
+    ``exact`` marks the cold-start ticks whose window came from the
+    client's admission handshake rather than the motion forecast.
+    ``covered`` is filled by :meth:`NPDQSession.serve`: did the
+    predicted window contain the window actually evaluated?  When it
+    did and the walk hit no storage faults (``strict``), the superset
+    lemma guarantees ``set(actual) <= pages`` — the invariant the test
+    suite's checking wrapper asserts.
+    """
+
+    tick_index: int
+    pages: FrozenSet[int]
+    query: SnapshotQuery
+    walk_faults: int
+    exact: bool
+    actual: Tuple[int, ...] = ()
+    mispredicted: Tuple[int, ...] = ()
+    covered: bool = False
+    served: bool = False
+
+    @property
+    def strict(self) -> bool:
+        """True when the superset invariant applies unconditionally."""
+        return self.served and self.covered and self.walk_faults == 0
+
+
 class ClientSession:
     """Common state and queue plumbing for every session kind."""
 
@@ -137,6 +238,16 @@ class ClientSession:
 
     def frontier_pages(self, tick: Tick) -> List[int]:
         """Node pages this session's engine will read during ``tick``."""
+        return []
+
+    def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
+        """``(tree, page ids)`` demand pairs for the batch phase.
+
+        Each pair names the R-tree the pages belong to, so the shared
+        scan can batch sessions over different indexes (native-space for
+        PDQ/auto, dual-time for NPDQ) without conflating the two trees'
+        page-id namespaces.
+        """
         return []
 
     def serve(self, tick: Tick) -> Optional[TickResult]:
@@ -225,6 +336,10 @@ class PDQSession(ClientSession):
             return []
         horizon = tick.start + self._shed_stride * tick.duration
         return self.engine.frontier_pages(min(horizon, self._span_end()))
+
+    def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
+        pages = self.frontier_pages(tick)
+        return [(self.index.tree, pages)] if pages else []
 
     def _span_end(self) -> float:
         return self.trajectory.time_span.high
@@ -340,7 +455,29 @@ class PDQSession(ClientSession):
 
 
 class NPDQSession(ClientSession):
-    """A non-predictive client: per-tick snapshots with NPDQ memory."""
+    """A non-predictive client: per-tick snapshots with NPDQ memory.
+
+    Although the client's trajectory is unknown in advance (that is what
+    *non-predictive* means), the session still contributes a frontier to
+    the shared scan: a :class:`FrontierPredictor` forecasts the next
+    frame window from the inter-frame motion observed so far, and the
+    engine's coverage-pruned prediction walk
+    (:meth:`~repro.core.NPDQEngine.predict_pages`) turns that window
+    into the page set the tick's evaluation will touch.  The first two
+    frames have no motion history; their windows come from the
+    registration handshake instead (a client's admission request carries
+    its opening frames), so those predictions are exact by construction.
+
+    Prediction is read-only and conservatively safe: when the forecast
+    window covers the frame actually submitted, the walk's page set is a
+    superset of the pages :meth:`serve` loads (the walk replays the
+    evaluation's own pruning over a monotone query box); when the
+    forecast misses, the difference is demand-fetched during evaluation
+    and counted in ``mispredicted_pages`` — answers never change.  Walk
+    I/O is charged to :attr:`prediction_cost`, never to the engine's own
+    :class:`~repro.storage.metrics.QueryCost`, so per-client logical
+    accounting stays identical to isolated execution.
+    """
 
     kind = "npdq"
 
@@ -352,10 +489,14 @@ class NPDQSession(ClientSession):
         queue_depth: int,
         exact: bool = True,
         fault_budget: Optional[int] = None,
+        predict_margin: float = 2.0,
     ):
         super().__init__(client_id, queue_depth)
         self.trajectory = trajectory
         self.engine = NPDQEngine(index, exact=exact, fault_budget=fault_budget)
+        self.predictor = FrontierPredictor(predict_margin)
+        self.prediction_cost = QueryCost()
+        self.last_prediction: Optional[PredictionRecord] = None
 
     def _frame_query(self, tick: Tick) -> SnapshotQuery:
         """The tick's frame query (same cover rule as ``frame_queries``)."""
@@ -369,8 +510,51 @@ class NPDQSession(ClientSession):
     def _cost_source(self):
         return self.engine
 
+    def frontier_pages(self, tick: Tick) -> List[int]:
+        if not self.will_serve(tick):
+            return []
+        window = self.predictor.predict()
+        exact = window is None
+        query = (
+            self._frame_query(tick)
+            if exact
+            else SnapshotQuery(Interval(tick.start, tick.end), window)
+        )
+        failed: List[int] = []
+        pages = self.engine.predict_pages(
+            query, cost=self.prediction_cost, failed=failed
+        )
+        self.last_prediction = PredictionRecord(
+            tick_index=tick.index,
+            pages=frozenset(pages),
+            query=query,
+            walk_faults=len(failed),
+            exact=exact,
+        )
+        return pages
+
+    def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
+        pages = self.frontier_pages(tick)
+        return [(self.engine.index.tree, pages)] if pages else []
+
     def serve(self, tick: Tick) -> Optional[TickResult]:
-        result = self.engine.snapshot(self._frame_query(tick))
+        query = self._frame_query(tick)
+        result = self.engine.snapshot(query)
+        record = self.last_prediction
+        if record is not None and record.tick_index == tick.index:
+            actual = tuple(self.engine.last_loaded_pages)
+            record.actual = actual
+            record.mispredicted = tuple(
+                p for p in actual if p not in record.pages
+            )
+            record.covered = record.query.time.contains_interval(
+                query.time
+            ) and record.query.window.contains_box(query.window)
+            record.served = True
+            self.metrics.predicted_pages += len(record.pages)
+            self.metrics.actual_pages += len(actual)
+            self.metrics.mispredicted_pages += len(record.mispredicted)
+        self.predictor.observe(query.window)
         return TickResult(
             index=tick.index,
             start=tick.start,
@@ -409,6 +593,14 @@ class AutoSession(ClientSession):
         if self.state is SessionState.CLOSED:
             return []
         return self.session.frontier_pages(tick.end)
+
+    def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
+        # Native-space frontier only: in NPDQ mode the inner session may
+        # teleport and reset mid-tick, which voids the motion history the
+        # dual-tree prediction walk relies on, so auto clients let their
+        # dual reads piggyback on the NPDQ fleet's batched pages instead.
+        pages = self.frontier_pages(tick)
+        return [(self.session.native_index.tree, pages)] if pages else []
 
     @property
     def logical_reads(self) -> int:

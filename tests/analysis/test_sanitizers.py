@@ -170,11 +170,31 @@ class TestWallClockGuard:
             with pytest.raises(SanitizerError, match="SimulatedClock"):
                 namespace["stamp"]()
             cli_ns = {"__name__": "repro.cli", "time": time}
-            exec("def stamp():\n    return time.time()\n", cli_ns)
-            cli_ns["stamp"]()  # the CLI may report wall-clock progress
+            exec("def _cmd_figures():\n    return time.time()\n", cli_ns)
+            cli_ns["_cmd_figures"]()  # the one allow-listed call site
         finally:
             guard.uninstall()
         assert not guard._originals
+
+    def test_allow_list_is_per_call_site_not_per_module(self):
+        # Regression for the ROADMAP nit: the old guard allow-listed
+        # repro.cli / repro.analysis / repro.experiments *wholesale*, so
+        # a wall-clock read sneaking into any other function there went
+        # unguarded.  Only the named sites may pass now.
+        guard = WallClockGuard()
+        guard.install()
+        try:
+            cli_ns = {"__name__": "repro.cli", "time": time}
+            exec("def _cmd_serve():\n    return time.time()\n", cli_ns)
+            with pytest.raises(SanitizerError, match="_cmd_serve"):
+                cli_ns["_cmd_serve"]()
+            for module in ("repro.experiments.figures", "repro.analysis.engine"):
+                ns = {"__name__": module, "time": time}
+                exec("def stamp():\n    return time.time()\n", ns)
+                with pytest.raises(SanitizerError, match="SimulatedClock"):
+                    ns["stamp"]()
+        finally:
+            guard.uninstall()
 
     def test_uninstall_restores_originals(self):
         guard = WallClockGuard()

@@ -11,6 +11,7 @@ import pytest
 
 from repro.index.dualtime import DualTimeIndex
 from repro.index.nsi import NativeSpaceIndex
+from repro.server.session import NPDQSession
 from repro.storage.disk import DiskManager
 from repro.storage.wal import IntentLog
 from repro.workload.observers import observer_fleet
@@ -18,6 +19,58 @@ from repro.workload.observers import observer_fleet
 # A smaller page keeps the tiny trees several levels deep, so the
 # shared-scan machinery actually has internal pages to batch.
 PAGE_SIZE = 512
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_superset_check: disable the NPDQ frontier superset-checking "
+        "wrapper for tests that deliberately sabotage prediction",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _npdq_superset_check(request, monkeypatch):
+    """Suite-wide safety net for NPDQ frontier prediction.
+
+    Wraps :meth:`NPDQSession.serve` so that, on every serve in the whole
+    serving-layer suite, each page the evaluation actually loaded is
+    accounted for by the tick's prediction: inside the predicted
+    frontier or counted as a mispredict — and, when the forecast window
+    covered the frame actually submitted and the walk hit no storage
+    faults (``PredictionRecord.strict``), strictly inside the predicted
+    frontier (the superset lemma, which is what makes mispredict-free
+    batching sound).
+    """
+    if request.node.get_closest_marker("no_superset_check"):
+        yield
+        return
+    original = NPDQSession.serve
+
+    def checked(self, tick):
+        result = original(self, tick)
+        record = self.last_prediction
+        if (
+            record is not None
+            and record.served
+            and record.tick_index == tick.index
+        ):
+            missing = set(record.actual) - set(record.pages)
+            assert missing == set(record.mispredicted), (
+                f"{self.client_id}: mispredict accounting drifted at tick "
+                f"{tick.index}: loaded-but-unpredicted {sorted(missing)} vs "
+                f"counted {sorted(record.mispredicted)}"
+            )
+            if record.strict:
+                assert not missing, (
+                    f"{self.client_id}: superset invariant violated at tick "
+                    f"{tick.index}: the forecast window covered the frame "
+                    f"but pages {sorted(missing)} were loaded unpredicted"
+                )
+        return result
+
+    monkeypatch.setattr(NPDQSession, "serve", checked)
+    yield
 
 
 @pytest.fixture()

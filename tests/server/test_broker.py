@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.pdq import PDQEngine
+from repro.core.session import DynamicQuerySession
 from repro.errors import AdmissionError, ServerError
 from repro.server import (
     QueryBroker,
@@ -11,10 +12,14 @@ from repro.server import (
     SimulatedClock,
     UpdateOp,
 )
+from repro.server.dispatcher import UpdateDispatcher
+from repro.server.session import AutoSession, NPDQSession, PDQSession
+from repro.workload.observers import path_of
 
 from _helpers import make_segment
 
 START, PERIOD, TICKS = 1.0, 0.1, 20
+HALF = (4.0, 4.0)
 
 
 def make_broker(index, dual=None, **config_kw):
@@ -131,6 +136,140 @@ class TestSharedExecution:
         assert 0.0 < m.shared_hit_ratio < 1.0
         assert len(m.tick_log) == TICKS
         assert "shared hit ratio" in m.summary()
+
+
+class TestNPDQSharedExecution:
+    """Answer invariance extended to NPDQ frontier prediction.
+
+    The batch phase now runs motion-forecast walks over the dual-time
+    tree for non-predictive clients; these tests pin the property that
+    matters — hosted NPDQ (and mixed) fleets receive tick-for-tick
+    exactly what privately driven sessions would, whatever the batching,
+    shedding, promotion, or concurrent update traffic around them.
+    """
+
+    def isolated_frames(
+        self, build_native, build_dual, kind, traj, path=None, ops=()
+    ):
+        """One privately driven session over fresh index copies."""
+        native, dual = build_native(), build_dual()
+        dispatcher = UpdateDispatcher(native, dual)
+        for op in ops:
+            dispatcher.submit(op)
+        if kind == "pdq":
+            session = PDQSession("iso", native, traj, queue_depth=1000)
+        elif kind == "npdq":
+            session = NPDQSession("iso", dual, traj, queue_depth=1000)
+        else:
+            session = AutoSession(
+                "iso",
+                DynamicQuerySession(native, dual, HALF),
+                path,
+                queue_depth=1000,
+            )
+        frames = []
+        for tick in SimulatedClock(start=START, period=PERIOD).ticks(TICKS):
+            dispatcher.apply_until(tick.start, live_queries=True)
+            if session.will_serve(tick):
+                r = session.serve(tick)
+                frames.append((tick.index, r.mode, r.items, r.prefetched))
+        session.close()
+        return frames
+
+    @staticmethod
+    def frames_of(results):
+        return [(r.index, r.mode, r.items, r.prefetched) for r in results]
+
+    def test_npdq_answers_match_isolated_engines(
+        self, build_native, build_dual, fleet
+    ):
+        trajectories = fleet(3, mode="independent")
+        baselines = [
+            self.isolated_frames(build_native, build_dual, "npdq", t)
+            for t in trajectories
+        ]
+        broker = make_broker(build_native(), dual=build_dual())
+        sessions = [
+            broker.register_npdq(f"c{i}", t)
+            for i, t in enumerate(trajectories)
+        ]
+        broker.run(TICKS)
+        for session, baseline in zip(sessions, baselines):
+            assert self.frames_of(session.poll()) == baseline
+
+    def test_mixed_fleet_with_updates_matches_isolated(
+        self, build_native, build_dual, fleet, tiny_segments
+    ):
+        trajectories = fleet(3, mode="clustered")
+        teleport_at = START + 10 * PERIOD
+
+        def teleporting(t):
+            center = path_of(trajectories[2])(t)
+            if t >= teleport_at:
+                return tuple(c + 11.0 for c in center)
+            return center
+
+        near = trajectories[1].window_at(START + 0.5).center
+        span = trajectories[1].time_span
+        ops = (
+            UpdateOp(
+                START + 4 * PERIOD,
+                "insert",
+                make_segment(9001, 9, span.low, span.high, near, (0.0, 0.0)),
+            ),
+            UpdateOp(START + 7 * PERIOD, "expire", tiny_segments[0]),
+        )
+        specs = [
+            ("pdq", trajectories[0], None),
+            ("npdq", trajectories[1], None),
+            ("auto", trajectories[2], teleporting),
+        ]
+        baselines = [
+            self.isolated_frames(build_native, build_dual, kind, t, path, ops)
+            for kind, t, path in specs
+        ]
+
+        broker = make_broker(build_native(), dual=build_dual())
+        sessions = [
+            broker.register_pdq("c0", trajectories[0]),
+            broker.register_npdq("c1", trajectories[1]),
+            broker.register_auto("c2", teleporting, HALF),
+        ]
+        for op in ops:
+            broker.dispatcher.submit(op)
+        broker.run(TICKS)
+        for session, baseline in zip(sessions, baselines):
+            assert self.frames_of(session.poll()) == baseline
+
+    def test_shed_and_promote_do_not_disturb_npdq_answers(
+        self, build_native, build_dual, fleet
+    ):
+        # A depth-1 queue sheds the unpolled PDQ neighbour at tick 1 and
+        # promotes it back once polled; the NPDQ client sharing the
+        # broker must not notice either transition.
+        trajectories = fleet(2, mode="independent")
+        baseline = self.isolated_frames(
+            build_native, build_dual, "npdq", trajectories[1]
+        )
+        broker = make_broker(
+            build_native(),
+            dual=build_dual(),
+            queue_depth=1,
+            promote_after=1,
+        )
+        pdq = broker.register_pdq("p", trajectories[0])
+        npdq = broker.register_npdq("n", trajectories[1])
+        collected = []
+        for i in range(TICKS):
+            broker.run_tick()
+            collected.extend(npdq.poll())
+            if i >= 2:
+                pdq.poll()
+        assert self.frames_of(collected) == baseline
+        assert pdq.metrics.shed_events == 1
+        assert pdq.metrics.promote_events >= 1
+        assert pdq.state is SessionState.ACTIVE
+        assert npdq.metrics.mispredicted_pages == 0
 
 
 class TestShedding:

@@ -1,0 +1,253 @@
+"""NPDQ frontier prediction: forecast, walk, superset, mispredicts.
+
+The shared scan can only batch a non-predictive client's reads if the
+client's next page set is known *before* evaluation.  These tests pin
+the three layers of that machinery: the motion forecast
+(:class:`FrontierPredictor`), the coverage-pruned prediction walk
+(:meth:`NPDQEngine.predict_pages`), and the serving-layer accounting
+(:class:`PredictionRecord`, mispredict counters, scheduler batching) —
+including the safety half of the design: a deliberately sabotaged
+forecast may only cost demand fetches, never answers.
+"""
+
+import pytest
+
+from repro.core.npdq import NPDQEngine
+from repro.errors import ServerError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.server import (
+    QueryBroker,
+    ServerConfig,
+    SimulatedClock,
+)
+from repro.server.session import FrontierPredictor, NPDQSession
+
+START, PERIOD, TICKS = 1.0, 0.1, 20
+
+
+def make_broker(native, dual, **config_kw):
+    config_kw.setdefault("queue_depth", 100)
+    return QueryBroker(
+        native,
+        dual=dual,
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(**config_kw),
+    )
+
+
+def isolated_npdq_frames(build_dual, trajectory, ticks=TICKS):
+    """Per-tick (items, prefetched) of one privately driven NPDQ client."""
+    session = NPDQSession("iso", build_dual(), trajectory, queue_depth=1000)
+    clock = SimulatedClock(start=START, period=PERIOD)
+    frames = []
+    for tick in clock.ticks(ticks):
+        result = session.serve(tick)
+        frames.append((result.items, result.prefetched))
+    return frames
+
+
+def box2(xlo, xhi, ylo, yhi):
+    return Box([Interval(xlo, xhi), Interval(ylo, yhi)])
+
+
+class TestFrontierPredictor:
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ServerError):
+            FrontierPredictor(margin=-0.1)
+
+    def test_no_forecast_until_two_frames(self):
+        predictor = FrontierPredictor()
+        assert predictor.predict() is None
+        predictor.observe(box2(0, 2, 0, 2))
+        assert predictor.predict() is None
+        predictor.observe(box2(1, 3, 0, 2))
+        assert predictor.predict() is not None
+
+    def test_forecast_covers_continuation_and_reversal(self):
+        # margin >= 1 guarantees the forecast holds whether the observer
+        # keeps going or bounces back, as long as per-axis speed never
+        # exceeds the observed maximum.
+        predictor = FrontierPredictor(margin=1.0)
+        predictor.observe(box2(0, 2, 0, 2))
+        predictor.observe(box2(1, 3, 0, 2))
+        forecast = predictor.predict()
+        assert forecast.contains_box(box2(2, 4, 0, 2))  # kept going
+        assert forecast.contains_box(box2(0, 2, 0, 2))  # reversed
+
+    def test_reset_forgets_motion(self):
+        predictor = FrontierPredictor()
+        predictor.observe(box2(0, 2, 0, 2))
+        predictor.observe(box2(1, 3, 0, 2))
+        predictor.reset()
+        assert predictor.predict() is None
+
+
+class TestPredictionWalk:
+    def ticks(self, n=TICKS):
+        return SimulatedClock(start=START, period=PERIOD).ticks(n)
+
+    def frame_query(self, session, tick):
+        return session._frame_query(tick)
+
+    def test_walk_is_superset_of_evaluation(self, build_dual, fleet):
+        (trajectory,) = fleet(1)
+        engine = NPDQEngine(build_dual())
+        session = NPDQSession("c", engine.index, trajectory, queue_depth=100)
+        for tick in self.ticks():
+            query = self.frame_query(session, tick)
+            pages = set(engine.predict_pages(query))
+            engine.snapshot(query)
+            assert set(engine.last_loaded_pages) <= pages
+
+    def test_walk_is_read_only(self, build_dual, fleet):
+        # Interleaving prediction walks must not perturb the engine:
+        # same answers, same engine-side cost, as a walk-free twin.
+        (trajectory,) = fleet(1)
+        plain = NPDQEngine(build_dual())
+        walked = NPDQEngine(build_dual())
+        session = NPDQSession("c", walked.index, trajectory, queue_depth=100)
+        for tick in self.ticks():
+            query = self.frame_query(session, tick)
+            walked.predict_pages(query)
+            a = plain.snapshot(query)
+            b = walked.snapshot(query)
+            assert a.items == b.items
+            assert a.prefetched == b.prefetched
+        assert plain.cost.internal_reads == walked.cost.internal_reads
+        assert plain.cost.leaf_reads == walked.cost.leaf_reads
+
+    def test_session_predictions_converge_to_motion(self, build_dual, fleet):
+        # The fleet moves at constant axis-aligned speed, so once two
+        # frames are on record the forecast is exact: zero mispredicts,
+        # and only the cold-start ticks are flagged ``exact``.
+        (trajectory,) = fleet(1)
+        session = NPDQSession("c", build_dual(), trajectory, queue_depth=100)
+        exact_flags = []
+        for tick in self.ticks():
+            session.frontier_pages(tick)
+            exact_flags.append(session.last_prediction.exact)
+            session.serve(tick)
+            record = session.last_prediction
+            assert record.served
+            assert record.mispredicted == ()
+        assert exact_flags[0] and exact_flags[1]
+        assert not any(exact_flags[2:])
+        assert session.metrics.mispredicted_pages == 0
+        assert session.metrics.predicted_pages >= session.metrics.actual_pages
+        assert session.metrics.actual_pages > 0
+
+
+class TestMispredictSafety:
+    @pytest.mark.no_superset_check
+    def test_deliberate_mispredict_only_costs_demand_fetches(
+        self, build_native, build_dual, fleet
+    ):
+        # Sabotage the forecast: predict a window far outside the data
+        # space.  The walk enumerates almost nothing, evaluation
+        # demand-fetches everything, the mispredict counters light up —
+        # and the answers stay tick-for-tick identical.
+        (trajectory,) = fleet(1)
+        baseline = isolated_npdq_frames(build_dual, trajectory)
+        broker = make_broker(build_native(), build_dual())
+        session = broker.register_npdq("c", trajectory)
+        far = trajectory.window_at(START).translate((500.0, 500.0))
+        session.predictor.predict = lambda: far
+        broker.run(TICKS)
+        assert [(r.items, r.prefetched) for r in session.poll()] == baseline
+        assert session.metrics.mispredicted_pages > 0
+        assert broker.metrics.mispredicted_pages > 0
+        assert broker.metrics.mispredict_rate > 0.0
+        # Uncovered forecasts are never held to the superset invariant.
+        assert not session.last_prediction.covered
+
+    def test_accurate_fleet_has_zero_mispredict_rate(
+        self, build_native, build_dual, fleet
+    ):
+        broker = make_broker(build_native(), build_dual())
+        for i, t in enumerate(fleet(3, mode="independent")):
+            broker.register_npdq(f"c{i}", t)
+        broker.run(TICKS)
+        m = broker.metrics
+        assert m.predicted_pages > 0
+        assert m.actual_pages > 0
+        assert m.mispredicted_pages == 0
+        assert m.mispredict_rate == 0.0
+        assert "npdq prediction" in m.summary()
+
+
+class TestSharedScanBatching:
+    def dual_reads(self, build_native, build_dual, trajectories, shared=True):
+        dual = build_dual()
+        broker = make_broker(build_native(), dual, shared_scan=shared)
+        for i, t in enumerate(trajectories):
+            broker.register_npdq(f"c{i}", t)
+        before = dual.tree.disk.stats.reads
+        broker.run(TICKS)
+        return dual.tree.disk.stats.reads - before
+
+    def test_identical_npdq_fleet_costs_one_walk(
+        self, build_native, build_dual, fleet
+    ):
+        # Identical observers produce identical forecasts, so every
+        # client past the first piggybacks on the first walk's fetches:
+        # 8 clients cost exactly the physical dual-tree I/O of 1.  One
+        # fleet, sliced, so both runs observe the same trajectory.
+        trajectories = fleet(8, mode="identical")
+        one = self.dual_reads(build_native, build_dual, trajectories[:1])
+        eight = self.dual_reads(build_native, build_dual, trajectories)
+        assert eight == one
+
+    def test_batched_beats_unbatched(self, build_native, build_dual, fleet):
+        trajectories = fleet(8, mode="identical")
+        batched = self.dual_reads(build_native, build_dual, trajectories)
+        unbatched = self.dual_reads(
+            build_native, build_dual, trajectories, shared=False
+        )
+        assert batched < unbatched
+
+    def test_mixed_fleet_batches_both_trees(
+        self, build_native, build_dual, fleet
+    ):
+        native, dual = build_native(), build_dual()
+        broker = make_broker(native, dual)
+        trajectories = fleet(4, mode="identical")
+        for i, t in enumerate(trajectories[:2]):
+            broker.register_pdq(f"p{i}", t)
+        for i, t in enumerate(trajectories[2:]):
+            broker.register_npdq(f"n{i}", t)
+        broker.run(TICKS)
+        # Both page-id namespaces flow through the one batch phase:
+        # second-of-a-kind clients piggyback on both trees.
+        assert broker.metrics.piggybacked_reads > 0
+        assert broker.metrics.predicted_pages > 0
+        tick = broker.metrics.tick_log[-1]
+        assert tick.predicted_pages > 0
+
+    def test_frontier_demand_names_the_owning_tree(
+        self, build_native, build_dual, fleet
+    ):
+        native, dual = build_native(), build_dual()
+        broker = make_broker(native, dual)
+        trajectories = fleet(2, mode="independent")
+        pdq = broker.register_pdq("p", trajectories[0])
+        npdq = broker.register_npdq("n", trajectories[1])
+        tick = broker.clock.next_tick()
+        (pdq_tree, pdq_pages), = pdq.frontier_demand(tick)
+        (npdq_tree, npdq_pages), = npdq.frontier_demand(tick)
+        assert pdq_tree is native.tree
+        assert npdq_tree is dual.tree
+        assert pdq_pages and npdq_pages
+
+
+class TestConfigPlumbing:
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ServerError):
+            ServerConfig(npdq_predict_margin=-1.0)
+
+    def test_margin_reaches_the_session(self, build_native, build_dual, fleet):
+        broker = make_broker(
+            build_native(), build_dual(), npdq_predict_margin=3.5
+        )
+        session = broker.register_npdq("c", fleet(1)[0])
+        assert session.predictor.margin == 3.5
