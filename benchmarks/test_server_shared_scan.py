@@ -17,13 +17,23 @@ import pytest
 from conftest import _data_config
 from _bench_common import emit
 
+from repro.core.trajectory import QueryTrajectory
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
 from repro.index.dualtime import DualTimeIndex
 from repro.index.nsi import NativeSpaceIndex
-from repro.server import QueryBroker, ServerConfig, SimulatedClock
+from repro.motion.segment import MotionSegment
+from repro.server import (
+    MultiplexBroker,
+    QueryBroker,
+    ServerConfig,
+    SimulatedClock,
+)
 from repro.workload.objects import generate_motion_segments
 from repro.workload.observers import observer_fleet
 
 CLIENT_COUNTS = (1, 4, 16, 64)
+SHARD_COUNTS = (1, 2, 4, 8)
 START, PERIOD, TICKS = 1.0, 0.1, 30
 
 
@@ -149,3 +159,151 @@ def test_shared_scan_beats_private_scans(segments, fleet):
         f"vs private scans {private_reads} reads"
     )
     assert shared_reads < private_reads
+
+
+# -- sharded serving ----------------------------------------------------------
+
+SPREAD_CLIENTS = 16
+
+
+@pytest.fixture(scope="module")
+def spread_fleet():
+    """Observers seeded on a lattice across the space: disjoint coverage,
+    the workload sharding is built for."""
+    return observer_fleet(
+        _data_config(),
+        SPREAD_CLIENTS,
+        mode="spread",
+        duration=TICKS * PERIOD + 0.5,
+        start_time=START,
+        seed=9,
+    )
+
+
+def serve_spread(segments, fleet, shards):
+    """One sharded run; returns (total reads, peak per-shard reads/tick).
+
+    ``shards=1`` is the unsharded reference: the same front-end over a
+    single shard owning the whole domain (answer-invariance makes it
+    read-for-read identical to a plain :class:`QueryBroker`), so the
+    peak comparison is apples to apples.
+    """
+    broker = MultiplexBroker.over_segments(
+        segments,
+        shards=shards,
+        dual=False,
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(
+            max_clients=len(fleet), queue_depth=TICKS + 1
+        ),
+    )
+    for i, t in enumerate(fleet):
+        broker.register_pdq(f"c{i}", t)
+    broker.run(TICKS)
+    total = broker.metrics.physical_reads
+    peak = max(
+        max((t.physical_reads for t in shard.broker.metrics.tick_log), default=0)
+        for shard in broker.shards
+    )
+    clients = max(len(shard.broker.sessions) for shard in broker.shards)
+    broker.quiesce()
+    return total, peak, clients
+
+
+def test_sharding_caps_per_shard_load(segments, spread_fleet):
+    # The PR's acceptance bar: splitting the domain 4 ways under a
+    # spread-out fleet drops the hottest shard's per-tick physical reads
+    # to at most half the unsharded broker's per-tick reads.
+    rows, peak_by_k = [], {}
+    for k in SHARD_COUNTS:
+        total, peak, clients = serve_spread(segments, spread_fleet, k)
+        peak_by_k[k] = peak
+        rows.append(
+            f"{k:>8} {total:>10} {peak:>16} {clients:>16}"
+        )
+    emit(
+        f"sharded serving: {SPREAD_CLIENTS} spread observers, "
+        f"{TICKS} ticks of {PERIOD}\n"
+        f"{'shards':>8} {'physical':>10} {'peak shard/tick':>16} "
+        f"{'busiest clients':>16}\n" + "\n".join(rows)
+    )
+    assert peak_by_k[4] * 2 <= peak_by_k[1]
+
+
+ACCELERATION = 15.0
+
+
+def accelerating_trajectory():
+    """Constant-acceleration observer sampled at every tick boundary;
+    last-displacement forecasting lags it by acc x period^2 per frame."""
+    times = [START + k * PERIOD for k in range(TICKS + 2)]
+    centers = [
+        (4.0 + 0.5 * ACCELERATION * (t - START) ** 2, 16.0) for t in times
+    ]
+    return QueryTrajectory.through_waypoints(times, centers, (4.0, 4.0))
+
+
+def dense_segments():
+    """A stationary grid dense enough that forecast lag crosses dual-tree
+    leaf boundaries (coarse MBRs would otherwise absorb the slivers)."""
+    segments, oid, y = [], 0, 12.0
+    while y <= 20.0:
+        x = 0.0
+        while x <= 90.0:
+            segments.append(
+                MotionSegment(
+                    oid,
+                    0,
+                    SpaceTimeSegment(Interval(0.0, 12.0), (x, y), (0.0, 0.0)),
+                )
+            )
+            oid += 1
+            x += 0.7
+        y += 0.9
+    return segments
+
+
+def accelerating_mispredicts(segments, weight):
+    native = NativeSpaceIndex(dims=2, page_size=512)
+    native.bulk_load(segments)
+    dual = DualTimeIndex(dims=2, page_size=512)
+    dual.bulk_load(segments)
+    broker = QueryBroker(
+        native,
+        dual=dual,
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(
+            queue_depth=TICKS + 1,
+            npdq_predict_margin=0.0,
+            npdq_history_weight=weight,
+        ),
+    )
+    session = broker.register_npdq("c", accelerating_trajectory())
+    broker.run(TICKS)
+    broker.quiesce()
+    m = session.metrics
+    return m.mispredicted_pages, m.actual_pages
+
+
+def test_velocity_history_cuts_accelerating_mispredicts():
+    # The frontier-predictor regression at benchmark length: an EW
+    # velocity trend must strictly beat the history-free forecast on an
+    # accelerating observer, at margin 0 so the forecast itself (not the
+    # max-step slack) is what is measured.
+    segments = dense_segments()
+    rows, pages_by_w = [], {}
+    for weight in (0.0, 0.25, 0.5, 0.75):
+        mispredicted, actual = accelerating_mispredicts(segments, weight)
+        pages_by_w[weight] = mispredicted
+        rate = mispredicted / actual if actual else 0.0
+        rows.append(
+            f"{weight:>8.2f} {mispredicted:>12} {actual:>8} {rate:>10.2%}"
+        )
+    emit(
+        f"accelerating observer (acc={ACCELERATION}): mispredicted pages "
+        f"by history weight, {TICKS} ticks\n"
+        f"{'weight':>8} {'mispredicted':>12} {'actual':>8} {'rate':>10}\n"
+        + "\n".join(rows)
+    )
+    assert pages_by_w[0.0] > 0
+    assert pages_by_w[0.5] < pages_by_w[0.0]

@@ -38,6 +38,7 @@ from repro.analysis.determinism import (
 )
 from repro.analysis.layering import (
     DeprecatedAliasRule,
+    FrontEndIsolationRule,
     GenericRaiseRule,
     GeometryIsolationRule,
     PhysicalStorageImportRule,
@@ -57,6 +58,7 @@ ALL_RULES: Tuple[Rule, ...] = tuple(
             PhysicalStorageImportRule(),
             GeometryIsolationRule(),
             GenericRaiseRule(),
+            FrontEndIsolationRule(),
             DeprecatedAliasRule(),
             UnloggedPageMutationRule(),
             MutableDefaultArgRule(),

@@ -24,6 +24,7 @@ __all__ = [
     "PhysicalStorageImportRule",
     "GeometryIsolationRule",
     "GenericRaiseRule",
+    "FrontEndIsolationRule",
     "DeprecatedAliasRule",
 ]
 
@@ -172,6 +173,52 @@ class GenericRaiseRule(Rule):
                     f"raise {name} bypasses the repro.errors hierarchy; "
                     "raise the matching ReproError subclass",
                 )
+
+
+class FrontEndIsolationRule(Rule):
+    """DQL04 — a server internal importing the sharded front-end.
+
+    **Invariant:** :mod:`repro.server.shard` sits at the *top* of the
+    serving stack: it may import the schedulers, dispatchers, sessions
+    and brokers it multiplexes, but no other ``repro.server`` module
+    may import it back.  An inward arrow from broker/scheduler/session
+    code into the front-end is an import cycle in waiting, and would
+    let per-shard machinery grow behavioural dependencies on how (or
+    whether) it is being multiplexed — exactly what the answer-
+    invariance property forbids.  The package ``__init__`` is exempt:
+    re-exporting the public surface is not a dependency of the inner
+    layers.
+    """
+
+    id = "DQL04"
+    title = "server internals importing repro.server.shard"
+    scope = (("repro", "server"),)
+
+    _EXEMPT = frozenset({"shard.py", "__init__.py"})
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        if path.replace("\\", "/").rsplit("/", 1)[-1] in self._EXEMPT:
+            return
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.server.shard"):
+                        yield self.violation(
+                            node,
+                            path,
+                            "server internals must not import the sharded "
+                            "front-end; repro.server.shard depends on them, "
+                            "never the reverse",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro.server.shard"):
+                    yield self.violation(
+                        node,
+                        path,
+                        "server internals must not import the sharded "
+                        "front-end; repro.server.shard depends on them, "
+                        "never the reverse",
+                    )
 
 
 class DeprecatedAliasRule(Rule):

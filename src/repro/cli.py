@@ -323,7 +323,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.index import DualTimeIndex, NativeSpaceIndex
-    from repro.server import QueryBroker, ServerConfig, SimulatedClock
+    from repro.server import (
+        MultiplexBroker,
+        QueryBroker,
+        ServerConfig,
+        ShardPlan,
+        SimulatedClock,
+    )
     from repro.workload.config import WorkloadConfig
     from repro.workload.objects import generate_motion_segments
     from repro.workload.observers import observer_fleet, path_of
@@ -331,6 +337,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.clients < 1 or args.ticks < 1:
         print("--clients and --ticks must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
         return 2
 
     if args.scenario == "synthetic":
@@ -352,15 +361,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     need_dual = args.kind in ("npdq", "auto", "mixed")
     print(
         f"building {name} world ({len(segments)} segments"
-        f"{', both index flavours' if need_dual else ''}) ...",
+        f"{', both index flavours' if need_dual else ''}"
+        f"{f', {args.shards} shards' if args.shards > 1 else ''}) ...",
         flush=True,
     )
-    native = NativeSpaceIndex(dims=2)
-    native.bulk_load(segments)
-    dual = None
-    if need_dual:
-        dual = DualTimeIndex(dims=2)
-        dual.bulk_load(segments)
 
     duration = min(args.ticks * args.period, horizon * 0.9)
     start = min(horizon * 0.1, horizon - duration)
@@ -377,18 +381,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
 
-    broker = QueryBroker(
-        native,
-        dual=dual,
-        clock=SimulatedClock(start=start, period=args.period),
-        config=ServerConfig(
-            max_clients=max(args.clients, 1),
-            queue_depth=args.queue_depth,
-            shared_scan=not args.no_shared_scan,
-            promote_after=args.promote_after,
-            npdq_predict_margin=args.npdq_margin,
-        ),
+    clock = SimulatedClock(start=start, period=args.period)
+    server_config = ServerConfig(
+        max_clients=max(args.clients, 1),
+        queue_depth=args.queue_depth,
+        shared_scan=not args.no_shared_scan,
+        promote_after=args.promote_after,
+        npdq_predict_margin=args.npdq_margin,
     )
+    if args.shards > 1:
+        broker = MultiplexBroker(
+            ShardPlan.grid([0.0, 0.0], [space_side, space_side], args.shards),
+            lambda: NativeSpaceIndex(dims=2),
+            (lambda: DualTimeIndex(dims=2)) if need_dual else None,
+            clock=clock,
+            config=server_config,
+        )
+        broker.load(segments)
+    else:
+        native = NativeSpaceIndex(dims=2)
+        native.bulk_load(segments)
+        dual = None
+        if need_dual:
+            dual = DualTimeIndex(dims=2)
+            dual.bulk_load(segments)
+        broker = QueryBroker(
+            native, dual=dual, clock=clock, config=server_config
+        )
     kinds = {
         "pdq": ["pdq"],
         "npdq": ["npdq"],
@@ -411,11 +430,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {args.clients} {args.kind} client(s) for {args.ticks} "
         f"tick(s) of {args.period} t.u. "
-        f"(shared scan {'off' if args.no_shared_scan else 'on'}) ...",
+        f"(shared scan {'off' if args.no_shared_scan else 'on'}"
+        f"{f', {args.shards} shards' if args.shards > 1 else ''}) ...",
         flush=True,
     )
     broker.run(args.ticks)
-    print(broker.metrics.summary())
+    if args.shards > 1:
+        print(broker.summary())
+    else:
+        print(broker.metrics.summary())
     broker.quiesce()
     return 0
 
@@ -568,9 +591,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_serve.add_argument(
         "--mode",
-        choices=("identical", "clustered", "independent"),
+        choices=("identical", "clustered", "independent", "spread"),
         default="clustered",
         help="spatial overlap structure of the observer fleet",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the spatial domain into this many grid shards, "
+        "each with its own index pair, behind a multiplexed front-end "
+        "(1 = the single unsharded broker; answers are identical)",
     )
     p_serve.add_argument("--period", type=float, default=0.1)
     p_serve.add_argument("--window", type=float, default=8.0)

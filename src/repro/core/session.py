@@ -166,6 +166,34 @@ class DynamicQuerySession:
             return []
         return self._pdq.frontier_pages(t_end)
 
+    def npdq_frontier_pages(
+        self,
+        time: Interval,
+        window: Box,
+        cost: Optional[QueryCost] = None,
+        failed: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Dual-tree pages a forecast NPDQ frame over ``window`` would read.
+
+        A read-only coverage-pruned walk
+        (:meth:`~repro.core.NPDQEngine.predict_pages`) against the
+        session's own NPDQ memory; it never perturbs engine state or
+        answers.  Empty while a predictive engine is live — predictive
+        frames do not touch the dual-time tree, and the NPDQ memory is
+        reset at hand-off anyway.  Lets the serving layer batch an
+        auto-mode session's non-predictive frames exactly like a raw
+        NPDQ client's.
+        """
+        if self._pdq is not None:
+            return []
+        return self._npdq.predict_pages(
+            SnapshotQuery(time, window), cost=cost, failed=failed
+        )
+
+    def window_for(self, center: Sequence[float]) -> Box:
+        """The observer's view window centred at ``center``."""
+        return self._window(center)
+
     def _window(self, center: Sequence[float]) -> Box:
         return Box.from_bounds(
             [c - h for c, h in zip(center, self.half_extents)],

@@ -24,7 +24,7 @@ from repro.index.entry import InternalEntry, LeafEntry
 from repro.index.node import Node
 from repro.index.split import SPLITTERS, linear_split, quadratic_split
 from repro.index.rtree import InsertionListener, InsertionNotice, RTree
-from repro.index.bulk import str_bulk_load
+from repro.index.bulk import sharded_bulk_load, str_bulk_load
 from repro.index.nsi import NativeSpaceIndex
 from repro.index.dualtime import DualTimeIndex
 from repro.index.psi import ParametricSpaceIndex
@@ -51,6 +51,7 @@ __all__ = [
     "InsertionListener",
     "InsertionNotice",
     "str_bulk_load",
+    "sharded_bulk_load",
     "NativeSpaceIndex",
     "DualTimeIndex",
     "ParametricSpaceIndex",

@@ -26,14 +26,14 @@ timestamped update management all work on it unchanged.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import IndexStructureError
 from repro.index.entry import Entry, InternalEntry, LeafEntry
 from repro.index.node import Node
 from repro.index.rtree import RTree
 
-__all__ = ["str_bulk_load"]
+__all__ = ["str_bulk_load", "sharded_bulk_load"]
 
 
 def _center(entry: Entry, axis: int) -> float:
@@ -84,6 +84,44 @@ def _leaf_groups(
     for i in range(0, len(items), per_slab):
         groups.extend(_tile(items[i : i + per_slab], capacity, spatial))
     return groups
+
+
+def sharded_bulk_load(
+    indexes: Sequence,
+    records: Iterable,
+    assign: Callable[[object], Sequence[int]],
+    **bulk_kwargs,
+) -> List[int]:
+    """Partition ``records`` across per-shard indexes and STR-pack each.
+
+    ``assign`` maps one record to the shard ids that must hold it; a
+    record assigned to several shards (its extent straddles a shard
+    boundary) is *replicated* into every one of them, which is what lets
+    a sharded front-end answer any query from the union of overlapping
+    shards and dedup at merge.  ``indexes`` are empty index objects
+    exposing ``bulk_load`` (:class:`~repro.index.NativeSpaceIndex`,
+    :class:`~repro.index.DualTimeIndex`, ...); extra keyword arguments
+    are forwarded to each ``bulk_load`` call.  Returns the per-shard
+    record counts (replicas counted once per holding shard).
+
+    Raises
+    ------
+    IndexStructureError
+        If ``assign`` names a shard id outside ``indexes``.
+    """
+    buckets: List[List] = [[] for _ in indexes]
+    for record in records:
+        for shard_id in assign(record):
+            if not 0 <= shard_id < len(buckets):
+                raise IndexStructureError(
+                    f"shard assignment {shard_id} out of range "
+                    f"(have {len(buckets)} shards)"
+                )
+            buckets[shard_id].append(record)
+    for index, bucket in zip(indexes, buckets):
+        if bucket:
+            index.bulk_load(bucket, **bulk_kwargs)
+    return [len(b) for b in buckets]
 
 
 def str_bulk_load(

@@ -13,7 +13,9 @@ isolated engines — without changing a single answer:
 * :mod:`~repro.server.dispatcher` — the single-writer update stream with
   LCA push-down to every live PDQ and crash recovery;
 * :mod:`~repro.server.broker` — the event loop tying them together;
-* :mod:`~repro.server.metrics` — per-client and per-tick accounting.
+* :mod:`~repro.server.metrics` — per-client and per-tick accounting;
+* :mod:`~repro.server.shard` — spatial sharding: K index shards behind a
+  multiplexed front-end, answer-invariant by boundary replication.
 """
 
 from repro.server.broker import QueryBroker, ServerConfig
@@ -24,8 +26,17 @@ from repro.server.metrics import (
     LatencyModel,
     ServerMetrics,
     TickMetrics,
+    merge_tick_metrics,
 )
 from repro.server.scheduler import BatchStats, SharedScanScheduler
+from repro.server.shard import (
+    IndexShard,
+    MultiplexBroker,
+    MuxClientSession,
+    ShardPlan,
+    ShardRouter,
+    merge_results,
+)
 from repro.server.session import (
     AutoSession,
     ClientSession,
@@ -55,4 +66,11 @@ __all__ = [
     "AutoSession",
     "SessionState",
     "TickResult",
+    "merge_tick_metrics",
+    "ShardPlan",
+    "ShardRouter",
+    "IndexShard",
+    "MuxClientSession",
+    "MultiplexBroker",
+    "merge_results",
 ]

@@ -77,7 +77,9 @@ class ServerConfig:
     multiples of the largest inter-frame step observed for it.  A
     smaller margin predicts (and batch-reads) fewer pages but
     mispredicts more often under erratic motion; mispredicts only cost
-    demand fetches, never answers.
+    demand fetches, never answers.  ``npdq_history_weight`` is the EW
+    weight of the predictor's velocity-trend history (0 falls back to
+    last-displacement-only forecasting).
     """
 
     max_clients: int = 64
@@ -89,6 +91,7 @@ class ServerConfig:
     shared_scan: bool = True
     buffer_capacity: int = 1024
     npdq_predict_margin: float = 2.0
+    npdq_history_weight: float = 0.5
     latency: LatencyModel = LatencyModel()
 
     def __post_init__(self) -> None:
@@ -108,6 +111,8 @@ class ServerConfig:
             raise ServerError("buffer_capacity must be >= 1")
         if self.npdq_predict_margin < 0:
             raise ServerError("npdq_predict_margin must be >= 0")
+        if not 0.0 <= self.npdq_history_weight <= 1.0:
+            raise ServerError("npdq_history_weight must be in [0, 1]")
 
 
 class QueryBroker:
@@ -224,6 +229,7 @@ class QueryBroker:
                 exact=exact,
                 fault_budget=fault_budget,
                 predict_margin=self.config.npdq_predict_margin,
+                history_weight=self.config.npdq_history_weight,
             )
         )
 
@@ -246,6 +252,8 @@ class QueryBroker:
                 session,
                 path,
                 queue_depth=self.config.queue_depth,
+                predict_margin=self.config.npdq_predict_margin,
+                history_weight=self.config.npdq_history_weight,
             )
         )
 
@@ -267,9 +275,16 @@ class QueryBroker:
             lat += self.dual.tree.disk.stats.sim_latency
         return lat
 
-    def run_tick(self) -> TickMetrics:
-        """Advance the clock one tick and serve every live session."""
-        tick = self.clock.next_tick()
+    def run_tick(self, tick: Optional[Tick] = None) -> TickMetrics:
+        """Serve every live session for one tick.
+
+        With no argument the broker advances its own clock; a
+        multiplexing front-end (:class:`~repro.server.shard.MultiplexBroker`)
+        instead passes the master clock's tick so every shard broker
+        serves the exact same boundary.
+        """
+        if tick is None:
+            tick = self.clock.next_tick()
         live = self.sessions
 
         crashes_before = self.dispatcher.stats.crashes_recovered

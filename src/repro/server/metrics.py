@@ -12,9 +12,17 @@ keeping server runs deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["LatencyModel", "ClientMetrics", "TickMetrics", "ServerMetrics"]
+from repro.errors import ServerError
+
+__all__ = [
+    "LatencyModel",
+    "ClientMetrics",
+    "TickMetrics",
+    "ServerMetrics",
+    "merge_tick_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,49 @@ class TickMetrics:
         if not self.actual_pages:
             return 0.0
         return self.mispredicted_pages / self.actual_pages
+
+
+def merge_tick_metrics(
+    ticks: Sequence[TickMetrics],
+    clients_served: Optional[int] = None,
+) -> TickMetrics:
+    """Fold per-shard :class:`TickMetrics` for one boundary into one.
+
+    Every additive counter is summed across shards (``latency`` too —
+    the simulated shards run sequentially, so the conservative rollup is
+    the sum, not the max a parallel deployment would see).
+    ``clients_served`` defaults to the per-shard sum, which counts a
+    client once per shard that served it; a multiplexing front-end
+    passes its own deduplicated count instead.  All ticks must describe
+    the same clock boundary.
+    """
+    if not ticks:
+        raise ServerError("merge_tick_metrics needs at least one tick")
+    first = ticks[0]
+    if any(
+        (t.index, t.start, t.end) != (first.index, first.start, first.end)
+        for t in ticks
+    ):
+        raise ServerError("cannot merge TickMetrics from different boundaries")
+    return TickMetrics(
+        index=first.index,
+        start=first.start,
+        end=first.end,
+        clients_served=(
+            sum(t.clients_served for t in ticks)
+            if clients_served is None
+            else clients_served
+        ),
+        physical_reads=sum(t.physical_reads for t in ticks),
+        logical_reads=sum(t.logical_reads for t in ticks),
+        batched_pages=sum(t.batched_pages for t in ticks),
+        piggybacked_reads=sum(t.piggybacked_reads for t in ticks),
+        predicted_pages=sum(t.predicted_pages for t in ticks),
+        actual_pages=sum(t.actual_pages for t in ticks),
+        mispredicted_pages=sum(t.mispredicted_pages for t in ticks),
+        updates_applied=sum(t.updates_applied for t in ticks),
+        latency=sum(t.latency for t in ticks),
+    )
 
 
 @dataclass

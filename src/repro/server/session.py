@@ -47,7 +47,7 @@ from typing import (
 from repro.core.npdq import NPDQEngine
 from repro.core.pdq import PDQEngine
 from repro.core.results import AnswerItem
-from repro.core.session import DynamicQuerySession
+from repro.core.session import DynamicQuerySession, SessionMode
 from repro.core.snapshot import SnapshotQuery
 from repro.core.spdq import SPDQEngine
 from repro.core.trajectory import QueryTrajectory
@@ -133,28 +133,41 @@ class FrontierPredictor:
 
     The broker never sees a non-predictive client's trajectory — only
     the frame windows the client has already submitted.  The predictor
-    keeps the last observed window, the last inter-frame displacement of
-    its centre, and the largest per-axis step seen so far; the next
-    window is forecast as *translate the last window by the last
-    displacement, cover with the untranslated window* (direction
-    reversals cost nothing extra that way) *and inflate by ``margin``
-    times the largest observed per-axis step* (speed jitter, wall
-    reflections landing mid-tick).  ``margin >= 1`` suffices for any
-    motion whose per-axis speed never exceeds the observed maximum; the
-    default 2.0 adds reflection headroom.
+    keeps the last observed window, an exponentially-weighted velocity
+    history of its centre, and the largest per-axis step seen so far;
+    the next window is forecast as *translate the last window by the
+    forecast displacement, cover with the untranslated window*
+    (direction reversals cost nothing extra that way) *and inflate by
+    ``margin`` times the largest observed per-axis step* (speed jitter,
+    wall reflections landing mid-tick).  ``margin >= 1`` suffices for
+    any motion whose per-axis speed never exceeds the observed maximum;
+    the default 2.0 adds reflection headroom.
+
+    The forecast displacement is the last observed displacement plus an
+    EW mean of the successive displacement *deltas*, weighted by
+    ``history_weight``: for constant velocity the deltas are zero and
+    the forecast reduces to the last displacement exactly, while for a
+    smoothly accelerating observer the EW mean converges to the
+    per-frame acceleration and the forecast tracks it instead of
+    lagging one step behind.  ``history_weight=0`` disables the history
+    term (the pre-history last-displacement-only forecast).
 
     A bad forecast is *safe*: the prediction walk then under-enumerates
     and evaluation demand-fetches the difference (counted as
     mispredicts), so the forecast need only be good, never sound.
     """
 
-    def __init__(self, margin: float = 2.0):
+    def __init__(self, margin: float = 2.0, history_weight: float = 0.5):
         if margin < 0:
             raise ServerError("prediction margin must be >= 0")
+        if not 0.0 <= history_weight <= 1.0:
+            raise ServerError("history_weight must be in [0, 1]")
         self.margin = margin
+        self.history_weight = history_weight
         self._window: Optional[Box] = None
         self._center: Optional[Tuple[float, ...]] = None
         self._displacement: Optional[Tuple[float, ...]] = None
+        self._trend: Optional[Tuple[float, ...]] = None
         self._max_step: Optional[List[float]] = None
 
     def observe(self, window: Box) -> None:
@@ -162,6 +175,18 @@ class FrontierPredictor:
         center = window.center
         if self._center is not None:
             disp = tuple(c - p for c, p in zip(center, self._center))
+            if self._displacement is not None and self.history_weight > 0:
+                delta = tuple(
+                    d - p for d, p in zip(disp, self._displacement)
+                )
+                w = self.history_weight
+                if self._trend is None:
+                    self._trend = delta
+                else:
+                    self._trend = tuple(
+                        w * d + (1.0 - w) * t
+                        for d, t in zip(delta, self._trend)
+                    )
             self._displacement = disp
             if self._max_step is None:
                 self._max_step = [abs(d) for d in disp]
@@ -176,7 +201,10 @@ class FrontierPredictor:
         """The forecast window, or ``None`` until two frames were seen."""
         if self._window is None or self._displacement is None:
             return None
-        moved = self._window.translate(self._displacement)
+        forecast = self._displacement
+        if self._trend is not None:
+            forecast = tuple(d + t for d, t in zip(forecast, self._trend))
+        moved = self._window.translate(forecast)
         slack = [self.margin * m for m in self._max_step or ()]
         return self._window.cover(moved).inflate(slack)
 
@@ -185,6 +213,7 @@ class FrontierPredictor:
         self._window = None
         self._center = None
         self._displacement = None
+        self._trend = None
         self._max_step = None
 
 
@@ -490,11 +519,12 @@ class NPDQSession(ClientSession):
         exact: bool = True,
         fault_budget: Optional[int] = None,
         predict_margin: float = 2.0,
+        history_weight: float = 0.5,
     ):
         super().__init__(client_id, queue_depth)
         self.trajectory = trajectory
         self.engine = NPDQEngine(index, exact=exact, fault_budget=fault_budget)
-        self.predictor = FrontierPredictor(predict_margin)
+        self.predictor = FrontierPredictor(predict_margin, history_weight)
         self.prediction_cost = QueryCost()
         self.last_prediction: Optional[PredictionRecord] = None
 
@@ -574,6 +604,16 @@ class AutoSession(ClientSession):
     Teleports and PDQ/NPDQ hand-offs happen inside
     :class:`~repro.core.DynamicQuerySession` exactly as they would for a
     privately driven session.
+
+    Both trees contribute to the shared scan's batch phase: the live
+    predictive engine's priority-queue frontier over the native tree,
+    and — during non-predictive phases — a :class:`FrontierPredictor`
+    forecast turned into dual-tree pages by the inner session's
+    read-only prediction walk.  Teleports void the motion history the
+    forecast relies on, so :meth:`serve` resets the predictor on every
+    snapshot-mode frame and reseeds it with that frame's window; after
+    this cold-start handshake (one more frame to observe a
+    displacement) the session's NPDQ phases re-enter batching.
     """
 
     kind = "auto"
@@ -584,10 +624,15 @@ class AutoSession(ClientSession):
         session: DynamicQuerySession,
         path: Callable[[float], Sequence[float]],
         queue_depth: int,
+        predict_margin: float = 2.0,
+        history_weight: float = 0.5,
     ):
         super().__init__(client_id, queue_depth)
         self.session = session
         self.path = path
+        self.predictor = FrontierPredictor(predict_margin, history_weight)
+        self.prediction_cost = QueryCost()
+        self._last_window: Optional[Box] = None
 
     def frontier_pages(self, tick: Tick) -> List[int]:
         if self.state is SessionState.CLOSED:
@@ -595,12 +640,22 @@ class AutoSession(ClientSession):
         return self.session.frontier_pages(tick.end)
 
     def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
-        # Native-space frontier only: in NPDQ mode the inner session may
-        # teleport and reset mid-tick, which voids the motion history the
-        # dual-tree prediction walk relies on, so auto clients let their
-        # dual reads piggyback on the NPDQ fleet's batched pages instead.
-        pages = self.frontier_pages(tick)
-        return [(self.session.native_index.tree, pages)] if pages else []
+        if self.state is SessionState.CLOSED:
+            return []
+        demand: List[Tuple[object, List[int]]] = []
+        pages = self.session.frontier_pages(tick.end)
+        if pages:
+            demand.append((self.session.native_index.tree, pages))
+        forecast = self.predictor.predict()
+        if forecast is not None and self.session.predictive_engine is None:
+            dual_pages = self.session.npdq_frontier_pages(
+                Interval(tick.start, tick.end),
+                forecast,
+                cost=self.prediction_cost,
+            )
+            if dual_pages:
+                demand.append((self.session.dual_index.tree, dual_pages))
+        return demand
 
     @property
     def logical_reads(self) -> int:
@@ -614,7 +669,26 @@ class AutoSession(ClientSession):
         return total
 
     def serve(self, tick: Tick) -> Optional[TickResult]:
-        report = self.session.observe(tick.end, tuple(self.path(tick.end)))
+        center = tuple(self.path(tick.end))
+        window = self.session.window_for(center)
+        prev_window = self._last_window
+        report = self.session.observe(tick.end, center)
+        if report.mode is SessionMode.SNAPSHOT:
+            # First frame or teleport: the inner session reset its NPDQ
+            # memory, so the motion history is void too.  Reseed from
+            # this frame's window; one more observed frame completes the
+            # cold-start handshake and forecasts resume.
+            self.predictor.reset()
+            self.predictor.observe(window)
+        elif prev_window is None:
+            self.predictor.observe(window)
+        else:
+            # Non-snapshot frames query the cover of the previous and
+            # current windows (the span the sweep crossed); observing
+            # the same covers makes consecutive forecasts line up with
+            # the frame queries the NPDQ engine actually evaluates.
+            self.predictor.observe(window.cover(prev_window))
+        self._last_window = window
         return TickResult(
             index=tick.index,
             start=tick.start,

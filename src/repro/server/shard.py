@@ -1,0 +1,713 @@
+"""Sharded index serving: ShardPlan, ShardRouter, MultiplexBroker.
+
+One :class:`~repro.server.broker.QueryBroker` owns one native-space /
+dual-time index pair — one machine's worth of index.  This module scales
+the serving layer past that by partitioning the *spatial* domain into K
+grid shards, each owning its own index pair, buffer pool, shared-scan
+scheduler and single-writer update dispatcher, and multiplexing every
+client over the shards its query can touch:
+
+* :class:`ShardPlan` — the deterministic grid partition.  Cells are
+  closed boxes tiling the spatial extent; adjacent cells share their
+  boundary faces (intervals are closed), so any non-empty overlap
+  region between a query and a segment lies inside at least one cell.
+* :class:`ShardRouter` — assignment and routing.  A motion segment is
+  *replicated* into every shard whose cell overlaps its spatial
+  bounding box (inflated by the index uncertainty, so entry boxes are
+  covered too); a client is routed at registration time to every shard
+  overlapping the spatial cover of its whole trajectory (plus the shed
+  δ-slack for PDQ clients, whose SPDQ fallback inflates windows).
+* :class:`MultiplexBroker` — the front-end.  One master clock drives
+  every shard broker through the same tick; each shard batches its own
+  sub-sessions' frontier demand through its own
+  :class:`~repro.server.scheduler.SharedScanScheduler`; the front-end
+  then merges each client's per-shard results, dedups boundary-segment
+  replicas by ``(object_id, segment_id)``, delivers one merged
+  :class:`~repro.server.session.TickResult` per client, and folds the
+  per-shard :class:`~repro.server.metrics.TickMetrics` into the usual
+  client/tick/global rollup.
+
+**Answer invariance** (the correctness spine, property-tested): for any
+K, each client's per-tick answer set equals the unsharded broker's.
+The argument: exact segment tests are pure geometry (shard-independent);
+a client's routed shard set covers every window its queries can pose,
+so each answer's witness region lands in some routed shard holding the
+(replicated) segment; per-client routing is *static*, so each routed
+shard sees the client's full query series and its NPDQ suppression
+memory evolves exactly as the unsharded engine's; and per-shard
+operation clocks order entry timestamps against query clocks the same
+way the unsharded clock does.  Shed/promote transitions are applied to
+every sub-session in lockstep by the front-end, so strided SPDQ
+evaluations stay aligned across shards.
+
+Slow-client shedding therefore lives *only* at the front-end: shard
+brokers are configured with effectively unbounded queues (drained every
+tick by the merge phase) and promotion disabled, so they never degrade
+a sub-session on their own.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import AdmissionError, ServerError
+from repro.geometry.box import Box
+from repro.index.bulk import sharded_bulk_load
+from repro.index.dualtime import DualTimeIndex
+from repro.index.nsi import NativeSpaceIndex
+from repro.motion.segment import MotionSegment
+from repro.server.broker import QueryBroker, ServerConfig
+from repro.server.clock import SimulatedClock, Tick
+from repro.server.dispatcher import UpdateOp
+from repro.server.metrics import (
+    ServerMetrics,
+    TickMetrics,
+    merge_tick_metrics,
+)
+from repro.server.session import (
+    ClientSession,
+    SessionState,
+    TickResult,
+)
+
+__all__ = [
+    "ShardPlan",
+    "ShardRouter",
+    "IndexShard",
+    "MuxClientSession",
+    "MultiplexBroker",
+    "merge_results",
+]
+
+#: Shard brokers never shed on their own: the front-end drains every
+#: sub-session queue each tick, so this depth is never approached.
+_SHARD_QUEUE_DEPTH = 1 << 20
+
+
+def _grid_shape(shards: int, dims: int) -> List[int]:
+    """Per-axis cell counts whose product is ``shards``.
+
+    Prime factors are assigned largest-first to the axis with the
+    smallest running count (ties to the lowest axis), so 4 shards in 2-D
+    become a 2x2 grid, 6 a 3x2, 8 a 4x2 — near-square, deterministic.
+    """
+    counts = [1] * dims
+    factors: List[int] = []
+    n, p = shards, 2
+    while p * p <= n:
+        while n % p == 0:
+            factors.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        axis = min(range(dims), key=lambda a: (counts[a], a))
+        counts[axis] *= factor
+    return counts
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of the spatial domain into grid cells.
+
+    ``cells[i]`` is shard ``i``'s closed spatial box.  Adjacent cells
+    share boundary faces, so a box lying exactly on a cell boundary
+    overlaps both neighbours — the replication rule this plan's users
+    rely on for coverage.
+    """
+
+    cells: Tuple[Box, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ServerError("a shard plan needs at least one cell")
+        dims = self.cells[0].dims
+        if any(c.dims != dims for c in self.cells):
+            raise ServerError("shard cells must share dimensionality")
+
+    @classmethod
+    def grid(
+        cls,
+        low: Sequence[float],
+        high: Sequence[float],
+        shards: int,
+    ) -> "ShardPlan":
+        """A near-square grid of ``shards`` cells over ``[low, high]``."""
+        if shards < 1:
+            raise ServerError("shard count must be >= 1")
+        if len(low) != len(high):
+            raise ServerError("low and high dimensionalities differ")
+        if any(h <= l for l, h in zip(low, high)):
+            raise ServerError("shard domain must have positive extent")
+        dims = len(low)
+        counts = _grid_shape(shards, dims)
+        widths = [(h - l) / n for l, h, n in zip(low, high, counts)]
+        cells = []
+        for idx in itertools.product(*(range(n) for n in counts)):
+            cells.append(
+                Box.from_bounds(
+                    [l + i * w for l, i, w in zip(low, idx, widths)],
+                    [l + (i + 1) * w for l, i, w in zip(low, idx, widths)],
+                )
+            )
+        return cls(tuple(cells))
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards (= cells)."""
+        return len(self.cells)
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality of the cells."""
+        return self.cells[0].dims
+
+    def shards_for_box(self, spatial: Box) -> List[int]:
+        """Ids of every shard whose cell overlaps ``spatial``.
+
+        A box outside the plan's domain (or empty) overlaps no cell;
+        the conservative fallback routes it to *every* shard — correct,
+        never silently unindexed or unanswered.
+        """
+        hits = [
+            i for i, cell in enumerate(self.cells) if cell.overlaps(spatial)
+        ]
+        return hits if hits else list(range(len(self.cells)))
+
+
+class ShardRouter:
+    """Maps segments and queries onto a :class:`ShardPlan`'s shards.
+
+    ``inflate`` widens a segment's spatial box by the index uncertainty
+    before matching cells, so a shard holds every segment whose *entry
+    box* (what box-only NPDQ admissions see) can overlap its cell.
+    """
+
+    def __init__(self, plan: ShardPlan):
+        self.plan = plan
+
+    def _spatial(self, segment: MotionSegment, inflate: float) -> Box:
+        box = segment.bounding_box()
+        spatial = box.project(range(1, box.dims))
+        if inflate > 0:
+            spatial = spatial.inflate([inflate] * spatial.dims)
+        return spatial
+
+    def shards_for_segment(
+        self, segment: MotionSegment, inflate: float = 0.0
+    ) -> List[int]:
+        """Every shard that must hold (a replica of) ``segment``."""
+        return self.plan.shards_for_box(self._spatial(segment, inflate))
+
+    def shards_for_window(self, window: Box) -> List[int]:
+        """Every shard a single query window overlaps."""
+        return self.plan.shards_for_box(window)
+
+    def shards_for_trajectory(
+        self, trajectory: QueryTrajectory, slack: float = 0.0
+    ) -> List[int]:
+        """Every shard the trajectory's windows can ever overlap.
+
+        Windows interpolate linearly between key snapshots with fixed
+        half-extents, so the cover of the key-snapshot windows covers
+        every interpolated window — and therefore every PDQ trapezoid
+        and every NPDQ frame cover derived from the trajectory.
+        ``slack`` inflates the cover (pass the broker's ``shed_delta``
+        for PDQ clients: a shed client's SPDQ windows grow by δ).
+        """
+        keys = trajectory.key_snapshots
+        cover = keys[0].window
+        for key in keys[1:]:
+            cover = cover.cover(key.window)
+        if slack > 0:
+            cover = cover.inflate([slack] * cover.dims)
+        return self.plan.shards_for_box(cover)
+
+
+@dataclass
+class IndexShard:
+    """One shard: its cell, its index pair, and its private broker."""
+
+    shard_id: int
+    cell: Box
+    native: NativeSpaceIndex
+    dual: Optional[DualTimeIndex]
+    broker: QueryBroker
+
+    @property
+    def record_count(self) -> int:
+        """Segments (incl. replicas) this shard's native index holds."""
+        return len(self.native)
+
+
+class MuxClientSession(ClientSession):
+    """Front-end view of one client multiplexed over several shards.
+
+    Holds one sub-session per routed shard; the
+    :class:`MultiplexBroker`'s merge phase drains the sub-sessions each
+    tick and delivers one deduplicated result into this session's own
+    bounded queue — which is therefore where slow-client shedding is
+    decided.  Shed and promote fan out to every sub-session in lockstep
+    so strided SPDQ schedules stay aligned across shards.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        queue_depth: int,
+        parts: Sequence[Tuple[int, ClientSession]],
+    ):
+        super().__init__(client_id, queue_depth)
+        if not parts:
+            raise ServerError("a multiplexed session needs at least one shard")
+        self.parts = tuple(parts)
+        self.kind = self.parts[0][1].kind
+        self._shallow_strides = 0
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """Ids of the shards this client is routed to."""
+        return tuple(shard_id for shard_id, _ in self.parts)
+
+    @property
+    def logical_reads(self) -> int:
+        return sum(sub.logical_reads for _, sub in self.parts)
+
+    def shed(self, delta: float, stride: int) -> None:
+        """Degrade every sub-session to strided SPDQ in lockstep."""
+        if self.state is not SessionState.ACTIVE:
+            return
+        for _, sub in self.parts:
+            sub.shed(delta, stride)
+        self._shallow_strides = 0
+        self.state = SessionState.SHED
+
+    def promote(self) -> None:
+        """Return every sub-session to exact per-tick service."""
+        if self.state is not SessionState.SHED:
+            return
+        for _, sub in self.parts:
+            sub.promote()
+        self.state = SessionState.ACTIVE
+
+    def observe_queue(self, promote_after: int, promote_depth: int) -> bool:
+        """Same promotion hysteresis as :meth:`PDQSession.observe_queue`,
+        applied to the front-end queue (the only one the client sees)."""
+        if self.state is not SessionState.SHED or promote_after < 1:
+            return False
+        if len(self.queue) <= promote_depth:
+            self._shallow_strides += 1
+        else:
+            self._shallow_strides = 0
+        if self._shallow_strides >= promote_after:
+            self.promote()
+            return True
+        return False
+
+    def close(self) -> None:
+        for _, sub in self.parts:
+            sub.close()
+        super().close()
+
+
+def _dedup(items: Iterable) -> Tuple:
+    """Keep the first replica of each ``(object_id, segment_id)`` key.
+
+    Replicated boundary segments produce *identical* answers in every
+    holding shard (exact tests are pure geometry), so keep-first in
+    shard order is deterministic and loses nothing.
+    """
+    seen = set()
+    out = []
+    for item in items:
+        if item.key in seen:
+            continue
+        seen.add(item.key)
+        out.append(item)
+    return tuple(out)
+
+
+def merge_results(results: Sequence[TickResult]) -> TickResult:
+    """Merge one client's per-shard results for one tick."""
+    if not results:
+        raise ServerError("cannot merge an empty result set")
+    first = results[0]
+    if any(
+        r.index != first.index or r.mode != first.mode for r in results[1:]
+    ):
+        raise ServerError(
+            f"shard results diverged within tick {first.index} "
+            "(mode or boundary mismatch)"
+        )
+    covers = [r.covers_until for r in results if r.covers_until is not None]
+    return TickResult(
+        index=first.index,
+        start=first.start,
+        end=first.end,
+        mode=first.mode,
+        items=_dedup(item for r in results for item in r.items),
+        prefetched=_dedup(item for r in results for item in r.prefetched),
+        degraded=any(r.degraded for r in results),
+        covers_until=max(covers) if covers else None,
+    )
+
+
+class MultiplexBroker:
+    """A front-end fanning clients out over K sharded brokers.
+
+    Parameters
+    ----------
+    plan:
+        The spatial partition (one shard per cell).
+    native_factory, dual_factory:
+        Zero-argument callables building one *empty* index per shard
+        (each call must return a fresh index with its own disk and
+        buffer pool).  ``dual_factory=None`` disables NPDQ/auto clients.
+    clock:
+        The master clock; every shard broker is driven by its ticks.
+    config:
+        Front-end tunables.  Shard brokers inherit them except for
+        queue depth and promotion, which only exist at the front-end.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        native_factory: Callable[[], NativeSpaceIndex],
+        dual_factory: Optional[Callable[[], DualTimeIndex]] = None,
+        clock: Optional[SimulatedClock] = None,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.plan = plan
+        self.router = ShardRouter(plan)
+        self.clock = clock or SimulatedClock()
+        self.config = config or ServerConfig()
+        shard_config = replace(
+            self.config,
+            queue_depth=_SHARD_QUEUE_DEPTH,
+            promote_after=0,
+        )
+        self.shards: List[IndexShard] = []
+        for shard_id, cell in enumerate(plan.cells):
+            native = native_factory()
+            dual = dual_factory() if dual_factory is not None else None
+            broker = QueryBroker(
+                native,
+                dual=dual,
+                clock=SimulatedClock(
+                    start=self.clock.start, period=self.clock.period
+                ),
+                config=shard_config,
+            )
+            self.shards.append(IndexShard(shard_id, cell, native, dual, broker))
+        self.metrics = ServerMetrics()
+        self._sessions: "OrderedDict[str, MuxClientSession]" = OrderedDict()
+        uncertainties = [self.shards[0].native.uncertainty]
+        if self.shards[0].dual is not None:
+            uncertainties.append(self.shards[0].dual.uncertainty)
+        self._route_inflation = max(uncertainties)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def over_segments(
+        cls,
+        segments: Iterable[MotionSegment],
+        shards: int,
+        dims: int = 2,
+        dual: bool = True,
+        clock: Optional[SimulatedClock] = None,
+        config: Optional[ServerConfig] = None,
+        page_size: Optional[int] = None,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+    ) -> "MultiplexBroker":
+        """Build a loaded K-shard broker over a segment population.
+
+        The grid bounds default to the population's spatial bounding
+        box; pass ``bounds=(low, high)`` to pin them (e.g. the workload
+        config's data space).
+        """
+        segments = list(segments)
+        if bounds is not None:
+            low, high = list(bounds[0]), list(bounds[1])
+        else:
+            if not segments:
+                raise ServerError(
+                    "cannot derive shard bounds from an empty population"
+                )
+            low = [
+                min(s.bounding_box().extent(1 + a).low for s in segments)
+                for a in range(dims)
+            ]
+            high = [
+                max(s.bounding_box().extent(1 + a).high for s in segments)
+                for a in range(dims)
+            ]
+        plan = ShardPlan.grid(low, high, shards)
+        index_kwargs: Dict = {"dims": dims}
+        if page_size is not None:
+            index_kwargs["page_size"] = page_size
+        broker = cls(
+            plan,
+            lambda: NativeSpaceIndex(**index_kwargs),
+            (lambda: DualTimeIndex(**index_kwargs)) if dual else None,
+            clock=clock,
+            config=config,
+        )
+        broker.load(segments)
+        return broker
+
+    def load(self, segments: Iterable[MotionSegment]) -> List[int]:
+        """Bulk-load the population, replicating boundary segments.
+
+        Returns per-shard record counts.  Both index flavours of a
+        shard receive the same subset, so auto-mode sessions see one
+        consistent population per shard.
+        """
+        segments = list(segments)
+
+        def assign(record: MotionSegment) -> List[int]:
+            return self.router.shards_for_segment(
+                record, inflate=self._route_inflation
+            )
+
+        counts = sharded_bulk_load(
+            [shard.native for shard in self.shards], segments, assign
+        )
+        if self.shards[0].dual is not None:
+            sharded_bulk_load(
+                [shard.dual for shard in self.shards], segments, assign
+            )
+        return counts
+
+    # -- registration / admission control ----------------------------------
+
+    @property
+    def sessions(self) -> List[MuxClientSession]:
+        """Live front-end sessions in registration order."""
+        return [
+            s
+            for s in self._sessions.values()
+            if s.state is not SessionState.CLOSED
+        ]
+
+    def session(self, client_id: str) -> MuxClientSession:
+        """Look up one front-end session (KeyError when never registered)."""
+        return self._sessions[client_id]
+
+    def _check_admission(self, client_id: str) -> None:
+        if len(self.sessions) >= self.config.max_clients:
+            self.metrics.rejections += 1
+            raise AdmissionError(
+                f"server full ({self.config.max_clients} clients); "
+                f"rejected {client_id!r}"
+            )
+        if client_id in self._sessions and (
+            self._sessions[client_id].state is not SessionState.CLOSED
+        ):
+            raise ServerError(f"client id {client_id!r} already registered")
+
+    def _admit(
+        self, client_id: str, parts: Sequence[Tuple[int, ClientSession]]
+    ) -> MuxClientSession:
+        session = MuxClientSession(client_id, self.config.queue_depth, parts)
+        self._sessions[client_id] = session
+        self.metrics.admissions += 1
+        self.metrics.clients[client_id] = session.metrics
+        return session
+
+    def register_pdq(
+        self, client_id: str, trajectory: QueryTrajectory, **kwargs
+    ) -> MuxClientSession:
+        """Admit a predictive client on every shard its trajectory (plus
+        the shed δ-slack) can touch."""
+        self._check_admission(client_id)
+        shard_ids = self.router.shards_for_trajectory(
+            trajectory, slack=self.config.shed_delta
+        )
+        return self._admit(
+            client_id,
+            [
+                (
+                    shard_id,
+                    self.shards[shard_id].broker.register_pdq(
+                        client_id, trajectory, **kwargs
+                    ),
+                )
+                for shard_id in shard_ids
+            ],
+        )
+
+    def register_npdq(
+        self, client_id: str, trajectory: QueryTrajectory, **kwargs
+    ) -> MuxClientSession:
+        """Admit a non-predictive client on every shard its frame
+        windows can touch.
+
+        Routing is *static* (the full trajectory cover), which is what
+        keeps every routed shard's NPDQ suppression memory consistent
+        with the unsharded engine: each shard sees the client's entire
+        query series, never a gap.
+        """
+        if self.shards[0].dual is None:
+            raise ServerError("broker has no dual-time index for NPDQ clients")
+        self._check_admission(client_id)
+        shard_ids = self.router.shards_for_trajectory(trajectory)
+        return self._admit(
+            client_id,
+            [
+                (
+                    shard_id,
+                    self.shards[shard_id].broker.register_npdq(
+                        client_id, trajectory, **kwargs
+                    ),
+                )
+                for shard_id in shard_ids
+            ],
+        )
+
+    def register_auto(
+        self,
+        client_id: str,
+        path: Callable[[float], Sequence[float]],
+        half_extents: Sequence[float],
+        **session_kwargs,
+    ) -> MuxClientSession:
+        """Admit an auto-mode client on *every* shard: its path is
+        unknown in advance, so no smaller static route is safe."""
+        if self.shards[0].dual is None:
+            raise ServerError("broker has no dual-time index for auto clients")
+        self._check_admission(client_id)
+        return self._admit(
+            client_id,
+            [
+                (
+                    shard.shard_id,
+                    shard.broker.register_auto(
+                        client_id, path, half_extents, **session_kwargs
+                    ),
+                )
+                for shard in self.shards
+            ],
+        )
+
+    def close_client(self, client_id: str) -> None:
+        """Close one client on every shard, freeing its admission slot."""
+        self._sessions[client_id].close()
+
+    # -- the update stream ---------------------------------------------------
+
+    def submit(self, op: UpdateOp) -> None:
+        """Route one insert/expire to every shard holding its segment."""
+        for shard_id in self.router.shards_for_segment(
+            op.segment, inflate=self._route_inflation
+        ):
+            self.shards[shard_id].broker.dispatcher.submit(op)
+
+    def submit_inserts(self, segments, times=None) -> None:
+        """Queue an insert per segment (due at its start time by default)."""
+        for i, segment in enumerate(segments):
+            due = segment.time.low if times is None else times[i]
+            self.submit(UpdateOp(due, "insert", segment))
+
+    # -- the serving loop ----------------------------------------------------
+
+    def run_tick(self) -> TickMetrics:
+        """One master tick: every shard broker, then the merge phase."""
+        tick = self.clock.next_tick()
+        shard_ticks = [
+            shard.broker.run_tick(tick) for shard in self.shards
+        ]
+        served = self._merge_phase(tick)
+        self.metrics.writer_crashes = sum(
+            shard.broker.metrics.writer_crashes for shard in self.shards
+        )
+        self.metrics.updates_deferred = sum(
+            shard.broker.metrics.updates_deferred for shard in self.shards
+        )
+        self.metrics.updates_dropped = sum(
+            shard.broker.metrics.updates_dropped for shard in self.shards
+        )
+        tick_metrics = merge_tick_metrics(shard_ticks, clients_served=served)
+        self.metrics.record_tick(tick_metrics)
+        return tick_metrics
+
+    def _merge_phase(self, tick: Tick) -> int:
+        served = 0
+        for session in self.sessions:
+            sub_results = [
+                result
+                for _, sub in session.parts
+                for result in sub.poll()
+            ]
+            self._roll_up_client(session)
+            if not sub_results:
+                continue
+            served += 1
+            merged = merge_results(sub_results)
+            ok = session.deliver(merged)
+            if not ok and session.kind == "pdq":
+                if session.state is SessionState.ACTIVE:
+                    session.shed(
+                        self.config.shed_delta, self.config.shed_stride
+                    )
+                    session.metrics.shed_events += 1
+                    self.metrics.shed_events += 1
+            elif ok and session.kind == "pdq":
+                if session.observe_queue(
+                    self.config.promote_after, self.config.promote_depth
+                ):
+                    session.metrics.promote_events += 1
+                    self.metrics.promote_events += 1
+        return served
+
+    def _roll_up_client(self, session: MuxClientSession) -> None:
+        subs = [sub for _, sub in session.parts]
+        m = session.metrics
+        m.logical_reads = sum(s.metrics.logical_reads for s in subs)
+        m.predicted_pages = sum(s.metrics.predicted_pages for s in subs)
+        m.actual_pages = sum(s.metrics.actual_pages for s in subs)
+        m.mispredicted_pages = sum(
+            s.metrics.mispredicted_pages for s in subs
+        )
+
+    def run(self, ticks: int) -> List[TickMetrics]:
+        """Serve ``ticks`` consecutive master ticks."""
+        return [self.run_tick() for _ in range(ticks)]
+
+    def quiesce(self) -> int:
+        """Close every client and flush deferred expires on every shard."""
+        for session in list(self._sessions.values()):
+            session.close()
+        return sum(shard.broker.quiesce() for shard in self.shards)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """The global rollup plus one line per shard."""
+        lines = [self.metrics.summary(), "per-shard:"]
+        for shard in self.shards:
+            m = shard.broker.metrics
+            lines.append(
+                f"  shard {shard.shard_id:<2} "
+                f"records={shard.record_count:<6} "
+                f"clients={len(shard.broker.sessions):<3} "
+                f"physical={m.physical_reads:<6} "
+                f"({m.reads_per_tick:.1f}/tick) "
+                f"logical={m.logical_reads:<6} "
+                f"updates={m.updates_applied}"
+            )
+        return "\n".join(lines)

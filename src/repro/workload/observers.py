@@ -12,7 +12,11 @@ overlap* — the variable the shared-scan benchmark sweeps:
   anchor and fly the same heading, so their windows overlap heavily but
   not perfectly;
 * ``independent`` — uniformly random starts and headings (the baseline
-  where sharing only happens near the R-tree root).
+  where sharing only happens near the R-tree root);
+* ``spread`` — starts on a near-square lattice filling the data space,
+  with random headings.  Observers cover *disjoint* regions, which is
+  the sharded front-end's best case: each client routes to few shards
+  and the per-shard read load divides by the shard count.
 
 All fleets are deterministic in ``seed`` and bounce off the data-space
 walls like the single-query generator in
@@ -21,6 +25,8 @@ walls like the single-query generator in
 
 from __future__ import annotations
 
+import itertools
+import math
 import random
 from typing import Callable, List, Sequence, Tuple
 
@@ -31,7 +37,7 @@ from repro.workload.trajectories import reflecting_waypoints
 
 __all__ = ["FLEET_MODES", "observer_fleet", "path_of"]
 
-FLEET_MODES = ("identical", "clustered", "independent")
+FLEET_MODES = ("identical", "clustered", "independent", "spread")
 
 
 def _one_trajectory(
@@ -132,11 +138,25 @@ def observer_fleet(
                     start_time, half, dims,
                 )
             )
-    else:  # independent
+    elif mode == "independent":
         for _ in range(count):
             fleet.append(
                 _one_trajectory(
                     random_start(), random_heading(), speed, duration,
+                    low, high, start_time, half, dims,
+                )
+            )
+    else:  # spread
+        per_axis = math.ceil(count ** (1.0 / dims))
+        cells = itertools.product(*(range(per_axis) for _ in range(dims)))
+        for cell in itertools.islice(cells, count):
+            start = [
+                l + (i + 0.5) * (h - l) / per_axis
+                for l, h, i in zip(low, high, cell)
+            ]
+            fleet.append(
+                _one_trajectory(
+                    start, random_heading(), speed, duration,
                     low, high, start_time, half, dims,
                 )
             )

@@ -130,6 +130,36 @@ class TestLayeringRules:
             "        raise ValueError('negative')\n",
         )
 
+    def test_dql04_server_internal_importing_front_end(
+        self, tmp_path, capsys
+    ):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL04",
+            "repro/server/broker.py",
+            "from repro.server.shard import MultiplexBroker\n",
+        )
+
+    def test_dql04_module_import_form(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL04",
+            "repro/server/scheduler.py",
+            "import repro.server.shard\n",
+        )
+
+    def test_dql04_shard_and_init_are_exempt(self, tmp_path, capsys):
+        for exempt in ("repro/server/shard.py", "repro/server/__init__.py"):
+            code, _ = lint_file(
+                tmp_path,
+                capsys,
+                exempt,
+                "from repro.server.shard import ShardPlan\n",
+            )
+            assert code == 0, f"{exempt} must be exempt from DQL04"
+
     def test_dqx01_resurrected_alias(self, tmp_path, capsys):
         assert_flags(
             tmp_path,

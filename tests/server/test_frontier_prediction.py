@@ -13,6 +13,7 @@ forecast may only cost demand fetches, never answers.
 import pytest
 
 from repro.core.npdq import NPDQEngine
+from repro.core.trajectory import QueryTrajectory
 from repro.errors import ServerError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
@@ -22,8 +23,20 @@ from repro.server import (
     SimulatedClock,
 )
 from repro.server.session import FrontierPredictor, NPDQSession
+from repro.workload.observers import path_of
 
 START, PERIOD, TICKS = 1.0, 0.1, 20
+
+
+def accelerating_trajectory(ticks=TICKS, acc=8.0):
+    """A constant-acceleration observer sampled at every tick boundary.
+
+    Last-displacement forecasting systematically lags such motion by the
+    per-frame acceleration; the EW velocity trend converges to it.
+    """
+    times = [START + k * PERIOD for k in range(ticks + 2)]
+    centers = [(4.0 + 0.5 * acc * (t - START) ** 2, 16.0) for t in times]
+    return QueryTrajectory.through_waypoints(times, centers, (4.0, 4.0))
 
 
 def make_broker(native, dual, **config_kw):
@@ -81,6 +94,37 @@ class TestFrontierPredictor:
         predictor.observe(box2(1, 3, 0, 2))
         predictor.reset()
         assert predictor.predict() is None
+
+    def test_history_weight_validated(self):
+        with pytest.raises(ServerError):
+            FrontierPredictor(history_weight=-0.1)
+        with pytest.raises(ServerError):
+            FrontierPredictor(history_weight=1.5)
+
+    def test_trend_tracks_constant_acceleration(self):
+        # Displacements 1, 2, 3, ... (acceleration 1/frame).  The EW
+        # trend converges to the per-frame delta, so the forecast window
+        # contains the true next window without needing margin slack;
+        # the history-free predictor's forecast lags behind it.
+        ew = FrontierPredictor(margin=0.0, history_weight=0.5)
+        flat = FrontierPredictor(margin=0.0, history_weight=0.0)
+        x = 0.0
+        for step in range(1, 6):
+            x += step
+            for p in (ew, flat):
+                p.observe(box2(x, x + 2, 0, 2))
+        true_next = box2(x + 6, x + 8, 0, 2)
+        assert ew.predict().contains_box(true_next)
+        assert not flat.predict().contains_box(true_next)
+
+    def test_zero_weight_reproduces_last_displacement_forecast(self):
+        ew = FrontierPredictor(margin=1.0, history_weight=0.0)
+        ew.observe(box2(0, 2, 0, 2))
+        ew.observe(box2(1, 3, 0, 2))
+        ew.observe(box2(3, 5, 0, 2))
+        moved = box2(3, 5, 0, 2).translate((2.0, 0.0))
+        expected = box2(3, 5, 0, 2).cover(moved).inflate([2.0, 0.0])
+        assert ew.predict() == expected
 
 
 class TestPredictionWalk:
@@ -240,6 +284,152 @@ class TestSharedScanBatching:
         assert pdq_pages and npdq_pages
 
 
+class TestAcceleratingObserverRegression:
+    """The bug: forecasting from the last displacement alone lags any
+    accelerating observer by the per-frame acceleration, burning demand
+    fetches every tick.  The EW velocity history closes that gap.
+
+    A dense stationary grid keeps the dual tree's leaf MBRs fine enough
+    that the forecast lag actually crosses page boundaries; margin 0
+    isolates the forecast itself from the max-step slack (which would
+    otherwise paper over the lag — at a proportional page cost)."""
+
+    ACC = 15.0
+
+    def dense_world(self, segment_factory):
+        segments = []
+        oid = 0
+        y = 12.0
+        while y <= 20.0:
+            x = 0.0
+            while x <= 90.0:
+                segments.append(
+                    segment_factory(oid, 0, 0.0, 12.0, (x, y), (0.0, 0.0))
+                )
+                oid += 1
+                x += 0.7
+            y += 0.9
+        return segments
+
+    def mispredicts(self, build_native, build_dual, segments, weight):
+        broker = make_broker(
+            build_native(segments),
+            build_dual(segments),
+            npdq_predict_margin=0.0,
+            npdq_history_weight=weight,
+        )
+        session = broker.register_npdq(
+            "c", accelerating_trajectory(acc=self.ACC)
+        )
+        broker.run(TICKS)
+        broker.quiesce()
+        m = session.metrics
+        assert m.actual_pages > 0
+        return m.mispredicted_pages, m.mispredicted_pages / m.actual_pages
+
+    def test_ew_history_beats_last_displacement(
+        self, build_native, build_dual, segment_factory
+    ):
+        segments = self.dense_world(segment_factory)
+        flat_pages, flat_rate = self.mispredicts(
+            build_native, build_dual, segments, weight=0.0
+        )
+        ew_pages, ew_rate = self.mispredicts(
+            build_native, build_dual, segments, weight=0.5
+        )
+        # The history-free forecast must demonstrably lag (otherwise
+        # this regression test is testing nothing) ...
+        assert flat_pages > 0
+        # ... and the EW forecast must strictly beat it.
+        assert ew_pages < flat_pages
+        assert ew_rate < flat_rate
+
+    def test_answers_identical_either_way(
+        self, build_native, build_dual
+    ):
+        # The predictor only steers batching; answers never move.
+        trajectory = accelerating_trajectory()
+        baseline = isolated_npdq_frames(build_dual, trajectory)
+        broker = make_broker(
+            build_native(), build_dual(), npdq_history_weight=0.5
+        )
+        session = broker.register_npdq("c", trajectory)
+        broker.run(TICKS)
+        assert [(r.items, r.prefetched) for r in session.poll()] == baseline
+
+
+class TestAutoDualFrontier:
+    """The bug: auto sessions never contributed dual-tree frontier
+    demand, so their NPDQ phases ran entirely on demand fetches — and a
+    teleport (which voids the motion history) kept it that way forever.
+    The fix resets and reseeds the session's predictor on snapshot-mode
+    frames, so after the cold-start handshake batching resumes."""
+
+    TELEPORT_TICK = 10
+
+    def teleporting_path(self, base):
+        teleport_at = START + self.TELEPORT_TICK * PERIOD
+
+        def path(t):
+            center = base(t)
+            if t >= teleport_at:
+                return (center[0] + 11.0, center[1] - 7.0)
+            return center
+
+        return path
+
+    def dual_demand_ticks(self, broker, session, dual):
+        """Tick indexes whose batch phase saw the session's dual pages."""
+        mirror = SimulatedClock(start=START, period=PERIOD)
+        seen = []
+        for _ in range(TICKS):
+            tick = mirror.next_tick()
+            trees = [tree for tree, _ in session.frontier_demand(tick)]
+            if dual.tree in trees:
+                seen.append(tick.index)
+            broker.run_tick()
+        return seen
+
+    def test_auto_session_contributes_dual_frontier(
+        self, build_native, build_dual
+    ):
+        native, dual = build_native(), build_dual()
+        broker = make_broker(native, dual)
+        # Accelerating motion keeps the inner session non-predictive
+        # (velocity never stabilises), i.e. in its NPDQ phase.
+        trajectory = accelerating_trajectory()
+        session = broker.register_auto(
+            "a", path_of(trajectory), (4.0, 4.0)
+        )
+        seen = self.dual_demand_ticks(broker, session, dual)
+        # Cold start: tick 0 observes the first frame, tick 1 the
+        # second; forecasts (and dual demand) exist from tick 1 on.
+        assert seen
+        assert min(seen) <= 2
+        assert session.session.predictive_engine is None
+
+    def test_teleport_resets_then_resumes_batching(
+        self, build_native, build_dual
+    ):
+        native, dual = build_native(), build_dual()
+        broker = make_broker(native, dual)
+        trajectory = accelerating_trajectory()
+        session = broker.register_auto(
+            "a",
+            self.teleporting_path(path_of(trajectory)),
+            (4.0, 4.0),
+        )
+        seen = self.dual_demand_ticks(broker, session, dual)
+        jump = self.TELEPORT_TICK
+        # Batching before the teleport ...
+        assert any(t < jump for t in seen)
+        # ... none on the teleport frame itself (history voided) ...
+        assert jump not in seen
+        # ... and again within two frames of the handshake.
+        resumed = [t for t in seen if t > jump]
+        assert resumed and min(resumed) <= jump + 2
+
+
 class TestConfigPlumbing:
     def test_negative_margin_rejected(self):
         with pytest.raises(ServerError):
@@ -251,3 +441,19 @@ class TestConfigPlumbing:
         )
         session = broker.register_npdq("c", fleet(1)[0])
         assert session.predictor.margin == 3.5
+
+    def test_bad_history_weight_rejected(self):
+        with pytest.raises(ServerError):
+            ServerConfig(npdq_history_weight=1.5)
+
+    def test_history_weight_reaches_every_session_kind(
+        self, build_native, build_dual, fleet
+    ):
+        broker = make_broker(
+            build_native(), build_dual(), npdq_history_weight=0.25
+        )
+        (trajectory,) = fleet(1)
+        npdq = broker.register_npdq("n", trajectory)
+        auto = broker.register_auto("a", path_of(trajectory), (4.0, 4.0))
+        assert npdq.predictor.history_weight == 0.25
+        assert auto.predictor.history_weight == 0.25
