@@ -12,3 +12,25 @@ def emit(result_text: str) -> None:
 def series_strictly_helps(better, worse, slack: float = 1e-9) -> bool:
     """Every grid point: ``better`` <= ``worse``."""
     return all(b <= w + slack for b, w in zip(better, worse))
+
+
+def write_bench_artifact(name: str, payload: dict) -> str:
+    """Persist one benchmark case's numbers as ``results/BENCH_<name>.json``.
+
+    The artifacts are committed: every metric in them is a structural
+    count (page reads, log bytes, hit ratios), not a timing, so a rerun
+    regenerates them bit-for-bit and a diff in review means behaviour
+    actually changed.
+    """
+    import json
+    import os
+
+    results_dir = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "results")
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import _data_config
-from _bench_common import emit
+from _bench_common import emit, write_bench_artifact
 
 from repro.core.trajectory import QueryTrajectory
 from repro.geometry.interval import Interval
@@ -91,7 +91,7 @@ def serve_fleet(segments, fleet, n_clients, shared=True, kind="pdq"):
 
 
 def sweep(segments, fleet, kind):
-    rows, reads_by_n = [], {}
+    rows, reads_by_n, artifact_rows = [], {}, []
     for n in CLIENT_COUNTS:
         reads, metrics = serve_fleet(segments, fleet, n, kind=kind)
         reads_by_n[n] = reads
@@ -100,11 +100,25 @@ def sweep(segments, fleet, kind):
             f"{metrics.shared_hit_ratio:>8.2%} {metrics.predicted_pages:>10} "
             f"{metrics.mispredict_rate:>10.2%}"
         )
+        artifact_rows.append(
+            {
+                "clients": n,
+                "physical_reads": reads,
+                "logical_reads": metrics.logical_reads,
+                "shared_hit_ratio": round(metrics.shared_hit_ratio, 6),
+                "predicted_pages": metrics.predicted_pages,
+                "mispredict_rate": round(metrics.mispredict_rate, 6),
+            }
+        )
     emit(
         f"shared-scan serving ({kind}): N identical observers, "
         f"{TICKS} ticks of {PERIOD}\n"
         f"{'clients':>8} {'physical':>10} {'logical':>10} {'hit rate':>8} "
         f"{'predicted':>10} {'mispredict':>10}\n" + "\n".join(rows)
+    )
+    write_bench_artifact(
+        f"shared_scan_{kind}",
+        {"kind": kind, "ticks": TICKS, "period": PERIOD, "rows": artifact_rows},
     )
     return reads_by_n
 
@@ -145,6 +159,16 @@ def test_npdq_batched_halves_unbatched_reads(segments, fleet):
         f"{n} identical NPDQ observers: batched {batched} reads "
         f"vs unbatched {unbatched} reads "
         f"(mispredict rate {metrics.mispredict_rate:.2%})"
+    )
+    write_bench_artifact(
+        "npdq_batched_vs_unbatched",
+        {
+            "clients": n,
+            "ticks": TICKS,
+            "batched_reads": batched,
+            "unbatched_reads": unbatched,
+            "mispredict_rate": round(metrics.mispredict_rate, 6),
+        },
     )
     assert batched * 2 <= unbatched
     assert metrics.mispredicted_pages == 0
@@ -214,18 +238,30 @@ def test_sharding_caps_per_shard_load(segments, spread_fleet):
     # The PR's acceptance bar: splitting the domain 4 ways under a
     # spread-out fleet drops the hottest shard's per-tick physical reads
     # to at most half the unsharded broker's per-tick reads.
-    rows, peak_by_k = [], {}
+    rows, peak_by_k, artifact_rows = [], {}, []
     for k in SHARD_COUNTS:
         total, peak, clients = serve_spread(segments, spread_fleet, k)
         peak_by_k[k] = peak
         rows.append(
             f"{k:>8} {total:>10} {peak:>16} {clients:>16}"
         )
+        artifact_rows.append(
+            {
+                "shards": k,
+                "physical_reads": total,
+                "peak_shard_reads_per_tick": peak,
+                "busiest_shard_clients": clients,
+            }
+        )
     emit(
         f"sharded serving: {SPREAD_CLIENTS} spread observers, "
         f"{TICKS} ticks of {PERIOD}\n"
         f"{'shards':>8} {'physical':>10} {'peak shard/tick':>16} "
         f"{'busiest clients':>16}\n" + "\n".join(rows)
+    )
+    write_bench_artifact(
+        "sharded_serving",
+        {"clients": SPREAD_CLIENTS, "ticks": TICKS, "rows": artifact_rows},
     )
     assert peak_by_k[4] * 2 <= peak_by_k[1]
 

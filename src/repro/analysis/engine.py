@@ -38,6 +38,7 @@ from repro.analysis.determinism import (
 )
 from repro.analysis.layering import (
     DeprecatedAliasRule,
+    FilesystemIsolationRule,
     FrontEndIsolationRule,
     GenericRaiseRule,
     GeometryIsolationRule,
@@ -59,6 +60,7 @@ ALL_RULES: Tuple[Rule, ...] = tuple(
             GeometryIsolationRule(),
             GenericRaiseRule(),
             FrontEndIsolationRule(),
+            FilesystemIsolationRule(),
             DeprecatedAliasRule(),
             UnloggedPageMutationRule(),
             MutableDefaultArgRule(),

@@ -18,13 +18,14 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.rules import Rule, Violation
+from repro.analysis.rules import ImportMap, Rule, Violation, terminal_name
 
 __all__ = [
     "PhysicalStorageImportRule",
     "GeometryIsolationRule",
     "GenericRaiseRule",
     "FrontEndIsolationRule",
+    "FilesystemIsolationRule",
     "DeprecatedAliasRule",
 ]
 
@@ -219,6 +220,138 @@ class FrontEndIsolationRule(Rule):
                         "front-end; repro.server.shard depends on them, "
                         "never the reverse",
                     )
+
+
+class FilesystemIsolationRule(Rule):
+    """DQL05 — filesystem I/O outside the durable-storage boundary.
+
+    **Invariant:** the only modules allowed to touch the filesystem are
+    :mod:`repro.storage.file` (the page files and snapshots),
+    :mod:`repro.storage.wal` (the redo log) and the CLI (answer
+    streams, store config, figure exports).  Everything else operates
+    on in-memory state handed to it — that is what makes every engine
+    and index testable against the simulated
+    :class:`~repro.storage.disk.DiskManager`, and what guarantees crash
+    recovery only ever has *two* on-disk artefact families to reason
+    about.  The :mod:`repro.analysis` package itself is exempt: a
+    linter must read the files it lints and persist its baseline.
+
+    Flagged: calls to builtin ``open`` (and ``io.open``), the durable
+    ``os`` mutations (``fsync``/``replace``/``rename``/``remove``/
+    ``unlink``/``makedirs``/``mkdir``/``rmdir``/``truncate``), and the
+    writing ``pathlib.Path`` methods (``write_text``/``write_bytes``/
+    ``open``/``mkdir``/``touch``/``unlink``).
+    """
+
+    id = "DQL05"
+    title = "filesystem I/O outside repro.storage.file / .wal / the CLI"
+    scope = (("repro",),)
+
+    _OS_CALLS = frozenset(
+        {
+            "fsync",
+            "replace",
+            "rename",
+            "remove",
+            "unlink",
+            "makedirs",
+            "mkdir",
+            "rmdir",
+            "truncate",
+        }
+    )
+    _PATHLIB_CALLS = frozenset(
+        {"write_text", "write_bytes", "open", "mkdir", "touch", "unlink"}
+    )
+
+    def _exempt(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        tail = tuple(parts[-3:])
+        if tail[-2:] == ("storage", "file.py") or tail[-2:] == ("storage", "wal.py"):
+            return True
+        if tail[-2:] == ("repro", "cli.py"):
+            return True
+        return "analysis" in parts[-2:-1] and "repro" in parts
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        if self._exempt(path):
+            return
+        imports = ImportMap(module)
+        os_aliases = imports.aliases_of("os")
+        io_aliases = imports.aliases_of("io")
+        os_members = {
+            local
+            for local, orig in imports.members_from("os").items()
+            if orig in self._OS_CALLS
+        }
+        pathlib_names = imports.aliases_of("pathlib") | {
+            local
+            for local, orig in imports.members_from("pathlib").items()
+            if orig in ("Path", "PurePath", "PosixPath", "WindowsPath")
+        }
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "open":
+                    yield self.violation(
+                        node,
+                        path,
+                        "filesystem open() outside the storage boundary; "
+                        "only repro.storage.file, repro.storage.wal and "
+                        "the CLI may touch disk",
+                    )
+                elif func.id in os_members:
+                    yield self.violation(
+                        node,
+                        path,
+                        f"os.{func.id}() outside the storage boundary; "
+                        "only repro.storage.file, repro.storage.wal and "
+                        "the CLI may touch disk",
+                    )
+            elif isinstance(func, ast.Attribute):
+                recv = terminal_name(func.value)
+                if recv in os_aliases and func.attr in self._OS_CALLS:
+                    yield self.violation(
+                        node,
+                        path,
+                        f"os.{func.attr}() outside the storage boundary; "
+                        "only repro.storage.file, repro.storage.wal and "
+                        "the CLI may touch disk",
+                    )
+                elif recv in io_aliases and func.attr == "open":
+                    yield self.violation(
+                        node,
+                        path,
+                        "io.open() outside the storage boundary; only "
+                        "repro.storage.file, repro.storage.wal and the "
+                        "CLI may touch disk",
+                    )
+                elif pathlib_names and func.attr in self._PATHLIB_CALLS:
+                    root = func.value
+                    # Path("x").write_text(...) or p.write_bytes(...)
+                    # where the receiver chain starts from a pathlib
+                    # binding; bare attribute matches on unrelated
+                    # objects are ignored.
+                    base = root
+                    while isinstance(base, (ast.Attribute, ast.Call)):
+                        base = (
+                            base.func
+                            if isinstance(base, ast.Call)
+                            else base.value
+                        )
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in pathlib_names
+                    ):
+                        yield self.violation(
+                            node,
+                            path,
+                            f"pathlib write ({func.attr}) outside the "
+                            "storage boundary; only repro.storage.file, "
+                            "repro.storage.wal and the CLI may touch disk",
+                        )
 
 
 class DeprecatedAliasRule(Rule):

@@ -19,6 +19,13 @@ Subcommands:
   aggregates violations into one exit code.
 * ``serve`` — host N concurrent observers on the shared-execution query
   broker over a scenario world and report per-tick serving metrics.
+  With ``--data-dir`` the indexes live on the durable file backend: every
+  tick group-commits through the redo WAL, the tick-tagged answer stream
+  is fsynced to ``answers.log`` *before* the tick commits, and a killed
+  process restarts exactly where it left off (re-run the same command).
+* ``snapshot`` / ``restore`` — point-in-time recovery for a durable
+  store: per-tree compressed page images plus a checksummed
+  ``metadata.json`` manifest.
 * ``lint`` — run the project-specific static analyzer
   (:mod:`repro.analysis`) over the source tree: determinism, layering
   and crash-safety rules, with per-line suppressions and a committed
@@ -144,6 +151,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
+    if getattr(args, "data_dir", None):
+        return _fsck_durable(args)
     from repro.index import DualTimeIndex, NativeSpaceIndex, fsck
     from repro.storage.disk import DiskManager
     from repro.storage.faults import FaultInjector
@@ -321,7 +330,362 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 2
 
 
+def _build_world(scenario: str, scale: str, seed: int):
+    """Deterministic world for ``serve``: (segments, space_side, horizon, name)."""
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.objects import generate_motion_segments
+    from repro.workload.scenarios import battlefield_scenario, city_scenario
+
+    if scenario == "synthetic":
+        config = getattr(WorkloadConfig, scale)(seed=seed)
+        segments = list(generate_motion_segments(config))
+        return segments, config.space_side, config.horizon, f"synthetic/{scale}"
+    maker = battlefield_scenario if scenario == "battlefield" else city_scenario
+    world = maker(seed=seed)
+    return world.segments, world.space_side, world.horizon.high, world.name
+
+
+def _durable_store(data_dir: str, cfg: dict, through: Optional[int] = None):
+    """Open every tree of a durable store, recovered through ``through``.
+
+    ``through=None`` recovers up to the last tick *every* tree has a
+    durable ``TICK`` record for (the group-commit cut that keeps the
+    native and dual trees mutually consistent); an explicit ``-1``
+    creates/opens the store without honouring any logged tick.  Returns
+    ``({name: (disk, log, index_or_None, replay_report)}, through)``.
+    """
+    import os
+
+    from repro.index import DualTimeIndex, NativeSpaceIndex
+    from repro.index.codec import (
+        ChecksummedCodec,
+        DualTimeNodeCodec,
+        NativeNodeCodec,
+    )
+    from repro.storage.constants import PAGE_SIZE
+    from repro.storage.file import open_durable
+    from repro.storage.wal import wal_tail_info
+
+    need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
+    names = ["native"] + (["dual"] if need_dual else [])
+    codecs = {
+        "native": ChecksummedCodec(NativeNodeCodec(2)),
+        "dual": ChecksummedCodec(DualTimeNodeCodec(2)),
+    }
+    if through is None:
+        tails = [
+            wal_tail_info(os.path.join(data_dir, f"{name}.wal"))
+            for name in names
+        ]
+        through = min(
+            (t.last_tick if t.last_tick is not None else -1) for t in tails
+        )
+    stores = {}
+    for name in names:
+        disk, log, report = open_durable(
+            data_dir,
+            name,
+            codec=codecs[name],
+            page_size=PAGE_SIZE,
+            sync_on_commit=False,
+            through_tick=through,
+        )
+        index = None
+        if report.last_meta:
+            cls = NativeSpaceIndex if name == "native" else DualTimeIndex
+            index = cls(dims=2, disk=disk, restore_meta=dict(report.last_meta))
+        stores[name] = (disk, log, index, report)
+    return stores, through
+
+
+class _AnswerStream:
+    """The tick-tagged answer log of a durable serve.
+
+    One line per delivered result —
+    ``tick<TAB>client<TAB>mode<TAB>degraded<TAB>key,key,...`` with the
+    segment keys sorted — appended as ticks commit and fsynced by the
+    durability hook's pre-commit callback, so a tick marked durable in
+    the WAL always has its answers on disk.  On resume the file is first
+    truncated to the recovered tick, discarding lines from ticks whose
+    transactions the WAL replay discarded.
+    """
+
+    def __init__(self, path: str, through: Optional[int] = None):
+        import os
+
+        self.path = path
+        if through is not None and os.path.exists(path):
+            kept = []
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    if line.strip() and int(line.split("\t", 1)[0]) <= through:
+                        kept.append(line)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.writelines(kept)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        self._fh = open(path, "a", encoding="utf-8")
+        self.lines = 0
+
+    def append(self, client_id: str, result) -> None:
+        keys = sorted(
+            {f"{item.record.object_id}:{item.record.seq}" for item in result.items}
+        )
+        self._fh.write(
+            f"{result.index}\t{client_id}\t{result.mode}\t"
+            f"{int(result.degraded)}\t{','.join(keys)}\n"
+        )
+        self.lines += 1
+
+    def flush(self) -> None:
+        import os
+
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def _churn_batch(cfg: dict, tick_index: int):
+    """The deterministic insert batch due at ``tick_index`` (maybe empty)."""
+    import dataclasses
+    import itertools
+
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.objects import generate_motion_segments
+
+    churn = cfg.get("churn", 0)
+    if not churn:
+        return []
+    churn_cfg = WorkloadConfig(
+        num_objects=churn,
+        space_side=cfg["space_side"],
+        horizon=cfg["horizon"],
+        seed=cfg["seed"] + 7919 * (tick_index + 1),
+    )
+    batch = list(itertools.islice(generate_motion_segments(churn_cfg), churn))
+    # Re-key so churn objects can never collide with the base population
+    # (or with another tick's batch).
+    return [
+        dataclasses.replace(s, object_id=1_000_000 + tick_index * 1_000 + i)
+        for i, s in enumerate(batch)
+    ]
+
+
+def _serve_durable(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.index import DualTimeIndex, NativeSpaceIndex
+    from repro.server import QueryBroker, ServerConfig, SimulatedClock
+    from repro.storage.file import (
+        TickDurability,
+        read_store_config,
+        write_store_config,
+    )
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.observers import observer_fleet, path_of
+
+    if args.shards > 1:
+        print("--data-dir does not support --shards > 1", file=sys.stderr)
+        return 2
+
+    data_dir = args.data_dir
+    pinned = read_store_config(data_dir)
+    resume = pinned is not None
+    if resume:
+        cfg = pinned
+        print(
+            f"resuming durable store {data_dir} "
+            f"(pinned {cfg['scenario']}/{cfg['scale']}, seed {cfg['seed']}, "
+            f"{cfg['clients']} {cfg['kind']} client(s), {cfg['ticks']} ticks)",
+            flush=True,
+        )
+    else:
+        cfg = {
+            "scenario": args.scenario,
+            "scale": args.scale,
+            "seed": args.seed,
+            "clients": args.clients,
+            "ticks": args.ticks,
+            "kind": args.kind,
+            "mode": args.mode,
+            "period": args.period,
+            "window": args.window,
+            "queue_depth": args.queue_depth,
+            "shared_scan": not args.no_shared_scan,
+            "promote_after": args.promote_after,
+            "npdq_margin": args.npdq_margin,
+            "churn": args.churn,
+            "checkpoint_every": args.checkpoint_every,
+        }
+
+    segments, space_side, horizon, name = _build_world(
+        cfg["scenario"], cfg["scale"], cfg["seed"]
+    )
+    cfg.setdefault("space_side", space_side)
+    cfg.setdefault("horizon", horizon)
+    need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
+
+    stores, through = _durable_store(
+        data_dir, cfg, through=None if resume else -1
+    )
+    if resume and through >= cfg["ticks"] - 1:
+        print(f"store has already served all {cfg['ticks']} tick(s); nothing to do")
+        for disk, log, _index, _report in stores.values():
+            log.close()
+            disk.close()
+        return 0
+
+    if resume:
+        for tree_name, (_disk, _log, index, _report) in stores.items():
+            if index is None:
+                print(
+                    f"{tree_name}: no recovery metadata in {data_dir} "
+                    "(store never checkpointed?)",
+                    file=sys.stderr,
+                )
+                return 2
+        native = stores["native"][2]
+        dual = stores["dual"][2] if "dual" in stores else None
+        print(
+            f"recovered through tick {through} "
+            f"({len(native)} native segment(s))",
+            flush=True,
+        )
+    else:
+        print(
+            f"building durable {name} world ({len(segments)} segments"
+            f"{', both index flavours' if need_dual else ''}) ...",
+            flush=True,
+        )
+        native = NativeSpaceIndex(dims=2, disk=stores["native"][0])
+        native.bulk_load(segments)
+        dual = None
+        if need_dual:
+            dual = DualTimeIndex(dims=2, disk=stores["dual"][0])
+            dual.bulk_load(segments)
+        # The base trees must be durable before the store is announced
+        # resumable: checkpoint first, then pin the config.
+        for tree_name, (disk, _log, _index, _report) in stores.items():
+            tree = native.tree if tree_name == "native" else dual.tree
+            disk.checkpoint(meta=tree.recovery_meta())
+        write_store_config(data_dir, cfg)
+
+    duration = min(cfg["ticks"] * cfg["period"], horizon * 0.9)
+    start = min(horizon * 0.1, horizon - duration)
+    geometry = WorkloadConfig(
+        num_objects=1, space_side=space_side, horizon=horizon
+    )
+    fleet = observer_fleet(
+        geometry,
+        cfg["clients"],
+        mode=cfg["mode"],
+        window_side=cfg["window"],
+        duration=duration,
+        start_time=start,
+        seed=cfg["seed"],
+    )
+    clock = SimulatedClock(start=start, period=cfg["period"])
+    server_config = ServerConfig(
+        max_clients=max(cfg["clients"], 1),
+        queue_depth=cfg["queue_depth"],
+        shared_scan=cfg["shared_scan"],
+        promote_after=cfg["promote_after"],
+        npdq_predict_margin=cfg["npdq_margin"],
+    )
+    broker = QueryBroker(native, dual=dual, clock=clock, config=server_config)
+    kinds = {
+        "pdq": ["pdq"],
+        "npdq": ["npdq"],
+        "auto": ["auto"],
+        "mixed": ["pdq", "npdq", "auto"],
+    }[cfg["kind"]]
+    for i, trajectory in enumerate(fleet):
+        kind = kinds[i % len(kinds)]
+        client_id = f"{kind}-{i}"
+        if kind == "pdq":
+            broker.register_pdq(client_id, trajectory)
+        elif kind == "npdq":
+            broker.register_npdq(client_id, trajectory)
+        else:
+            broker.register_auto(
+                client_id,
+                path_of(trajectory),
+                half_extents=(cfg["window"] / 2.0,) * 2,
+            )
+
+    # Churn: a deterministic insert batch lands at the start of every
+    # not-yet-durable tick.  Batches for recovered ticks are *not*
+    # resubmitted — their transactions replayed from the WAL.
+    for k in range(through + 1, cfg["ticks"]):
+        batch = _churn_batch(cfg, k)
+        if batch:
+            broker.dispatcher.submit_inserts(
+                batch, times=[clock.boundary(k)] * len(batch)
+            )
+
+    answers = _AnswerStream(
+        os.path.join(data_dir, "answers.log"),
+        through=through if resume else None,
+    )
+    rtrees = {"native": native.tree}
+    if dual is not None:
+        rtrees["dual"] = dual.tree
+    hook = TickDurability(
+        [
+            (disk, log, rtrees[tree_name].recovery_meta)
+            for tree_name, (disk, log, _index, _report) in stores.items()
+        ],
+        checkpoint_every=cfg["checkpoint_every"],
+    )
+
+    def flush_answers(_tick) -> None:
+        for session in broker.sessions:
+            for result in session.poll():
+                answers.append(session.client_id, result)
+        answers.flush()
+
+    hook.pre_commit = flush_answers
+
+    # Fast-forward: re-serve the recovered ticks against the restored
+    # index with answers suppressed (they are already on disk) and
+    # durability detached (nothing to re-commit).  Serving is read-only,
+    # so this only rebuilds session state — reported-item sets, NPDQ
+    # predictor history, auto-mode hand-off state — which the engines'
+    # answer-invariance guarantees leaves the *subsequent* stream
+    # identical to an uninterrupted run.
+    if resume and through >= 0:
+        print(f"fast-forwarding {through + 1} recovered tick(s) ...", flush=True)
+        for _ in range(through + 1):
+            broker.run_tick()
+            for session in broker.sessions:
+                session.poll()
+
+    remaining = cfg["ticks"] - (through + 1)
+    print(
+        f"serving {cfg['clients']} {cfg['kind']} client(s) for {remaining} "
+        f"tick(s) of {cfg['period']} t.u. "
+        f"(durable, group commit, checkpoint every "
+        f"{cfg['checkpoint_every'] or 'never'} tick(s)) ...",
+        flush=True,
+    )
+    broker.durability = hook
+    for _ in range(remaining):
+        broker.run_tick()
+    print(broker.metrics.summary())
+    broker.quiesce()
+    hook.close()
+    answers.close()
+    print(f"answer stream: {answers.path} ({answers.lines} line(s) appended)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if getattr(args, "data_dir", None):
+        return _serve_durable(args)
     from repro.index import DualTimeIndex, NativeSpaceIndex
     from repro.server import (
         MultiplexBroker,
@@ -443,6 +807,174 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.storage.file import (
+        list_snapshots,
+        read_store_config,
+        verify_snapshot,
+        write_snapshot,
+    )
+
+    if args.list:
+        ids = list_snapshots(args.data_dir)
+        if not ids:
+            print("no snapshots")
+        for sid in ids:
+            manifest, problems = verify_snapshot(args.data_dir, sid)
+            state = "ok" if manifest and not problems else "CORRUPT"
+            tick = manifest.get("tick") if manifest else "?"
+            print(f"{sid}\ttick={tick}\t{state}")
+        return 0
+    if args.verify:
+        manifest, problems = verify_snapshot(args.data_dir, args.verify)
+        if manifest is None or problems:
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"snapshot {args.verify!r} ok: tick {manifest.get('tick')}, "
+            f"{len(manifest.get('trees', {}))} tree(s), checksums verified"
+        )
+        return 0
+
+    cfg = read_store_config(args.data_dir)
+    if cfg is None:
+        print(f"{args.data_dir} is not a durable store", file=sys.stderr)
+        return 2
+    stores, through = _durable_store(args.data_dir, cfg)
+    snapshot_id = args.id or (f"tick{through:06d}" if through >= 0 else "base")
+    manifest = write_snapshot(
+        args.data_dir,
+        snapshot_id,
+        [
+            (name, disk, report.last_meta or {})
+            for name, (disk, _log, _index, report) in stores.items()
+        ],
+        tick=through if through >= 0 else None,
+    )
+    for _disk, log, _index, _report in stores.values():
+        log.close()
+    for disk, _log, _index, _report in stores.values():
+        disk.close()
+    print(
+        f"wrote snapshot {snapshot_id!r} @ tick "
+        f"{manifest['tick'] if manifest['tick'] is not None else '(base)'}: "
+        + ", ".join(
+            f"{name} ({entry['live_pages']} live page(s), "
+            f"{entry['raw_bytes']} B, crc {entry['raw_crc32']:08x})"
+            for name, entry in sorted(manifest["trees"].items())
+        )
+    )
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.errors import StorageError
+    from repro.storage.file import restore_snapshot
+
+    try:
+        manifest = restore_snapshot(args.data_dir, args.id)
+    except StorageError as exc:
+        print(f"restore failed: {exc}", file=sys.stderr)
+        return 1
+    tick = manifest.get("tick")
+    through = tick if tick is not None else -1
+    answers_path = os.path.join(args.data_dir, "answers.log")
+    if os.path.exists(answers_path):
+        # The answer stream must rewind with the store, or a resumed
+        # serve would append tick T+1 after lines from a later epoch.
+        kept = []
+        with open(answers_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip() and int(line.split("\t", 1)[0]) <= through:
+                    kept.append(line)
+        tmp = answers_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.writelines(kept)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, answers_path)
+    print(
+        f"restored snapshot {args.id!r}: store rewound to tick "
+        f"{tick if tick is not None else '(base)'}, "
+        f"{len(manifest.get('trees', {}))} tree(s)"
+    )
+    return 0
+
+
+def _fsck_durable(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.index import fsck
+    from repro.index import repair as run_repair
+    from repro.storage.file import (
+        list_snapshots,
+        read_store_config,
+        verify_snapshot,
+    )
+
+    cfg = read_store_config(args.data_dir)
+    if cfg is None:
+        print(f"{args.data_dir} is not a durable store", file=sys.stderr)
+        return 2
+    stores, through = _durable_store(args.data_dir, cfg)
+    rc = 0
+    for name, (disk, _log, index, _report) in sorted(stores.items()):
+        if index is None:
+            print(f"{name}: no recovery metadata; cannot check", file=sys.stderr)
+            rc = 1
+            continue
+        report = fsck(index.tree)
+        print(f"{name}: {report.summary()}")
+        for violation in report.violations:
+            print(f"  {violation}")
+        if not report.ok:
+            rc = 1
+        if args.repair and not report.ok:
+            quarantined = disk.quarantine(
+                os.path.join(args.data_dir, "quarantine")
+            )
+            if quarantined:
+                print(
+                    f"{name}: quarantined damaged slot(s) "
+                    f"{', '.join(map(str, quarantined))} -> "
+                    f"{os.path.join(args.data_dir, 'quarantine')}"
+                )
+            repair_report = run_repair(index.tree)
+            print(f"{name}: {repair_report.summary()}")
+            disk.checkpoint(
+                meta=index.tree.recovery_meta(),
+                tick=through if through >= 0 else None,
+            )
+            rc = 0 if repair_report.ok else 1
+    # Snapshot manifests + tick consistency against the WAL tail.
+    for sid in list_snapshots(args.data_dir):
+        manifest, problems = verify_snapshot(args.data_dir, sid)
+        tick = manifest.get("tick") if manifest else None
+        snap_tick = tick if tick is not None else -1
+        relation = (
+            "covered by the WAL tail"
+            if snap_tick <= through
+            else "AHEAD of the WAL tail (snapshot from a discarded epoch?)"
+        )
+        state = "ok" if manifest and not problems else "CORRUPT"
+        print(
+            f"snapshot {sid}: {state}, tick "
+            f"{tick if tick is not None else '(base)'} — {relation} "
+            f"(store tick {through if through >= 0 else '(base)'})"
+        )
+        for problem in problems:
+            print(f"  {problem}")
+            rc = 1
+    for _disk, log, _index, _report in stores.values():
+        log.close()
+    for disk, _log, _index, _report in stores.values():
+        disk.close()
+    return rc
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.engine import ALL_RULES, DEFAULT_BASELINE, LintEngine
     from repro.errors import LintConfigError
@@ -526,7 +1058,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repair",
         action="store_true",
         help="fix mechanically repairable violations (orphans, loose "
-        "MBRs, parent links, record count) and re-check",
+        "MBRs, parent links, record count) and re-check; on a durable "
+        "store additionally quarantine torn page slots",
+    )
+    p_fsck.add_argument(
+        "--data-dir",
+        help="check a durable on-disk store instead of building one: "
+        "page slot CRCs, tree invariants, snapshot manifest checksums "
+        "and WAL-tail/manifest tick consistency",
     )
     p_fsck.set_defaults(func=_cmd_fsck)
 
@@ -626,7 +1165,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         "largest observed inter-frame step (smaller batches fewer pages "
         "but mispredicts more; mispredicts only cost demand fetches)",
     )
+    p_serve.add_argument(
+        "--data-dir",
+        help="serve from a durable file-backed store in this directory: "
+        "group-commit redo WAL per tick, fsynced answer stream, "
+        "kill-safe restart (re-run the same command to resume)",
+    )
+    p_serve.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="deterministic inserts per tick through the single-writer "
+        "dispatcher (durable mode exercises the redo path with these)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help="flush dirty pages and truncate the WAL every N durable "
+        "ticks (0 = only at shutdown)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="write / verify / list point-in-time snapshots of a "
+        "durable store",
+    )
+    p_snap.add_argument("--data-dir", required=True)
+    p_snap.add_argument(
+        "--id", help="snapshot id (default: tick<NNNNNN> of the store)"
+    )
+    p_snap.add_argument(
+        "--list", action="store_true", help="list snapshots and exit"
+    )
+    p_snap.add_argument(
+        "--verify",
+        metavar="ID",
+        help="verify an existing snapshot's checksums instead of writing",
+    )
+    p_snap.set_defaults(func=_cmd_snapshot)
+
+    p_restore = sub.add_parser(
+        "restore",
+        help="rewind a durable store to a snapshot (page files, WALs "
+        "and the answer stream)",
+    )
+    p_restore.add_argument("--data-dir", required=True)
+    p_restore.add_argument("--id", required=True, help="snapshot id")
+    p_restore.set_defaults(func=_cmd_restore)
 
     p_lint = sub.add_parser(
         "lint",

@@ -62,6 +62,17 @@ def _f32_clip(value: float) -> float:
 class _BaseCodec:
     """Shared encode/decode machinery; subclasses define the leaf box."""
 
+    #: decoded leaf boxes are wider than their stored parent entry by up
+    #: to ``_ROUNDING_EPS`` (the decode-side pad) plus float32 rounding;
+    #: structural checkers must tolerate that much parent/child overhang
+    #: on codec-backed disks — it is conservatism, not corruption.
+    _ROUNDING_EPS = 0.0
+
+    @property
+    def containment_slack(self) -> float:
+        """MBR-containment tolerance a lossy round-trip may introduce."""
+        return 2.0 * self._ROUNDING_EPS
+
     def __init__(self, dims: int, uncertainty: float = 0.0):
         if dims < 1:
             raise StorageError("need at least one spatial dimension")
@@ -161,6 +172,11 @@ class ChecksummedCodec:
 
     def __init__(self, inner: Any):
         self.inner = inner
+
+    @property
+    def containment_slack(self) -> float:
+        """Forward the inner codec's MBR-containment tolerance."""
+        return getattr(self.inner, "containment_slack", 0.0)
 
     def encode(self, payload: Any) -> bytes:
         data = self.inner.encode(payload)

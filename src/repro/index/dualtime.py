@@ -61,6 +61,7 @@ class DualTimeIndex:
         split: str = "quadratic",
         fill_factor: float = 0.5,
         same_path_splits: bool = True,
+        restore_meta: Optional[dict] = None,
     ):
         if dims < 1:
             raise QueryError("need at least one spatial dimension")
@@ -76,6 +77,7 @@ class DualTimeIndex:
             fill_factor=fill_factor,
             split=split,
             same_path_splits=same_path_splits,
+            restore=restore_meta,
         )
 
     # -- mappings -----------------------------------------------------------

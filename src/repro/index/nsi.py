@@ -48,6 +48,9 @@ class NativeSpaceIndex:
         by it so imprecise objects are never missed (Sect. 3.1).
     split, fill_factor, same_path_splits:
         Forwarded to :class:`~repro.index.RTree`.
+    restore_meta:
+        Durable-store recovery metadata (root/size/clock); reattach to
+        the pages already on ``disk`` instead of starting empty.
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class NativeSpaceIndex:
         split: str = "quadratic",
         fill_factor: float = 0.5,
         same_path_splits: bool = True,
+        restore_meta: Optional[dict] = None,
     ):
         if dims < 1:
             raise QueryError("need at least one spatial dimension")
@@ -74,6 +78,7 @@ class NativeSpaceIndex:
             fill_factor=fill_factor,
             split=split,
             same_path_splits=same_path_splits,
+            restore=restore_meta,
         )
 
     # -- building -----------------------------------------------------------

@@ -88,6 +88,10 @@ class RTree:
     same_path_splits:
         Force cascading splits onto one path (required for the paper's
         single-LCA update notification; on by default).
+    restore:
+        Recovery metadata (``root_id``/``size``/``clock``) from a
+        durable store: reattach to the pages already on ``disk`` instead
+        of allocating a fresh root.
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class RTree:
         fill_factor: float = DEFAULT_FILL_FACTOR,
         split: str = "quadratic",
         same_path_splits: bool = True,
+        restore: Optional[dict] = None,
     ):
         if axes < 1:
             raise IndexStructureError("axes must be >= 1")
@@ -120,9 +125,24 @@ class RTree:
         self._listeners: List[InsertionListener] = []
         self._clock = 0
         self._size = 0
-        root = self._new_node(level=0)
-        self._write(root)
-        self._root_id = root.page_id
+        if restore is None:
+            root = self._new_node(level=0)
+            self._write(root)
+            self._root_id = root.page_id
+        else:
+            # Reattach to pages already on the disk (durable restart):
+            # adopt the recovered root/size/clock instead of allocating a
+            # fresh root, and rebuild the in-memory parent directory by
+            # walking the recovered structure.
+            self._root_id = int(restore["root_id"])
+            self._size = int(restore.get("size", 0))
+            self._clock = int(restore.get("clock", 0))
+            if self._root_id not in self.disk:
+                raise IndexStructureError(
+                    f"restore metadata names root page {self._root_id}, "
+                    "which is not allocated on the disk"
+                )
+            self._rebuild_parents()
 
     # -- basic accessors ---------------------------------------------------
 
@@ -202,6 +222,15 @@ class RTree:
             "clock": self._clock,
         }
 
+    def recovery_meta(self) -> dict:
+        """Current recovery metadata (what ``restore=`` reattaches from).
+
+        Durable stores persist this dict with every commit / checkpoint
+        so a restart can rebuild the tree handle without replaying any
+        index operations.
+        """
+        return self._txn_meta()
+
     def _crash_safe(self, op: Callable[[], object]) -> object:
         """Run a multi-page operation under the disk's intent log.
 
@@ -222,7 +251,10 @@ class RTree:
             if log.auto_rollback:
                 self.recover()
             raise
-        log.commit()
+        # The commit carries the *post*-operation metadata: a durable log
+        # persists it so restart replay can reattach the tree at the
+        # committed root/size/clock (the begin-meta is the undo target).
+        log.commit(meta=self._txn_meta())
         return result
 
     def recover(self) -> bool:

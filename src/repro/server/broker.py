@@ -138,11 +138,16 @@ class QueryBroker:
         dual: Optional[DualTimeIndex] = None,
         clock: Optional[SimulatedClock] = None,
         config: Optional[ServerConfig] = None,
+        durability: Optional[object] = None,
     ):
         self.native = native
         self.dual = dual
         self.clock = clock or SimulatedClock()
         self.config = config or ServerConfig()
+        # Duck-typed durability driver (``begin_tick``/``commit_tick``),
+        # e.g. repro.storage.file.TickDurability wired in by the CLI —
+        # the serving layer itself never touches a storage backend.
+        self.durability = durability
         self.dispatcher = UpdateDispatcher(native, dual)
         self.scheduler: Optional[SharedScanScheduler] = None
         if self.config.shared_scan:
@@ -287,6 +292,12 @@ class QueryBroker:
             tick = self.clock.next_tick()
         live = self.sessions
 
+        if self.durability is not None:
+            # Stamp the tick onto the redo logs *before* the dispatcher's
+            # single-writer window so every update transaction applied
+            # this frame carries the tag replay will cut on.
+            self.durability.begin_tick(tick)
+
         crashes_before = self.dispatcher.stats.crashes_recovered
         updates = self.dispatcher.apply_until(
             tick.start, live_queries=bool(live)
@@ -335,6 +346,14 @@ class QueryBroker:
         if self.scheduler is not None:
             self.scheduler.end_tick()
         _sanitize.tick_end(self)
+
+        if self.durability is not None:
+            # Group commit: one TICK record + fsync per tree makes this
+            # frame's update transactions durable.  The hook's pre-commit
+            # callback (the CLI's answer-stream flush) runs first, so a
+            # tick marked durable always has its answers on disk — the
+            # invariant restart truncation relies on.
+            self.durability.commit_tick(tick)
 
         logical = 0
         for session in live:

@@ -21,8 +21,19 @@ from repro.storage.constants import (
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, StorageStats
 from repro.storage.faults import FaultInjector, FaultStats, RetryPolicy, TornPage
+from repro.storage.file import (
+    FileDiskManager,
+    PickledPageCodec,
+    TickDurability,
+    list_snapshots,
+    open_durable,
+    restore_snapshot,
+    scan_page_file,
+    verify_snapshot,
+    write_snapshot,
+)
 from repro.storage.metrics import CostSnapshot, QueryCost
-from repro.storage.wal import IntentLog
+from repro.storage.wal import DurableIntentLog, IntentLog, ReplayReport, replay_wal, wal_tail_info
 
 __all__ = [
     "PAGE_SIZE",
@@ -42,4 +53,17 @@ __all__ = [
     "RetryPolicy",
     "TornPage",
     "IntentLog",
+    "DurableIntentLog",
+    "ReplayReport",
+    "replay_wal",
+    "wal_tail_info",
+    "FileDiskManager",
+    "PickledPageCodec",
+    "TickDurability",
+    "open_durable",
+    "scan_page_file",
+    "write_snapshot",
+    "verify_snapshot",
+    "restore_snapshot",
+    "list_snapshots",
 ]

@@ -160,7 +160,7 @@ class DiskManager:
         if self._wal is not None and self._wal.in_flight:
             self._wal.record_next_id(page_id)
             self._wal.record_absent(page_id)
-        self._pages[page_id] = None
+        self._cell_set(page_id, None)
         self.stats.allocated += 1
         return page_id
 
@@ -171,7 +171,7 @@ class DiskManager:
         if self._wal is not None and self._wal.in_flight:
             self._wal.record(page_id, _snapshot(self._pages[page_id]))
             _sanitize.page_logged(self, page_id)
-        del self._pages[page_id]
+        self._cell_del(page_id)
         self.stats.freed += 1
         _sanitize.page_freed(self, page_id)
         if self._buffer is not None:
@@ -214,13 +214,14 @@ class DiskManager:
             self.stats.torn_writes += 1
             if self._codec is not None:
                 half = max(1, len(data) // 2)  # type: ignore[arg-type]
-                self._pages[page_id] = (
-                    bytes([data[0] ^ 0xFF]) + data[1:half]  # type: ignore[index]
+                self._cell_set(
+                    page_id,
+                    bytes([data[0] ^ 0xFF]) + data[1:half],  # type: ignore[index]
                 )
             else:
-                self._pages[page_id] = TornPage(page_id)
+                self._cell_set(page_id, TornPage(page_id))
         else:
-            self._pages[page_id] = data if self._codec is not None else payload
+            self._cell_set(page_id, data if self._codec is not None else payload)
             if self._faults is not None:
                 self._faults.on_rewrite(page_id)
         self.stats.writes += 1
@@ -301,6 +302,23 @@ class DiskManager:
             self._buffer.put(page_id, payload)
         return payload
 
+    # -- cell primitives -------------------------------------------------------
+    #
+    # Every *mutation* of the page map funnels through these two hooks so
+    # a durable backend can observe dirtiness without re-implementing the
+    # fault/WAL/buffer logic above.  The contract: ``self._pages`` always
+    # holds the authoritative live cells (reads stay direct dict lookups),
+    # and a subclass that persists cells elsewhere keeps the two in step
+    # inside its overrides.
+
+    def _cell_set(self, page_id: int, value: Any) -> None:
+        """Install ``value`` as the stored cell for ``page_id``."""
+        self._pages[page_id] = value
+
+    def _cell_del(self, page_id: int) -> None:
+        """Drop the stored cell for ``page_id``."""
+        del self._pages[page_id]
+
     def _retry_gate(self, page_id: int, gate, kind: str) -> Any:
         """Run a fault gate, retrying transient faults per the policy.
 
@@ -358,7 +376,7 @@ class DiskManager:
 
     def _rollback_remove(self, page_id: int) -> None:
         if page_id in self._pages:
-            del self._pages[page_id]
+            self._cell_del(page_id)
             self.stats.freed += 1
         if self._buffer is not None:
             self._buffer.invalidate(page_id)
@@ -366,7 +384,7 @@ class DiskManager:
     def _rollback_restore(self, page_id: int, pre_image: Any) -> None:
         if page_id not in self._pages:
             self.stats.allocated += 1  # compensates the mid-txn free()
-        self._pages[page_id] = pre_image
+        self._cell_set(page_id, pre_image)
         if self._buffer is not None:
             self._buffer.invalidate(page_id)
 

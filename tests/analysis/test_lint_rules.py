@@ -160,6 +160,48 @@ class TestLayeringRules:
             )
             assert code == 0, f"{exempt} must be exempt from DQL04"
 
+    def test_dql05_open_outside_storage(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL05",
+            "repro/server/broker.py",
+            "def persist(path):\n"
+            "    with open(path, 'w') as f:\n"
+            "        f.write('state')\n",
+        )
+
+    def test_dql05_os_mutations_and_pathlib(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/index/mod.py",
+            "import os\n"
+            "import pathlib\n\n\n"
+            "def sync(path):\n"
+            "    os.fsync(3)\n"
+            "    pathlib.Path(path).write_bytes(b'x')\n",
+        )
+        assert code == 1
+        assert out.count("DQL05") == 2
+
+    def test_dql05_storage_boundary_is_exempt(self, tmp_path, capsys):
+        for exempt in (
+            "repro/storage/file.py",
+            "repro/storage/wal.py",
+            "repro/cli.py",
+        ):
+            code, _ = lint_file(
+                tmp_path,
+                capsys,
+                exempt,
+                "import os\n\n\n"
+                "def sync(fd):\n"
+                "    os.fsync(fd)\n"
+                "    return open('/dev/null')\n",
+            )
+            assert code == 0, f"{exempt} must be exempt from DQL05"
+
     def test_dqx01_resurrected_alias(self, tmp_path, capsys):
         assert_flags(
             tmp_path,

@@ -1,0 +1,160 @@
+"""Snapshots: manifest checksums, bit-for-bit restore, damage refusal."""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.errors import StorageError
+from repro.index.codec import ChecksummedCodec, NativeNodeCodec
+from repro.index.nsi import NativeSpaceIndex
+from repro.storage.file import (
+    list_snapshots,
+    open_durable,
+    restore_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
+
+from _helpers import make_segment
+
+SMALL_PAGE = 256
+
+
+def build_store(tmp_path, count=20):
+    disk, log, _ = open_durable(
+        str(tmp_path), "native",
+        codec=ChecksummedCodec(NativeNodeCodec(2)), page_size=SMALL_PAGE,
+    )
+    nsi = NativeSpaceIndex(dims=2, disk=disk, page_size=SMALL_PAGE)
+    for i in range(count):
+        nsi.insert(
+            make_segment(
+                oid=i, seq=1, t0=0.0, t1=5.0,
+                origin=(float(i % 5), float(i // 5)), velocity=(1.0, 0.0),
+            )
+        )
+    return disk, log, nsi
+
+
+def column_path(tmp_path, snapshot_id, name="native"):
+    return os.path.join(str(tmp_path), "snapshots", snapshot_id, f"{name}.pages.z")
+
+
+class TestWriteVerifyList:
+    def test_manifest_carries_checksums_and_meta(self, tmp_path):
+        disk, log, nsi = build_store(tmp_path)
+        meta = nsi.tree.recovery_meta()
+        manifest = write_snapshot(
+            str(tmp_path), "s1", [("native", disk, meta)], tick=3
+        )
+        entry = manifest["trees"]["native"]
+        assert manifest["snapshot_id"] == "s1"
+        assert manifest["tick"] == 3
+        assert entry["meta"] == meta
+        assert entry["page_size"] == SMALL_PAGE
+        with open(disk.path, "rb") as fh:
+            raw = fh.read()
+        assert entry["raw_bytes"] == len(raw)
+        assert entry["raw_crc32"] == zlib.crc32(raw) & 0xFFFFFFFF
+        found, problems = verify_snapshot(str(tmp_path), "s1")
+        assert problems == []
+        assert found["trees"]["native"]["raw_crc32"] == entry["raw_crc32"]
+        assert list_snapshots(str(tmp_path)) == ["s1"]
+        disk.close()
+        log.close()
+
+    def test_duplicate_id_is_refused(self, tmp_path):
+        disk, log, nsi = build_store(tmp_path)
+        meta = nsi.tree.recovery_meta()
+        write_snapshot(str(tmp_path), "s1", [("native", disk, meta)])
+        with pytest.raises(StorageError):
+            write_snapshot(str(tmp_path), "s1", [("native", disk, meta)])
+        disk.close()
+        log.close()
+
+    def test_missing_snapshot_reports_no_manifest(self, tmp_path):
+        manifest, problems = verify_snapshot(str(tmp_path), "ghost")
+        assert manifest is None
+        assert problems
+
+
+class TestRestore:
+    def test_round_trip_is_bit_for_bit(self, tmp_path):
+        disk, log, nsi = build_store(tmp_path)
+        meta = nsi.tree.recovery_meta()
+        write_snapshot(str(tmp_path), "s1", [("native", disk, meta)], tick=2)
+        with open(disk.path, "rb") as fh:
+            image = fh.read()
+        # Diverge the live store well past the snapshot.
+        for i in range(100, 130):
+            nsi.insert(
+                make_segment(
+                    oid=i, seq=1, t0=0.0, t1=5.0,
+                    origin=(float(i % 7), float(i % 3)), velocity=(0.0, 1.0),
+                )
+            )
+        disk.checkpoint(meta=nsi.tree.recovery_meta(), tick=9)
+        disk.close()
+        log.close()
+
+        manifest = restore_snapshot(str(tmp_path), "s1")
+        with open(os.path.join(str(tmp_path), "native.pages"), "rb") as fh:
+            assert fh.read() == image
+        assert manifest["tick"] == 2
+
+        disk2, log2, report = open_durable(
+            str(tmp_path), "native",
+            codec=ChecksummedCodec(NativeNodeCodec(2)), page_size=SMALL_PAGE,
+        )
+        assert report.last_tick == 2
+        assert report.last_meta == meta
+        nsi2 = NativeSpaceIndex(
+            dims=2, disk=disk2, page_size=SMALL_PAGE,
+            restore_meta=dict(report.last_meta),
+        )
+        assert len(nsi2.tree) == 20
+        disk2.close()
+        log2.close()
+
+    def test_corrupt_column_file_refuses_to_restore(self, tmp_path):
+        disk, log, nsi = build_store(tmp_path)
+        write_snapshot(
+            str(tmp_path), "s1", [("native", disk, nsi.tree.recovery_meta())]
+        )
+        with open(disk.path, "rb") as fh:
+            live_image = fh.read()
+        disk.close()
+        log.close()
+        path = column_path(tmp_path, "s1")
+        with open(path, "r+b") as fh:
+            fh.seek(10)
+            byte = fh.read(1)
+            fh.seek(10)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        _manifest, problems = verify_snapshot(str(tmp_path), "s1")
+        assert problems
+        with pytest.raises(StorageError):
+            restore_snapshot(str(tmp_path), "s1")
+        # A refused restore must leave the live page file untouched.
+        with open(os.path.join(str(tmp_path), "native.pages"), "rb") as fh:
+            assert fh.read() == live_image
+
+    def test_tampered_manifest_checksum_is_caught(self, tmp_path):
+        disk, log, nsi = build_store(tmp_path)
+        write_snapshot(
+            str(tmp_path), "s1", [("native", disk, nsi.tree.recovery_meta())]
+        )
+        disk.close()
+        log.close()
+        manifest_path = os.path.join(
+            str(tmp_path), "snapshots", "s1", "metadata.json"
+        )
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        manifest["trees"]["native"]["raw_crc32"] ^= 0xDEAD
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        _found, problems = verify_snapshot(str(tmp_path), "s1")
+        assert any("raw checksum mismatch" in p for p in problems)
