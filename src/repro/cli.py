@@ -345,13 +345,17 @@ def _build_world(scenario: str, scale: str, seed: int):
     return world.segments, world.space_side, world.horizon.high, world.name
 
 
-def _durable_store(data_dir: str, cfg: dict, through: Optional[int] = None):
+def _durable_store(
+    data_dir: str, cfg: dict, through: Optional[int] = None, fresh: bool = False
+):
     """Open every tree of a durable store, recovered through ``through``.
 
     ``through=None`` recovers up to the last tick *every* tree has a
     durable ``TICK`` record for (the group-commit cut that keeps the
     native and dual trees mutually consistent); an explicit ``-1``
-    creates/opens the store without honouring any logged tick.  Returns
+    creates/opens the store without honouring any logged tick.
+    ``fresh=True`` discards any existing page/WAL files first (see
+    :func:`repro.storage.file.open_durable`).  Returns
     ``({name: (disk, log, index_or_None, replay_report)}, through)``.
     """
     import os
@@ -389,6 +393,7 @@ def _durable_store(data_dir: str, cfg: dict, through: Optional[int] = None):
             page_size=PAGE_SIZE,
             sync_on_commit=False,
             through_tick=through,
+            fresh=fresh,
         )
         index = None
         if report.last_meta:
@@ -396,6 +401,42 @@ def _durable_store(data_dir: str, cfg: dict, through: Optional[int] = None):
             index = cls(dims=2, disk=disk, restore_meta=dict(report.last_meta))
         stores[name] = (disk, log, index, report)
     return stores, through
+
+
+def _truncate_answer_log(path: str, through: int) -> None:
+    """Rewind an answer stream to tick ``through`` (atomic rewrite).
+
+    Keeps only complete, well-formed lines — five tab-separated fields
+    with a trailing newline and a numeric tick — whose tick is at most
+    ``through``.  Anything else is by construction the fragment of a
+    non-durable tick torn by a crash mid-append, and is dropped with
+    that tick rather than parsed (a torn numeric prefix must not be
+    kept, and a non-numeric one must not abort the resume).
+    """
+    import os
+
+    if not os.path.exists(path):
+        return
+    kept = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if not line.endswith("\n"):
+                continue
+            fields = line[:-1].split("\t")
+            if len(fields) != 5:
+                continue
+            try:
+                tick = int(fields[0])
+            except ValueError:
+                continue
+            if tick <= through:
+                kept.append(line)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.writelines(kept)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 class _AnswerStream:
@@ -411,21 +452,9 @@ class _AnswerStream:
     """
 
     def __init__(self, path: str, through: Optional[int] = None):
-        import os
-
         self.path = path
-        if through is not None and os.path.exists(path):
-            kept = []
-            with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    if line.strip() and int(line.split("\t", 1)[0]) <= through:
-                        kept.append(line)
-            tmp = path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.writelines(kept)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
+        if through is not None:
+            _truncate_answer_log(path, through)
         self._fh = open(path, "a", encoding="utf-8")
         self.lines = 0
 
@@ -529,8 +558,11 @@ def _serve_durable(args: argparse.Namespace) -> int:
     cfg.setdefault("horizon", horizon)
     need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
 
+    # A store that was never pinned must start from empty files: page or
+    # WAL leftovers mean a bulk load crashed before write_store_config,
+    # and adopting their slots would leak orphans into the new store.
     stores, through = _durable_store(
-        data_dir, cfg, through=None if resume else -1
+        data_dir, cfg, through=None if resume else -1, fresh=not resume
     )
     if resume and through >= cfg["ticks"] - 1:
         print(f"store has already served all {cfg['ticks']} tick(s); nothing to do")
@@ -627,9 +659,10 @@ def _serve_durable(args: argparse.Namespace) -> int:
                 batch, times=[clock.boundary(k)] * len(batch)
             )
 
+    # On a fresh start ``through`` is -1, which empties any stale
+    # answer log the same way the page/WAL files were reset above.
     answers = _AnswerStream(
-        os.path.join(data_dir, "answers.log"),
-        through=through if resume else None,
+        os.path.join(data_dir, "answers.log"), through=through
     )
     rtrees = {"native": native.tree}
     if dual is not None:
@@ -881,21 +914,9 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         return 1
     tick = manifest.get("tick")
     through = tick if tick is not None else -1
-    answers_path = os.path.join(args.data_dir, "answers.log")
-    if os.path.exists(answers_path):
-        # The answer stream must rewind with the store, or a resumed
-        # serve would append tick T+1 after lines from a later epoch.
-        kept = []
-        with open(answers_path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                if line.strip() and int(line.split("\t", 1)[0]) <= through:
-                    kept.append(line)
-        tmp = answers_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.writelines(kept)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, answers_path)
+    # The answer stream must rewind with the store, or a resumed
+    # serve would append tick T+1 after lines from a later epoch.
+    _truncate_answer_log(os.path.join(args.data_dir, "answers.log"), through)
     print(
         f"restored snapshot {args.id!r}: store rewound to tick "
         f"{tick if tick is not None else '(base)'}, "
@@ -930,8 +951,7 @@ def _fsck_durable(args: argparse.Namespace) -> int:
         print(f"{name}: {report.summary()}")
         for violation in report.violations:
             print(f"  {violation}")
-        if not report.ok:
-            rc = 1
+        tree_ok = report.ok
         if args.repair and not report.ok:
             quarantined = disk.quarantine(
                 os.path.join(args.data_dir, "quarantine")
@@ -948,7 +968,11 @@ def _fsck_durable(args: argparse.Namespace) -> int:
                 meta=index.tree.recovery_meta(),
                 tick=through if through >= 0 else None,
             )
-            rc = 0 if repair_report.ok else 1
+            # A clean repair clears *this* tree's failure, but must not
+            # mask an earlier tree's unrepaired one.
+            tree_ok = repair_report.ok
+        if not tree_ok:
+            rc = 1
     # Snapshot manifests + tick consistency against the WAL tail.
     for sid in list_snapshots(args.data_dir):
         manifest, problems = verify_snapshot(args.data_dir, sid)

@@ -443,6 +443,7 @@ def open_durable(
     auto_rollback: bool = True,
     sync_on_commit: bool = True,
     through_tick: Optional[int] = None,
+    fresh: bool = False,
 ) -> Tuple[FileDiskManager, DurableIntentLog, ReplayReport]:
     """Open (or create) one tree's durable store and recover it.
 
@@ -452,10 +453,20 @@ def open_durable(
     (3) checkpoint, so the page file absorbs the replayed state and the
     log restarts from a single ``CHECKPOINT`` record (a stale tail must
     not survive, or a later crash would replay discarded ticks).
+
+    ``fresh=True`` deletes any existing page file and WAL first.  Pass
+    it when the store was never pinned (no ``store.json``): files found
+    then are the leavings of a bulk load that crashed before the pin,
+    and adopting their slots would leak orphan pages into the new store
+    and every snapshot taken of it.
     """
     os.makedirs(data_dir, exist_ok=True)
     pages_path = os.path.join(data_dir, f"{name}.pages")
     wal_path = os.path.join(data_dir, f"{name}.wal")
+    if fresh:
+        for stale in (pages_path, wal_path, pages_path + ".tmp", wal_path + ".tmp"):
+            if os.path.exists(stale):
+                os.remove(stale)
     disk = FileDiskManager(
         pages_path,
         codec=codec,

@@ -448,15 +448,31 @@ class DurableIntentLog(IntentLog):
     def reset(
         self, meta: Optional[Dict[str, Any]] = None, tick: Optional[int] = None
     ) -> None:
-        """Truncate the log after a checkpoint made the page file current."""
+        """Truncate the log after a checkpoint made the page file current.
+
+        The truncation is atomic: the ``CHECKPOINT`` record — after a
+        checkpoint the only durable copy of the tree's recovery metadata
+        — is written to a sidecar file, fsynced, and ``os.replace``\\ d
+        over the old log.  A crash at any instant therefore leaves
+        either the old replayable tail or the new checkpoint record,
+        never an empty or torn log.  (Truncating in place would open an
+        unrecoverable window on every checkpoint: killed between the
+        truncate and the fsync, the store's page files survive but the
+        metadata to reattach them is gone.)
+        """
         if self._active:
             raise RecoveryError("cannot reset the log with a transaction in flight")
         self._pending.clear()
         self._fh.close()
-        self._fh = open(self.path, "wb")
-        self._fh.write(_frame(REC_CHECKPOINT, 0, _json_bytes({"meta": meta or {}, "tick": tick})))
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(
+                _frame(REC_CHECKPOINT, 0, _json_bytes({"meta": meta or {}, "tick": tick}))
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
         self.appended_records += 1
         self.syncs += 1
 

@@ -4,7 +4,7 @@ import os
 
 from repro.index.codec import ChecksummedCodec, NativeNodeCodec
 from repro.index.nsi import NativeSpaceIndex
-from repro.storage.file import FileDiskManager, open_durable
+from repro.storage.file import FileDiskManager, open_durable, scan_page_file
 from repro.storage.wal import (
     REC_BEGIN,
     REC_CHECKPOINT,
@@ -161,6 +161,41 @@ class TestGroupCommit:
         assert report.last_tick == 3
         assert report.last_meta == {"root_id": 7}
 
+    def test_reset_leaves_no_sidecar(self, tmp_path):
+        disk, log = durable_pair(tmp_path)
+        committed_txn(disk, log, "x", tick=0)
+        log.append_tick(0)
+        log.reset(meta={"root_id": 1}, tick=0)
+        assert not os.path.exists(log.path + ".tmp")
+        committed_txn(disk, log, "y", tick=1)  # handle still appends
+
+    def test_kill_during_reset_keeps_the_old_tail(self, tmp_path, monkeypatch):
+        """Reset must be atomic: a crash at the most hostile instant —
+        new log written but not yet renamed over the old one — leaves
+        the old replayable tail, never an empty or torn log (the
+        CHECKPOINT record is the only durable copy of the recovery
+        metadata after a checkpoint)."""
+        disk, log = durable_pair(tmp_path)
+        committed_txn(disk, log, "survivor", tick=2)
+        log.append_tick(2, meta={"root_id": 42})
+
+        def die(src, dst):
+            raise RuntimeError("killed between sidecar write and rename")
+
+        monkeypatch.setattr(os, "replace", die)
+        try:
+            log.reset(meta={"root_id": 42}, tick=2)
+        except RuntimeError:
+            pass
+        records, truncated = read_wal_records(log.path)
+        assert not truncated
+        assert [r.rtype for r in records] == [
+            REC_BEGIN, REC_WRITE, REC_COMMIT, REC_TICK,
+        ]
+        report = wal_tail_info(log.path)
+        assert report.last_tick == 2
+        assert report.last_meta == {"root_id": 42}
+
 
 class TestOpenDurable:
     def _codec(self):
@@ -209,6 +244,35 @@ class TestOpenDurable:
             restore_meta=dict(report.last_meta),
         )
         assert self._keys(nsi2.tree) == expected
+        disk2.close()
+        log2.close()
+
+    def test_fresh_open_discards_prepin_leftovers(self, tmp_path):
+        """A store dir whose config was never pinned may still hold the
+        partially flushed page/WAL files of a bulk load that crashed
+        mid-checkpoint; ``fresh=True`` must start from empty files
+        instead of adopting those slots as orphans."""
+        data_dir = str(tmp_path)
+        disk, log, _ = open_durable(
+            data_dir, "native", codec=self._codec(), page_size=SMALL_PAGE
+        )
+        nsi = NativeSpaceIndex(dims=2, disk=disk, page_size=SMALL_PAGE)
+        for seg in self._segments(10):
+            nsi.insert(seg)
+        disk.checkpoint(meta=nsi.tree.recovery_meta())
+        # Crash here, before store.json would have been written.
+        disk.close()
+        log.close()
+
+        disk2, log2, report = open_durable(
+            data_dir, "native", codec=self._codec(), page_size=SMALL_PAGE,
+            fresh=True,
+        )
+        assert report.committed == 0
+        assert report.last_meta == {}
+        assert disk2.stats.live_pages == 0
+        scan, _ = scan_page_file(os.path.join(data_dir, "native.pages"))
+        assert scan.slot_count == 0
         disk2.close()
         log2.close()
 

@@ -133,3 +133,55 @@ class TestChaos:
         out = capsys.readouterr().out
         assert "chaos answer" in out
         assert "FAIL" not in out
+
+
+class TestAnswerLogTruncation:
+    """Resume/restore must drop torn answer-log tails, not parse them."""
+
+    GOOD = (
+        "0\tpdq-0\tpdq\t0\t1:1\n"
+        "1\tpdq-0\tpdq\t0\t1:1,2:1\n"
+    )
+
+    def _truncate(self, path, through):
+        from repro.cli import _truncate_answer_log
+
+        _truncate_answer_log(str(path), through)
+        return path.read_text(encoding="utf-8")
+
+    def test_whole_lines_kept_through_tick(self, tmp_path):
+        path = tmp_path / "answers.log"
+        path.write_text(self.GOOD + "2\tpdq-0\tpdq\t0\t1:1\n", encoding="utf-8")
+        assert self._truncate(path, 1) == self.GOOD
+
+    def test_torn_numeric_fragment_is_dropped(self, tmp_path):
+        # A crash mid-append can leave a fragment whose numeric prefix
+        # parses as a kept tick; it must be discarded, or the next
+        # append would concatenate onto a newline-less line.
+        path = tmp_path / "answers.log"
+        path.write_text(self.GOOD + "1\tpdq-0\tpd", encoding="utf-8")
+        assert self._truncate(path, 1) == self.GOOD
+
+    def test_non_numeric_fragment_does_not_abort(self, tmp_path):
+        path = tmp_path / "answers.log"
+        path.write_text(self.GOOD + "\x00garbage", encoding="utf-8")
+        assert self._truncate(path, 1) == self.GOOD
+
+    def test_malformed_complete_line_is_dropped(self, tmp_path):
+        path = tmp_path / "answers.log"
+        path.write_text(self.GOOD + "1\tonly\tthree\n", encoding="utf-8")
+        assert self._truncate(path, 1) == self.GOOD
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        from repro.cli import _truncate_answer_log
+
+        _truncate_answer_log(str(tmp_path / "absent.log"), 3)
+        assert not (tmp_path / "absent.log").exists()
+
+    def test_through_minus_one_empties_the_stream(self, tmp_path):
+        # A fresh (never-pinned) serve passes through=-1: any stale
+        # answer log from an aborted store must be emptied, matching
+        # the fresh page/WAL files.
+        path = tmp_path / "answers.log"
+        path.write_text(self.GOOD, encoding="utf-8")
+        assert self._truncate(path, -1) == ""
