@@ -43,6 +43,7 @@ from repro.analysis.layering import (
     GenericRaiseRule,
     GeometryIsolationRule,
     PhysicalStorageImportRule,
+    ProcessBoundaryRule,
 )
 from repro.analysis.rules import Rule, Violation
 from repro.errors import LintConfigError
@@ -61,6 +62,7 @@ ALL_RULES: Tuple[Rule, ...] = tuple(
             GenericRaiseRule(),
             FrontEndIsolationRule(),
             FilesystemIsolationRule(),
+            ProcessBoundaryRule(),
             DeprecatedAliasRule(),
             UnloggedPageMutationRule(),
             MutableDefaultArgRule(),

@@ -26,6 +26,7 @@ __all__ = [
     "GenericRaiseRule",
     "FrontEndIsolationRule",
     "FilesystemIsolationRule",
+    "ProcessBoundaryRule",
     "DeprecatedAliasRule",
 ]
 
@@ -188,7 +189,10 @@ class FrontEndIsolationRule(Rule):
     whether) it is being multiplexed — exactly what the answer-
     invariance property forbids.  The package ``__init__`` is exempt:
     re-exporting the public surface is not a dependency of the inner
-    layers.
+    layers.  So is :mod:`repro.server.remote`: the out-of-process
+    front-end sits *beside* ``shard`` at the top of the stack and
+    shares its :class:`~repro.server.shard.ShardPlan` routing — an
+    import between two top-of-stack peers points sideways, not inward.
     """
 
     id = "DQL04"
@@ -198,7 +202,10 @@ class FrontEndIsolationRule(Rule):
     _EXEMPT = frozenset({"shard.py", "__init__.py"})
 
     def check(self, module, source, path) -> Iterator[Violation]:
-        if path.replace("\\", "/").rsplit("/", 1)[-1] in self._EXEMPT:
+        parts = path.replace("\\", "/").split("/")
+        if parts[-1] in self._EXEMPT:
+            return
+        if tuple(parts[-3:-1]) == ("server", "remote"):
             return
         for node in ast.walk(module):
             if isinstance(node, ast.Import):
@@ -352,6 +359,63 @@ class FilesystemIsolationRule(Rule):
                             "storage boundary; only repro.storage.file, "
                             "repro.storage.wal and the CLI may touch disk",
                         )
+
+
+class ProcessBoundaryRule(Rule):
+    """DQL06 — process/IPC machinery outside the remote serving boundary.
+
+    **Invariant:** the only modules allowed to spawn processes or open
+    sockets are the :mod:`repro.server.remote` package (the worker
+    entrypoint and its multiplex front-end) and the CLI that launches
+    them.  Everything else is single-process by construction — that is
+    what makes the in-process and out-of-process brokers byte-identical
+    (one lockstep clock, one writer per shard, no hidden concurrency),
+    and what keeps the kill-chaos suites honest: a worker SIGKILL can
+    only ever take down state the remote layer knows how to replay.
+
+    Flagged: any import of ``socket``, ``subprocess`` or
+    ``multiprocessing`` (including submodules and ``from`` imports)
+    outside ``repro/server/remote/`` and ``repro/cli.py``.
+    """
+
+    id = "DQL06"
+    title = "socket/subprocess/multiprocessing outside repro.server.remote"
+    scope = (("repro",),)
+
+    _FORBIDDEN = ("socket", "subprocess", "multiprocessing")
+
+    def _exempt(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        if tuple(parts[-3:-1]) == ("server", "remote"):
+            return True
+        return tuple(parts[-2:]) == ("repro", "cli.py")
+
+    def _flag(self, dotted: str) -> bool:
+        return any(
+            dotted == base or dotted.startswith(base + ".")
+            for base in self._FORBIDDEN
+        )
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        if self._exempt(path):
+            return
+        for node in ast.walk(module):
+            names = ()
+            if isinstance(node, ast.Import):
+                names = tuple(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import — never a stdlib module
+                    continue
+                names = (node.module,)
+            for dotted in names:
+                if self._flag(dotted):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"import of {dotted} outside the remote serving "
+                        "boundary; only repro.server.remote and the CLI "
+                        "may spawn processes or open sockets",
+                    )
 
 
 class DeprecatedAliasRule(Rule):

@@ -403,6 +403,43 @@ def _durable_store(
     return stores, through
 
 
+def _durable_shard_stores(data_dir: str, cfg: dict, fresh: bool = False):
+    """Open per-shard durable stores under ``data_dir/shard-<i>/``.
+
+    The recovery cut is the minimum durable tick over *every* shard's
+    *every* tree: a master tick only counts as served once all K shards
+    committed it, so each shard's WAL replays to the same master
+    boundary and the lockstep schedule restarts in sync.  Returns
+    ``([stores_for_shard_0, ...], through)`` with each element shaped
+    like :func:`_durable_store`'s result.
+    """
+    import os
+
+    from repro.storage.wal import wal_tail_info
+
+    shards = cfg.get("shards", 1)
+    need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
+    names = ["native"] + (["dual"] if need_dual else [])
+    if fresh:
+        through = -1
+    else:
+        tails = []
+        for i in range(shards):
+            for name in names:
+                info = wal_tail_info(
+                    os.path.join(data_dir, f"shard-{i}", f"{name}.wal")
+                )
+                tails.append(info.last_tick if info.last_tick is not None else -1)
+        through = min(tails)
+    shard_stores = []
+    for i in range(shards):
+        stores, _ = _durable_store(
+            os.path.join(data_dir, f"shard-{i}"), cfg, through=through, fresh=fresh
+        )
+        shard_stores.append(stores)
+    return shard_stores, through
+
+
 def _truncate_answer_log(path: str, through: int) -> None:
     """Rewind an answer stream to tick ``through`` (atomic rewrite).
 
@@ -504,11 +541,25 @@ def _churn_batch(cfg: dict, tick_index: int):
     ]
 
 
+def _checkpoint_shard_trees(shard_stores, natives, duals) -> None:
+    """Checkpoint every tree of every shard store (base-load durability)."""
+    for i, stores in enumerate(shard_stores):
+        for tree_name, (disk, _log, _index, _report) in stores.items():
+            tree = natives[i].tree if tree_name == "native" else duals[i].tree
+            disk.checkpoint(meta=tree.recovery_meta())
+
+
 def _serve_durable(args: argparse.Namespace) -> int:
     import os
 
     from repro.index import DualTimeIndex, NativeSpaceIndex
-    from repro.server import QueryBroker, ServerConfig, SimulatedClock
+    from repro.server import (
+        MultiplexBroker,
+        QueryBroker,
+        ServerConfig,
+        ShardPlan,
+        SimulatedClock,
+    )
     from repro.storage.file import (
         TickDurability,
         read_store_config,
@@ -517,8 +568,20 @@ def _serve_durable(args: argparse.Namespace) -> int:
     from repro.workload.config import WorkloadConfig
     from repro.workload.observers import observer_fleet, path_of
 
-    if args.shards > 1:
-        print("--data-dir does not support --shards > 1", file=sys.stderr)
+    if getattr(args, "workers", "inprocess") == "process":
+        print(
+            "--data-dir does not support --workers process; durable "
+            "sharded serving runs in-process (drop --data-dir or "
+            "--workers process)",
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "answer_log", None):
+        print(
+            "--answer-log conflicts with --data-dir (a durable store "
+            "already writes answers.log)",
+            file=sys.stderr,
+        )
         return 2
 
     data_dir = args.data_dir
@@ -526,10 +589,14 @@ def _serve_durable(args: argparse.Namespace) -> int:
     resume = pinned is not None
     if resume:
         cfg = pinned
+        # Stores pinned before sharded durability existed carry no
+        # "shards" key; they are single-shard by construction.
+        cfg.setdefault("shards", 1)
         print(
             f"resuming durable store {data_dir} "
             f"(pinned {cfg['scenario']}/{cfg['scale']}, seed {cfg['seed']}, "
-            f"{cfg['clients']} {cfg['kind']} client(s), {cfg['ticks']} ticks)",
+            f"{cfg['clients']} {cfg['kind']} client(s), {cfg['ticks']} ticks, "
+            f"{cfg['shards']} shard(s))",
             flush=True,
         )
     else:
@@ -541,6 +608,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
             "ticks": args.ticks,
             "kind": args.kind,
             "mode": args.mode,
+            "shards": args.shards,
             "period": args.period,
             "window": args.window,
             "queue_depth": args.queue_depth,
@@ -558,53 +626,71 @@ def _serve_durable(args: argparse.Namespace) -> int:
     cfg.setdefault("horizon", horizon)
     need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
 
+    shards = cfg["shards"]
     # A store that was never pinned must start from empty files: page or
     # WAL leftovers mean a bulk load crashed before write_store_config,
     # and adopting their slots would leak orphans into the new store.
-    stores, through = _durable_store(
-        data_dir, cfg, through=None if resume else -1, fresh=not resume
-    )
+    if shards > 1:
+        shard_stores, through = _durable_shard_stores(
+            data_dir, cfg, fresh=not resume
+        )
+    else:
+        stores, through = _durable_store(
+            data_dir, cfg, through=None if resume else -1, fresh=not resume
+        )
+        shard_stores = [stores]
     if resume and through >= cfg["ticks"] - 1:
         print(f"store has already served all {cfg['ticks']} tick(s); nothing to do")
-        for disk, log, _index, _report in stores.values():
-            log.close()
-            disk.close()
+        for stores in shard_stores:
+            for disk, log, _index, _report in stores.values():
+                log.close()
+                disk.close()
         return 0
 
+    natives = []
+    duals = []
     if resume:
-        for tree_name, (_disk, _log, index, _report) in stores.items():
-            if index is None:
-                print(
-                    f"{tree_name}: no recovery metadata in {data_dir} "
-                    "(store never checkpointed?)",
-                    file=sys.stderr,
-                )
-                return 2
-        native = stores["native"][2]
-        dual = stores["dual"][2] if "dual" in stores else None
+        for i, stores in enumerate(shard_stores):
+            where = os.path.join(data_dir, f"shard-{i}") if shards > 1 else data_dir
+            for tree_name, (_disk, _log, index, _report) in stores.items():
+                if index is None:
+                    print(
+                        f"{tree_name}: no recovery metadata in {where} "
+                        "(store never checkpointed?)",
+                        file=sys.stderr,
+                    )
+                    return 2
+            natives.append(stores["native"][2])
+            duals.append(stores["dual"][2] if "dual" in stores else None)
         print(
             f"recovered through tick {through} "
-            f"({len(native)} native segment(s))",
+            f"({sum(len(n) for n in natives)} native segment(s))",
             flush=True,
         )
     else:
         print(
             f"building durable {name} world ({len(segments)} segments"
-            f"{', both index flavours' if need_dual else ''}) ...",
+            f"{', both index flavours' if need_dual else ''}"
+            f"{f', {shards} shards' if shards > 1 else ''}) ...",
             flush=True,
         )
-        native = NativeSpaceIndex(dims=2, disk=stores["native"][0])
-        native.bulk_load(segments)
-        dual = None
-        if need_dual:
-            dual = DualTimeIndex(dims=2, disk=stores["dual"][0])
-            dual.bulk_load(segments)
-        # The base trees must be durable before the store is announced
-        # resumable: checkpoint first, then pin the config.
-        for tree_name, (disk, _log, _index, _report) in stores.items():
-            tree = native.tree if tree_name == "native" else dual.tree
-            disk.checkpoint(meta=tree.recovery_meta())
-        write_store_config(data_dir, cfg)
+        for stores in shard_stores:
+            natives.append(NativeSpaceIndex(dims=2, disk=stores["native"][0]))
+            duals.append(
+                DualTimeIndex(dims=2, disk=stores["dual"][0])
+                if need_dual
+                else None
+            )
+        if shards == 1:
+            natives[0].bulk_load(segments)
+            if need_dual:
+                duals[0].bulk_load(segments)
+            # The base trees must be durable before the store is
+            # announced resumable: checkpoint first, then pin.
+            _checkpoint_shard_trees(shard_stores, natives, duals)
+            write_store_config(data_dir, cfg)
+        # shards > 1: loading needs the broker's router, so the
+        # checkpoint-then-pin step happens right after broker.load below.
 
     duration = min(cfg["ticks"] * cfg["period"], horizon * 0.9)
     start = min(horizon * 0.1, horizon - duration)
@@ -628,7 +714,25 @@ def _serve_durable(args: argparse.Namespace) -> int:
         promote_after=cfg["promote_after"],
         npdq_predict_margin=cfg["npdq_margin"],
     )
-    broker = QueryBroker(native, dual=dual, clock=clock, config=server_config)
+    if shards > 1:
+        plan = ShardPlan.grid([0.0, 0.0], [space_side, space_side], shards)
+        native_iter = iter(natives)
+        dual_iter = iter(duals)
+        broker = MultiplexBroker(
+            plan,
+            lambda: next(native_iter),
+            (lambda: next(dual_iter)) if need_dual else None,
+            clock=clock,
+            config=server_config,
+        )
+        if not resume:
+            broker.load(segments)
+            _checkpoint_shard_trees(shard_stores, natives, duals)
+            write_store_config(data_dir, cfg)
+    else:
+        broker = QueryBroker(
+            natives[0], dual=duals[0], clock=clock, config=server_config
+        )
     kinds = {
         "pdq": ["pdq"],
         "npdq": ["npdq"],
@@ -652,10 +756,11 @@ def _serve_durable(args: argparse.Namespace) -> int:
     # Churn: a deterministic insert batch lands at the start of every
     # not-yet-durable tick.  Batches for recovered ticks are *not*
     # resubmitted — their transactions replayed from the WAL.
+    churn_sink = broker if shards > 1 else broker.dispatcher
     for k in range(through + 1, cfg["ticks"]):
         batch = _churn_batch(cfg, k)
         if batch:
-            broker.dispatcher.submit_inserts(
+            churn_sink.submit_inserts(
                 batch, times=[clock.boundary(k)] * len(batch)
             )
 
@@ -664,16 +769,15 @@ def _serve_durable(args: argparse.Namespace) -> int:
     answers = _AnswerStream(
         os.path.join(data_dir, "answers.log"), through=through
     )
-    rtrees = {"native": native.tree}
-    if dual is not None:
-        rtrees["dual"] = dual.tree
-    hook = TickDurability(
-        [
-            (disk, log, rtrees[tree_name].recovery_meta)
-            for tree_name, (disk, log, _index, _report) in stores.items()
-        ],
-        checkpoint_every=cfg["checkpoint_every"],
-    )
+    # One durability driver spans every shard's stores: the master tick
+    # commits atomically across all K shards (the recovery cut is the
+    # minimum durable tick over all of them, see _durable_shard_stores).
+    triples = []
+    for i, stores in enumerate(shard_stores):
+        for tree_name, (disk, log, _index, _report) in stores.items():
+            tree = natives[i].tree if tree_name == "native" else duals[i].tree
+            triples.append((disk, log, tree.recovery_meta))
+    hook = TickDurability(triples, checkpoint_every=cfg["checkpoint_every"])
 
     def flush_answers(_tick) -> None:
         for session in broker.sessions:
@@ -708,7 +812,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
     broker.durability = hook
     for _ in range(remaining):
         broker.run_tick()
-    print(broker.metrics.summary())
+    print(broker.summary() if shards > 1 else broker.metrics.summary())
     broker.quiesce()
     hook.close()
     answers.close()
@@ -723,6 +827,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import (
         MultiplexBroker,
         QueryBroker,
+        RemoteMultiplexBroker,
         ServerConfig,
         ShardPlan,
         SimulatedClock,
@@ -737,6 +842,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    process_workers = args.workers == "process"
+    kill_plan = {}
+    for spec in args.kill_worker or []:
+        shard_s, sep, tick_s = spec.partition("@")
+        if not (sep and shard_s.isdigit() and tick_s.isdigit()):
+            print(
+                f"--kill-worker expects SHARD@TICK, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        shard_i, tick_i = int(shard_s), int(tick_s)
+        if not 0 <= shard_i < args.shards:
+            print(
+                f"--kill-worker shard {shard_i} out of range "
+                f"(store has {args.shards} shard(s))",
+                file=sys.stderr,
+            )
+            return 2
+        kill_plan[tick_i] = shard_i
+    if kill_plan and not process_workers:
+        print("--kill-worker requires --workers process", file=sys.stderr)
         return 2
 
     if args.scenario == "synthetic":
@@ -786,7 +913,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         promote_after=args.promote_after,
         npdq_predict_margin=args.npdq_margin,
     )
-    if args.shards > 1:
+    if process_workers:
+        broker = RemoteMultiplexBroker(
+            ShardPlan.grid([0.0, 0.0], [space_side, space_side], args.shards),
+            dims=2,
+            dual=need_dual,
+            clock=clock,
+            config=server_config,
+            kill_plan=kill_plan,
+        )
+        broker.load(segments)
+    elif args.shards > 1:
         broker = MultiplexBroker(
             ShardPlan.grid([0.0, 0.0], [space_side, space_side], args.shards),
             lambda: NativeSpaceIndex(dims=2),
@@ -818,6 +955,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             broker.register_pdq(client_id, trajectory)
         elif kind == "npdq":
             broker.register_npdq(client_id, trajectory)
+        elif process_workers:
+            # The path-of closure cannot cross the process boundary;
+            # the worker rebuilds it from the trajectory locally.
+            broker.register_auto(
+                client_id,
+                trajectory,
+                half_extents=(args.window / 2.0,) * 2,
+            )
         else:
             broker.register_auto(
                 client_id,
@@ -828,15 +973,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {args.clients} {args.kind} client(s) for {args.ticks} "
         f"tick(s) of {args.period} t.u. "
         f"(shared scan {'off' if args.no_shared_scan else 'on'}"
-        f"{f', {args.shards} shards' if args.shards > 1 else ''}) ...",
+        f"{f', {args.shards} shards' if args.shards > 1 else ''}"
+        f"{', process workers' if process_workers else ''}) ...",
         flush=True,
     )
-    broker.run(args.ticks)
-    if args.shards > 1:
+    answers = None
+    if getattr(args, "answer_log", None):
+        answers = _AnswerStream(args.answer_log, through=-1)
+    if answers is None:
+        broker.run(args.ticks)
+    else:
+        for _ in range(args.ticks):
+            broker.run_tick()
+            for session in broker.sessions:
+                for result in session.poll():
+                    answers.append(session.client_id, result)
+    if args.shards > 1 or process_workers:
         print(broker.summary())
     else:
         print(broker.metrics.summary())
     broker.quiesce()
+    if answers is not None:
+        answers.flush()
+        answers.close()
+        print(
+            f"answer stream: {answers.path} "
+            f"({answers.lines} line(s) appended)"
+        )
     return 0
 
 
@@ -874,6 +1037,13 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     if cfg is None:
         print(f"{args.data_dir} is not a durable store", file=sys.stderr)
         return 2
+    if cfg.get("shards", 1) > 1:
+        print(
+            "snapshots of sharded stores are not supported yet "
+            "(use the WAL: every committed tick is already recoverable)",
+            file=sys.stderr,
+        )
+        return 2
     stores, through = _durable_store(args.data_dir, cfg)
     snapshot_id = args.id or (f"tick{through:06d}" if through >= 0 else "base")
     manifest = write_snapshot(
@@ -905,8 +1075,16 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     import os
 
     from repro.errors import StorageError
-    from repro.storage.file import restore_snapshot
+    from repro.storage.file import read_store_config, restore_snapshot
 
+    cfg = read_store_config(args.data_dir)
+    if cfg is not None and cfg.get("shards", 1) > 1:
+        print(
+            "snapshots of sharded stores are not supported yet "
+            "(use the WAL: every committed tick is already recoverable)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         manifest = restore_snapshot(args.data_dir, args.id)
     except StorageError as exc:
@@ -940,39 +1118,56 @@ def _fsck_durable(args: argparse.Namespace) -> int:
     if cfg is None:
         print(f"{args.data_dir} is not a durable store", file=sys.stderr)
         return 2
-    stores, through = _durable_store(args.data_dir, cfg)
+    cfg.setdefault("shards", 1)
+    # A sharded store recurses into its shard-<i>/ subdirectories; the
+    # recovery cut is the global minimum so every shard is checked at
+    # the same master-tick boundary a resumed serve would use.
+    if cfg["shards"] > 1:
+        shard_stores, through = _durable_shard_stores(args.data_dir, cfg)
+        checks = [
+            (f"shard-{i}/", os.path.join(args.data_dir, f"shard-{i}"), stores)
+            for i, stores in enumerate(shard_stores)
+        ]
+    else:
+        stores, through = _durable_store(args.data_dir, cfg)
+        checks = [("", args.data_dir, stores)]
     rc = 0
-    for name, (disk, _log, index, _report) in sorted(stores.items()):
-        if index is None:
-            print(f"{name}: no recovery metadata; cannot check", file=sys.stderr)
-            rc = 1
-            continue
-        report = fsck(index.tree)
-        print(f"{name}: {report.summary()}")
-        for violation in report.violations:
-            print(f"  {violation}")
-        tree_ok = report.ok
-        if args.repair and not report.ok:
-            quarantined = disk.quarantine(
-                os.path.join(args.data_dir, "quarantine")
-            )
-            if quarantined:
+    for prefix, store_dir, stores in checks:
+        for name, (disk, _log, index, _report) in sorted(stores.items()):
+            label = prefix + name
+            if index is None:
                 print(
-                    f"{name}: quarantined damaged slot(s) "
-                    f"{', '.join(map(str, quarantined))} -> "
-                    f"{os.path.join(args.data_dir, 'quarantine')}"
+                    f"{label}: no recovery metadata; cannot check",
+                    file=sys.stderr,
                 )
-            repair_report = run_repair(index.tree)
-            print(f"{name}: {repair_report.summary()}")
-            disk.checkpoint(
-                meta=index.tree.recovery_meta(),
-                tick=through if through >= 0 else None,
-            )
-            # A clean repair clears *this* tree's failure, but must not
-            # mask an earlier tree's unrepaired one.
-            tree_ok = repair_report.ok
-        if not tree_ok:
-            rc = 1
+                rc = 1
+                continue
+            report = fsck(index.tree)
+            print(f"{label}: {report.summary()}")
+            for violation in report.violations:
+                print(f"  {violation}")
+            tree_ok = report.ok
+            if args.repair and not report.ok:
+                quarantined = disk.quarantine(
+                    os.path.join(store_dir, "quarantine")
+                )
+                if quarantined:
+                    print(
+                        f"{label}: quarantined damaged slot(s) "
+                        f"{', '.join(map(str, quarantined))} -> "
+                        f"{os.path.join(store_dir, 'quarantine')}"
+                    )
+                repair_report = run_repair(index.tree)
+                print(f"{label}: {repair_report.summary()}")
+                disk.checkpoint(
+                    meta=index.tree.recovery_meta(),
+                    tick=through if through >= 0 else None,
+                )
+                # A clean repair clears *this* tree's failure, but must
+                # not mask an earlier tree's unrepaired one.
+                tree_ok = repair_report.ok
+            if not tree_ok:
+                rc = 1
     # Snapshot manifests + tick consistency against the WAL tail.
     for sid in list_snapshots(args.data_dir):
         manifest, problems = verify_snapshot(args.data_dir, sid)
@@ -992,10 +1187,11 @@ def _fsck_durable(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"  {problem}")
             rc = 1
-    for _disk, log, _index, _report in stores.values():
-        log.close()
-    for disk, _log, _index, _report in stores.values():
-        disk.close()
+    for _prefix, _store_dir, stores in checks:
+        for _disk, log, _index, _report in stores.values():
+            log.close()
+        for disk, _log, _index, _report in stores.values():
+            disk.close()
     return rc
 
 
@@ -1166,6 +1362,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "each with its own index pair, behind a multiplexed front-end "
         "(1 = the single unsharded broker; answers are identical)",
     )
+    p_serve.add_argument(
+        "--workers",
+        choices=("inprocess", "process"),
+        default="inprocess",
+        help="where shards run: 'inprocess' hosts them in this process, "
+        "'process' spawns one worker process per shard behind the async "
+        "multiplex front-end (answers are identical either way)",
+    )
+    p_serve.add_argument(
+        "--kill-worker",
+        action="append",
+        metavar="SHARD@TICK",
+        help="chaos: SIGKILL the given shard's worker process just "
+        "before the given tick (repeatable; requires --workers process; "
+        "the worker is respawned and replayed, answers unchanged)",
+    )
+    p_serve.add_argument(
+        "--answer-log",
+        metavar="PATH",
+        help="append every delivered result to this tick-tagged answer "
+        "log (same format as a durable store's answers.log; for "
+        "byte-for-byte comparing serving configurations)",
+    )
     p_serve.add_argument("--period", type=float, default=0.1)
     p_serve.add_argument("--window", type=float, default=8.0)
     p_serve.add_argument("--queue-depth", type=int, default=64)
@@ -1193,7 +1412,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--data-dir",
         help="serve from a durable file-backed store in this directory: "
         "group-commit redo WAL per tick, fsynced answer stream, "
-        "kill-safe restart (re-run the same command to resume)",
+        "kill-safe restart (re-run the same command to resume); with "
+        "--shards K each shard persists under shard-<i>/ and the master "
+        "tick commits across all of them",
     )
     p_serve.add_argument(
         "--churn",

@@ -103,6 +103,23 @@ class AdmissionError(ServerError):
     """
 
 
+class RemoteError(ServerError):
+    """Failure in the out-of-process serving layer (:mod:`repro.server.remote`)."""
+
+
+class RemoteProtocolError(RemoteError):
+    """A wire frame was malformed (bad magic, version, CRC, or body).
+
+    Raised by the frame codec on either side of the pipe; a front-end
+    treats it like a worker crash (the stream position is unrecoverable)
+    and respawns the worker.
+    """
+
+
+class RemoteWorkerError(RemoteError):
+    """A shard worker failed: died, timed out, or replied with an error."""
+
+
 class AnalysisError(ReproError):
     """Failure raised by the :mod:`repro.analysis` tooling."""
 

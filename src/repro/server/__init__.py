@@ -15,7 +15,10 @@ isolated engines — without changing a single answer:
 * :mod:`~repro.server.broker` — the event loop tying them together;
 * :mod:`~repro.server.metrics` — per-client and per-tick accounting;
 * :mod:`~repro.server.shard` — spatial sharding: K index shards behind a
-  multiplexed front-end, answer-invariant by boundary replication.
+  multiplexed front-end, answer-invariant by boundary replication;
+* :mod:`~repro.server.remote` — the same front-end over K *spawned*
+  worker processes speaking a framed pipe protocol, with deterministic
+  respawn-and-replay when a worker dies.
 """
 
 from repro.server.broker import QueryBroker, ServerConfig
@@ -25,9 +28,11 @@ from repro.server.metrics import (
     ClientMetrics,
     LatencyModel,
     ServerMetrics,
+    ShardHealth,
     TickMetrics,
     merge_tick_metrics,
 )
+from repro.server.remote import RemoteMultiplexBroker, RemoteSubSession
 from repro.server.scheduler import BatchStats, SharedScanScheduler
 from repro.server.shard import (
     IndexShard,
@@ -73,4 +78,7 @@ __all__ = [
     "MuxClientSession",
     "MultiplexBroker",
     "merge_results",
+    "ShardHealth",
+    "RemoteMultiplexBroker",
+    "RemoteSubSession",
 ]

@@ -20,6 +20,7 @@ __all__ = [
     "LatencyModel",
     "ClientMetrics",
     "TickMetrics",
+    "ShardHealth",
     "ServerMetrics",
     "merge_tick_metrics",
 ]
@@ -138,6 +139,33 @@ def merge_tick_metrics(
 
 
 @dataclass
+class ShardHealth:
+    """Liveness and round-trip accounting for one out-of-process worker.
+
+    The latency fields are the *one* wall-clock measurement in the
+    metrics layer: they describe real subprocess round-trips (pipe +
+    scheduling + the worker's actual tick work), never the simulated
+    cost model, and they have no influence on answers — the lockstep
+    barrier makes tick outcomes independent of how long any worker
+    took.  Everything else here is a deterministic event count.
+    """
+
+    shard_id: int
+    requests: int = 0
+    replies: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    last_latency: float = 0.0
+    total_latency: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean request round-trip in wall-clock seconds."""
+        return self.total_latency / self.replies if self.replies else 0.0
+
+
+@dataclass
 class ServerMetrics:
     """Rolling global counters plus per-client and per-tick views."""
 
@@ -160,6 +188,9 @@ class ServerMetrics:
     total_latency: float = 0.0
     clients: Dict[str, ClientMetrics] = field(default_factory=dict)
     tick_log: List[TickMetrics] = field(default_factory=list)
+    # Populated only by the out-of-process front-end (one entry per
+    # spawned worker); stays empty for in-process serving.
+    shard_health: Dict[int, ShardHealth] = field(default_factory=dict)
 
     def client(self, client_id: str) -> ClientMetrics:
         """The (created-on-demand) per-client record."""
@@ -248,4 +279,14 @@ class ServerMetrics:
                         f" mispredicted={c.mispredicted_pages}"
                     )
                 lines.append(line)
+        if self.shard_health:
+            lines.append("worker health:")
+            for sid in sorted(self.shard_health):
+                h = self.shard_health[sid]
+                lines.append(
+                    f"  shard {sid:<2} replies={h.replies:<5} "
+                    f"mean_rtt_ms={h.mean_latency * 1000.0:.2f} "
+                    f"timeouts={h.timeouts} crashes={h.crashes} "
+                    f"restarts={h.restarts}"
+                )
         return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Out-of-process serving: shard workers behind an async front-end.
+
+The subsystem has three parts, layered bottom-up:
+
+* :mod:`repro.server.remote.protocol` — the length-prefixed, CRC-framed,
+  versioned message protocol both sides speak over a pipe.
+* :mod:`repro.server.remote.worker` — the ``python -m`` entrypoint that
+  owns one shard's broker and indexes inside its own process.
+* :mod:`repro.server.remote.broker` — the asyncio
+  :class:`~repro.server.remote.broker.RemoteMultiplexBroker` front-end
+  that spawns K workers, broadcasts each master tick concurrently,
+  barriers on every reply, and merges per-client results exactly like
+  the in-process :class:`~repro.server.shard.MultiplexBroker`.
+
+This package (plus the CLI) is the only place in the library allowed to
+touch process-spawning machinery — lint rule DQL06 enforces that.
+"""
+
+from repro.server.remote import protocol
+from repro.server.remote.broker import RemoteMultiplexBroker, RemoteSubSession
+
+__all__ = ["protocol", "RemoteMultiplexBroker", "RemoteSubSession"]

@@ -1,0 +1,788 @@
+"""Async multiplex front-end over out-of-process shard workers.
+
+:class:`RemoteMultiplexBroker` is the spawned-worker twin of the
+in-process :class:`~repro.server.shard.MultiplexBroker`: the same
+:class:`~repro.server.shard.ShardPlan` grid, the same
+:class:`~repro.server.shard.ShardRouter` segment/client routing, the
+same per-client merge (:func:`~repro.server.shard.merge_results`) and
+front-end-only shed/promote machinery — but each shard's broker lives
+in its own worker process (``python -m repro.server.remote.worker``)
+behind a framed pipe, and tick N is broadcast to all K workers
+*concurrently* on a private asyncio event loop, barriering on every
+reply before the merge phase runs.
+
+**Determinism.**  The master clock is the only clock: workers receive
+explicit tick boundaries, evaluate them with the same engines on the
+same routed state, and the barrier re-serialises their replies into
+shard order before merging — so the answer stream is byte-identical to
+the in-process front-end's on the same seed, whatever order replies
+arrive in.
+
+**Robustness.**  Every request carries a timeout; a timeout, pipe EOF
+or CRC failure marks the worker dead.  Each worker has a journal of
+every state-bearing message it has acknowledged (HELLO config, LOAD,
+REGISTER, SUBMIT, SHED/PROMOTE/CLOSE, TICK boundaries); recovery kills
+the remains, spawns a fresh process, and replays the journal — ticks
+replayed ``quiet`` so the fast-forward produces no duplicate results —
+then re-issues the in-flight request.  Because workers hold no state
+that did not arrive as a message, the rebuilt worker is bit-equivalent
+to the lost one and the answer stream is unperturbed.  Retries are
+bounded; per-shard :class:`~repro.server.metrics.ShardHealth` counts
+round-trips, timeouts, crashes and restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+from collections import OrderedDict
+from dataclasses import fields as _dataclass_fields
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import repro
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import AdmissionError, RemoteWorkerError, ServerError
+from repro.motion.segment import MotionSegment
+from repro.server.broker import ServerConfig
+from repro.server.clock import SimulatedClock, Tick
+from repro.server.dispatcher import UpdateOp
+from repro.server.metrics import (
+    ClientMetrics,
+    ServerMetrics,
+    ShardHealth,
+    TickMetrics,
+    merge_tick_metrics,
+)
+from repro.server.remote import protocol as proto
+from repro.server.session import SessionState, TickResult
+from repro.server.shard import (
+    _SHARD_QUEUE_DEPTH,
+    MuxClientSession,
+    ShardPlan,
+    ShardRouter,
+    merge_results,
+)
+
+__all__ = ["RemoteMultiplexBroker", "RemoteSubSession"]
+
+
+class _TransportError(RemoteWorkerError):
+    """A worker stopped answering (timeout, EOF, torn frame) — retryable."""
+
+
+#: Message types replayed against a respawned worker.  METRICS and
+#: SHUTDOWN are read-only / terminal and never journaled.
+_REPLAYABLE = frozenset(
+    {
+        proto.MSG_LOAD,
+        proto.MSG_REGISTER,
+        proto.MSG_TICK,
+        proto.MSG_SUBMIT,
+        proto.MSG_SHED,
+        proto.MSG_PROMOTE,
+        proto.MSG_CLOSE,
+    }
+)
+
+
+class RemoteSubSession:
+    """Front-end proxy for one client's sub-session on one worker.
+
+    Quacks like the shard-side :class:`~repro.server.session.ClientSession`
+    as far as :class:`~repro.server.shard.MuxClientSession` needs: it
+    buffers the results the worker shipped for this client, mirrors the
+    worker's per-client counters, and turns shed/promote/close into
+    commands queued for delivery ahead of the next broadcast (matching
+    the in-process timing: transitions decided during tick N's merge
+    take effect before tick N+1 everywhere).
+    """
+
+    def __init__(self, broker: "RemoteMultiplexBroker", shard_id: int,
+                 client_id: str, kind: str):
+        self._broker = broker
+        self.shard_id = shard_id
+        self.client_id = client_id
+        self.kind = kind
+        self.metrics = ClientMetrics(client_id)
+        self._pending: List[TickResult] = []
+        self._engine_reads = 0
+
+    @property
+    def logical_reads(self) -> int:
+        """Engine-level logical reads, mirrored from the worker."""
+        return self._engine_reads
+
+    def poll(self) -> List[TickResult]:
+        out, self._pending = self._pending, []
+        return out
+
+    def shed(self, delta: float, stride: int) -> None:
+        self._broker._enqueue_command(
+            self.shard_id,
+            proto.MSG_SHED,
+            {"client_id": self.client_id, "delta": delta, "stride": stride},
+        )
+
+    def promote(self) -> None:
+        self._broker._enqueue_command(
+            self.shard_id, proto.MSG_PROMOTE, {"client_id": self.client_id}
+        )
+
+    def close(self) -> None:
+        self._broker._enqueue_command(
+            self.shard_id, proto.MSG_CLOSE, {"client_id": self.client_id}
+        )
+
+    def _absorb(self, results: Sequence[TickResult], stats: Optional[Dict]):
+        self._pending.extend(results)
+        if stats is None:
+            return
+        self._engine_reads = int(stats["engine_reads"])
+        m = self.metrics
+        m.logical_reads = int(stats["logical_reads"])
+        m.predicted_pages = int(stats["predicted_pages"])
+        m.actual_pages = int(stats["actual_pages"])
+        m.mispredicted_pages = int(stats["mispredicted_pages"])
+
+
+class _WorkerHandle:
+    """One spawned worker: process, journal, health, client proxies."""
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.health = ShardHealth(shard_id)
+        self.hello_request: Dict[str, Any] = {}
+        self.hello: Dict[str, Any] = {}
+        self.journal: List[Tuple[int, Any]] = []
+        self.pending: List[Tuple[int, Any]] = []
+        self.subs: Dict[str, RemoteSubSession] = {}
+
+
+class RemoteMultiplexBroker:
+    """A front-end fanning clients out over K spawned shard workers.
+
+    Mirrors the in-process :class:`~repro.server.shard.MultiplexBroker`
+    API (``over_segments``/``load``/``register_*``/``submit``/
+    ``run_tick``/``quiesce``/``summary``), with two remote-specific
+    limits: session kwargs must be JSON-encodable (no fault budgets
+    across the pipe), and auto clients are registered by *trajectory* —
+    the worker rebuilds the centre path locally, since an arbitrary
+    path callable cannot cross a process boundary.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        dims: int = 2,
+        dual: bool = True,
+        clock: Optional[SimulatedClock] = None,
+        config: Optional[ServerConfig] = None,
+        page_size: Optional[int] = None,
+        request_timeout: float = 60.0,
+        max_restarts: int = 3,
+        kill_plan: Optional[Dict[int, int]] = None,
+    ):
+        self.plan = plan
+        self.router = ShardRouter(plan)
+        self.clock = clock or SimulatedClock()
+        self.config = config or ServerConfig()
+        self.dims = dims
+        self.dual = dual
+        self.page_size = page_size
+        self.request_timeout = float(request_timeout)
+        self.max_restarts = int(max_restarts)
+        #: tick index -> shard id; that worker is SIGKILLed at the start
+        #: of the tick (chaos hook for ``--kill-worker`` and tests).
+        self.kill_plan = dict(kill_plan or {})
+        self.metrics = ServerMetrics()
+        self._sessions: "OrderedDict[str, MuxClientSession]" = OrderedDict()
+        self._loop = asyncio.new_event_loop()
+        self._closed = False
+        self.workers = [_WorkerHandle(i) for i in range(plan.shard_count)]
+        for handle in self.workers:
+            self.metrics.shard_health[handle.shard_id] = handle.health
+        try:
+            self._run(self._start_all())
+        except BaseException:
+            self.close()
+            raise
+        first = self.workers[0].hello
+        uncertainties = [float(first["native_uncertainty"])]
+        if dual:
+            uncertainties.append(float(first["dual_uncertainty"]))
+        self._route_inflation = max(uncertainties)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def over_segments(
+        cls,
+        segments: Iterable[MotionSegment],
+        shards: int,
+        dims: int = 2,
+        dual: bool = True,
+        clock: Optional[SimulatedClock] = None,
+        config: Optional[ServerConfig] = None,
+        page_size: Optional[int] = None,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        **kwargs: Any,
+    ) -> "RemoteMultiplexBroker":
+        """Spawn a loaded K-worker broker over a segment population.
+
+        Grid-bounds derivation matches the in-process front-end exactly
+        (the answer-invariance property depends on identical plans).
+        """
+        segments = list(segments)
+        if bounds is not None:
+            low, high = list(bounds[0]), list(bounds[1])
+        else:
+            if not segments:
+                raise ServerError(
+                    "cannot derive shard bounds from an empty population"
+                )
+            low = [
+                min(s.bounding_box().extent(1 + a).low for s in segments)
+                for a in range(dims)
+            ]
+            high = [
+                max(s.bounding_box().extent(1 + a).high for s in segments)
+                for a in range(dims)
+            ]
+        plan = ShardPlan.grid(low, high, shards)
+        broker = cls(
+            plan,
+            dims=dims,
+            dual=dual,
+            clock=clock,
+            config=config,
+            page_size=page_size,
+            **kwargs,
+        )
+        try:
+            broker.load(segments)
+        except BaseException:
+            broker.close()
+            raise
+        return broker
+
+    def load(self, segments: Iterable[MotionSegment]) -> List[int]:
+        """Bulk-load the population, replicating boundary segments.
+
+        The front-end computes each shard's subset (same record order,
+        same routing as :meth:`MultiplexBroker.load`) and ships it in
+        one LOAD frame; returns per-shard record counts.
+        """
+        segments = list(segments)
+        buckets: List[List[MotionSegment]] = [[] for _ in self.workers]
+        for record in segments:
+            for shard_id in self.router.shards_for_segment(
+                record, inflate=self._route_inflation
+            ):
+                buckets[shard_id].append(record)
+
+        async def _load_all() -> None:
+            await asyncio.gather(
+                *(
+                    self._request(
+                        handle,
+                        proto.MSG_LOAD,
+                        {"segments": buckets[handle.shard_id]},
+                    )
+                    for handle in self.workers
+                    if buckets[handle.shard_id]
+                )
+            )
+
+        self._run(_load_all())
+        return [len(bucket) for bucket in buckets]
+
+    # -- registration / admission control ----------------------------------
+
+    @property
+    def sessions(self) -> List[MuxClientSession]:
+        """Live front-end sessions in registration order."""
+        return [
+            s
+            for s in self._sessions.values()
+            if s.state is not SessionState.CLOSED
+        ]
+
+    def session(self, client_id: str) -> MuxClientSession:
+        """Look up one front-end session (KeyError when never registered)."""
+        return self._sessions[client_id]
+
+    def _check_admission(self, client_id: str) -> None:
+        if len(self.sessions) >= self.config.max_clients:
+            self.metrics.rejections += 1
+            raise AdmissionError(
+                f"server full ({self.config.max_clients} clients); "
+                f"rejected {client_id!r}"
+            )
+        if client_id in self._sessions and (
+            self._sessions[client_id].state is not SessionState.CLOSED
+        ):
+            raise ServerError(f"client id {client_id!r} already registered")
+
+    def register_pdq(
+        self, client_id: str, trajectory: QueryTrajectory, **kwargs: Any
+    ) -> MuxClientSession:
+        """Admit a predictive client on every shard its trajectory (plus
+        the shed δ-slack) can touch."""
+        self._check_admission(client_id)
+        shard_ids = self.router.shards_for_trajectory(
+            trajectory, slack=self.config.shed_delta
+        )
+        return self._register(
+            client_id,
+            "pdq",
+            shard_ids,
+            {"trajectory": trajectory, "kwargs": kwargs},
+        )
+
+    def register_npdq(
+        self, client_id: str, trajectory: QueryTrajectory, **kwargs: Any
+    ) -> MuxClientSession:
+        """Admit a non-predictive client on every shard its frame
+        windows can touch (static routing, like the in-process mux)."""
+        if not self.dual:
+            raise ServerError("broker has no dual-time index for NPDQ clients")
+        self._check_admission(client_id)
+        shard_ids = self.router.shards_for_trajectory(trajectory)
+        return self._register(
+            client_id,
+            "npdq",
+            shard_ids,
+            {"trajectory": trajectory, "kwargs": kwargs},
+        )
+
+    def register_auto(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        half_extents: Sequence[float],
+        **session_kwargs: Any,
+    ) -> MuxClientSession:
+        """Admit an auto-mode client on *every* shard.
+
+        Takes the observer's trajectory rather than a path callable;
+        each worker derives the centre path from it locally (the same
+        ``path_of`` construction the CLI uses), since a closure cannot
+        be shipped across the process boundary.
+        """
+        if not self.dual:
+            raise ServerError("broker has no dual-time index for auto clients")
+        self._check_admission(client_id)
+        shard_ids = list(range(self.plan.shard_count))
+        return self._register(
+            client_id,
+            "auto",
+            shard_ids,
+            {
+                "trajectory": trajectory,
+                "half_extents": list(half_extents),
+                "kwargs": session_kwargs,
+            },
+        )
+
+    def _register(
+        self,
+        client_id: str,
+        kind: str,
+        shard_ids: Sequence[int],
+        extra: Dict[str, Any],
+    ) -> MuxClientSession:
+        payload = {"client_id": client_id, "kind": kind}
+        payload.update(extra)
+
+        async def _do() -> None:
+            await asyncio.gather(
+                *(
+                    self._request(
+                        self.workers[sid], proto.MSG_REGISTER, payload
+                    )
+                    for sid in shard_ids
+                )
+            )
+
+        self._run(_do())
+        parts = []
+        for sid in shard_ids:
+            sub = RemoteSubSession(self, sid, client_id, kind)
+            self.workers[sid].subs[client_id] = sub
+            parts.append((sid, sub))
+        session = MuxClientSession(client_id, self.config.queue_depth, parts)
+        self._sessions[client_id] = session
+        self.metrics.admissions += 1
+        self.metrics.clients[client_id] = session.metrics
+        return session
+
+    def close_client(self, client_id: str) -> None:
+        """Close one client on every shard, freeing its admission slot."""
+        self._sessions[client_id].close()
+
+    # -- the update stream --------------------------------------------------
+
+    def submit(self, op: UpdateOp) -> None:
+        """Route one insert/expire to every worker holding its segment."""
+        shard_ids = self.router.shards_for_segment(
+            op.segment, inflate=self._route_inflation
+        )
+
+        async def _do() -> None:
+            for sid in shard_ids:
+                await self._request(
+                    self.workers[sid], proto.MSG_SUBMIT, {"op": op}
+                )
+
+        self._run(_do())
+
+    def submit_inserts(self, segments, times=None) -> None:
+        """Queue an insert per segment (due at its start time by default)."""
+        for i, segment in enumerate(segments):
+            due = segment.time.low if times is None else times[i]
+            self.submit(UpdateOp(due, "insert", segment))
+
+    # -- the serving loop ----------------------------------------------------
+
+    def run_tick(self) -> TickMetrics:
+        """One master tick: broadcast, barrier on all replies, merge."""
+        tick = self.clock.next_tick()
+        victim = self.kill_plan.pop(tick.index, None)
+        if victim is not None:
+            self._kill_worker(victim)
+        replies = self._run(self._broadcast_tick(tick))
+        served = self._merge_phase(replies)
+        self.metrics.writer_crashes = sum(
+            r["writer_crashes"] for r in replies
+        )
+        self.metrics.updates_deferred = sum(
+            r["updates_deferred"] for r in replies
+        )
+        self.metrics.updates_dropped = sum(
+            r["updates_dropped"] for r in replies
+        )
+        shard_ticks = [r["tick"] for r in replies]
+        tick_metrics = merge_tick_metrics(shard_ticks, clients_served=served)
+        self.metrics.record_tick(tick_metrics)
+        return tick_metrics
+
+    async def _broadcast_tick(self, tick: Tick) -> List[Any]:
+        return list(
+            await asyncio.gather(
+                *(self._shard_tick(handle, tick) for handle in self.workers)
+            )
+        )
+
+    async def _shard_tick(self, handle: _WorkerHandle, tick: Tick) -> Any:
+        pending, handle.pending = handle.pending, []
+        for msg_type, payload in pending:
+            await self._request(handle, msg_type, payload)
+        return await self._request(
+            handle,
+            proto.MSG_TICK,
+            {
+                "index": tick.index,
+                "start": tick.start,
+                "end": tick.end,
+                "quiet": False,
+            },
+        )
+
+    def _merge_phase(self, replies: Sequence[Any]) -> int:
+        for handle, reply in zip(self.workers, replies):
+            for client_id, results in reply["results"]:
+                sub = handle.subs.get(client_id)
+                if sub is not None:
+                    sub._absorb(results, reply["clients"].get(client_id))
+        served = 0
+        for session in self.sessions:
+            sub_results = [
+                result
+                for _, sub in session.parts
+                for result in sub.poll()
+            ]
+            self._roll_up_client(session)
+            if not sub_results:
+                continue
+            served += 1
+            merged = merge_results(sub_results)
+            ok = session.deliver(merged)
+            if not ok and session.kind == "pdq":
+                if session.state is SessionState.ACTIVE:
+                    session.shed(
+                        self.config.shed_delta, self.config.shed_stride
+                    )
+                    session.metrics.shed_events += 1
+                    self.metrics.shed_events += 1
+            elif ok and session.kind == "pdq":
+                if session.observe_queue(
+                    self.config.promote_after, self.config.promote_depth
+                ):
+                    session.metrics.promote_events += 1
+                    self.metrics.promote_events += 1
+        return served
+
+    def _roll_up_client(self, session: MuxClientSession) -> None:
+        subs = [sub for _, sub in session.parts]
+        m = session.metrics
+        m.logical_reads = sum(s.metrics.logical_reads for s in subs)
+        m.predicted_pages = sum(s.metrics.predicted_pages for s in subs)
+        m.actual_pages = sum(s.metrics.actual_pages for s in subs)
+        m.mispredicted_pages = sum(
+            s.metrics.mispredicted_pages for s in subs
+        )
+
+    def run(self, ticks: int) -> List[TickMetrics]:
+        """Serve ``ticks`` consecutive master ticks."""
+        return [self.run_tick() for _ in range(ticks)]
+
+    def quiesce(self) -> int:
+        """Close every client, flush deferred expires, reap the workers."""
+        for session in list(self._sessions.values()):
+            session.close()
+
+        async def _one(handle: _WorkerHandle) -> Any:
+            pending, handle.pending = handle.pending, []
+            for msg_type, payload in pending:
+                await self._request(handle, msg_type, payload)
+            return await self._request(handle, proto.MSG_SHUTDOWN, {})
+
+        async def _do() -> List[Any]:
+            return list(
+                await asyncio.gather(*(_one(h) for h in self.workers))
+            )
+
+        replies = self._run(_do())
+        expired = sum(int(r["expired"]) for r in replies)
+        self.close()
+        return expired
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down every worker process and the private event loop."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _teardown() -> None:
+            for handle in self.workers:
+                proc = handle.proc
+                handle.proc = None
+                if proc is None:
+                    continue
+                if proc.returncode is None:
+                    if proc.stdin is not None:
+                        proc.stdin.close()
+                    try:
+                        await asyncio.wait_for(proc.wait(), 5.0)
+                    except asyncio.TimeoutError:
+                        proc.kill()
+                        await proc.wait()
+
+        try:
+            self._loop.run_until_complete(_teardown())
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "RemoteMultiplexBroker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------------
+
+    def _run(self, coro: Any) -> Any:
+        if self._closed:
+            raise RemoteWorkerError("the remote broker is closed")
+        return self._loop.run_until_complete(coro)
+
+    def _enqueue_command(
+        self, shard_id: int, msg_type: int, payload: Any
+    ) -> None:
+        """Queue a command for delivery ahead of the next broadcast."""
+        self.workers[shard_id].pending.append((msg_type, payload))
+
+    def _kill_worker(self, shard_id: int) -> None:
+        """SIGKILL one worker (chaos hook); recovery is the respawn path."""
+        proc = self.workers[shard_id].proc
+        if proc is not None and proc.returncode is None:
+            proc.kill()
+
+    def _config_payload(self) -> Dict[str, Any]:
+        shard_config = replace(
+            self.config,
+            queue_depth=_SHARD_QUEUE_DEPTH,
+            promote_after=0,
+        )
+        payload = {
+            f.name: getattr(shard_config, f.name)
+            for f in _dataclass_fields(shard_config)
+        }
+        latency = payload.pop("latency")
+        payload["latency"] = [latency.read, latency.cpu]
+        return payload
+
+    async def _start_all(self) -> None:
+        for handle in self.workers:
+            handle.hello_request = {
+                "shard_id": handle.shard_id,
+                "dims": self.dims,
+                "page_size": self.page_size,
+                "dual": self.dual,
+                "clock_start": self.clock.start,
+                "clock_period": self.clock.period,
+                "config": self._config_payload(),
+            }
+        await asyncio.gather(*(self._hello(h) for h in self.workers))
+
+    async def _hello(self, handle: _WorkerHandle) -> None:
+        await self._launch(handle)
+        handle.hello = await self._roundtrip(
+            handle, proto.MSG_HELLO, handle.hello_request
+        )
+
+    async def _launch(self, handle: _WorkerHandle) -> None:
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        handle.proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.server.remote.worker",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+        )
+
+    async def _request(
+        self, handle: _WorkerHandle, msg_type: int, payload: Any
+    ) -> Any:
+        """One request with bounded retry; each retry is a respawn.
+
+        Resending to a half-processed worker is unsafe (it may have
+        applied the mutation before dying mid-reply), so the retry unit
+        is the full deterministic rebuild: kill, respawn, replay the
+        journal, then re-issue this request against known-good state.
+        """
+        attempts = 0
+        while True:
+            try:
+                reply = await self._roundtrip(handle, msg_type, payload)
+            except _TransportError:
+                attempts += 1
+                if attempts > self.max_restarts:
+                    raise RemoteWorkerError(
+                        f"shard {handle.shard_id} worker failed "
+                        f"{attempts} times; giving up"
+                    )
+                await self._respawn(handle)
+                continue
+            if msg_type in _REPLAYABLE:
+                handle.journal.append((msg_type, payload))
+            return reply
+
+    async def _roundtrip(
+        self, handle: _WorkerHandle, msg_type: int, payload: Any
+    ) -> Any:
+        proc = handle.proc
+        if proc is None or proc.returncode is not None:
+            handle.health.crashes += 1
+            raise _TransportError(
+                f"shard {handle.shard_id} worker is not running"
+            )
+        handle.health.requests += 1
+        started = self._loop.time()
+        try:
+            proc.stdin.write(proto.pack_frame(msg_type, payload))
+            await proc.stdin.drain()
+            header = await asyncio.wait_for(
+                proc.stdout.readexactly(proto.FRAME_HEADER_SIZE),
+                self.request_timeout,
+            )
+            reply_type, length, crc = proto.parse_header(header)
+            body = await asyncio.wait_for(
+                proc.stdout.readexactly(length), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            handle.health.timeouts += 1
+            raise _TransportError(
+                f"shard {handle.shard_id} {proto.message_name(msg_type)} "
+                f"timed out after {self.request_timeout}s"
+            )
+        except (
+            asyncio.IncompleteReadError,
+            BrokenPipeError,
+            ConnectionResetError,
+        ) as exc:
+            handle.health.crashes += 1
+            raise _TransportError(
+                f"shard {handle.shard_id} worker died mid-"
+                f"{proto.message_name(msg_type)} ({type(exc).__name__})"
+            )
+        reply = proto.decode_body(body, crc)
+        elapsed = self._loop.time() - started
+        handle.health.replies += 1
+        handle.health.last_latency = elapsed
+        handle.health.total_latency += elapsed
+        if reply_type == proto.MSG_ERROR:
+            # An application-level failure is deterministic: the same
+            # request against replayed state fails the same way, so it
+            # is surfaced, never retried.
+            raise RemoteWorkerError(
+                f"shard {handle.shard_id} {proto.message_name(msg_type)} "
+                f"failed: {reply.get('kind')}: {reply.get('error')}"
+            )
+        return reply
+
+    async def _respawn(self, handle: _WorkerHandle) -> None:
+        """Deterministic respawn-and-replay after a worker loss."""
+        proc = handle.proc
+        if proc is not None:
+            if proc.returncode is None:
+                proc.kill()
+            await proc.wait()
+            handle.proc = None
+        handle.health.restarts += 1
+        await self._launch(handle)
+        await self._roundtrip(handle, proto.MSG_HELLO, handle.hello_request)
+        for msg_type, payload in handle.journal:
+            if msg_type == proto.MSG_TICK:
+                payload = dict(payload)
+                payload["quiet"] = True
+            await self._roundtrip(handle, msg_type, payload)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """The global rollup (incl. worker health) plus per-shard lines."""
+        lines = [self.metrics.summary(), "per-shard:"]
+
+        async def _collect() -> List[Any]:
+            return list(
+                await asyncio.gather(
+                    *(
+                        self._request(h, proto.MSG_METRICS, {})
+                        for h in self.workers
+                    )
+                )
+            )
+
+        for handle, m in zip(self.workers, self._run(_collect())):
+            lines.append(
+                f"  shard {handle.shard_id:<2} "
+                f"records={m['records']:<6} "
+                f"clients={m['clients']:<3} "
+                f"physical={m['physical_reads']:<6} "
+                f"({m['reads_per_tick']:.1f}/tick) "
+                f"logical={m['logical_reads']:<6} "
+                f"updates={m['updates_applied']}"
+            )
+        return "\n".join(lines)

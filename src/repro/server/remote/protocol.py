@@ -1,0 +1,379 @@
+"""Wire protocol between the remote front-end and its shard workers.
+
+One message is one *frame*: a fixed 16-byte header followed by a JSON
+body.  The header mirrors the durable WAL's slot-header discipline
+(magic, version, type, length, CRC32 of the body), so a torn or
+corrupted frame is detected before any payload is interpreted:
+
+    offset  size  field
+    0       4     magic ``DQRW``
+    4       1     protocol version (currently 1)
+    5       1     message type
+    6       2     (padding)
+    8       4     body length in bytes (little-endian)
+    12      4     CRC32 of the body
+
+The body is canonical JSON (sorted keys, no whitespace) so identical
+payloads encode to identical bytes.  Library objects cross the pipe
+through a small typed-object registry — each is wrapped as
+``{"!dq": tag, "v": ...}`` with an explicit per-type schema — rather
+than pickling, keeping the wire format language-neutral, versionable,
+and safe to parse from an untrusted peer.  Floats survive exactly:
+``json`` emits ``repr``-round-trippable literals, which is what makes
+byte-identical answers across the process boundary possible at all.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import fields as _dataclass_fields
+from typing import Any, BinaryIO, Dict, Optional, Tuple
+
+from repro.core.results import AnswerItem
+from repro.core.trajectory import KeySnapshot, QueryTrajectory
+from repro.errors import RemoteProtocolError
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.segment import SpaceTimeSegment
+from repro.motion.segment import MotionSegment
+from repro.server.dispatcher import UpdateOp
+from repro.server.metrics import TickMetrics
+from repro.server.session import TickResult
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FRAME_MAGIC",
+    "FRAME_HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "MSG_HELLO",
+    "MSG_LOAD",
+    "MSG_REGISTER",
+    "MSG_TICK",
+    "MSG_SUBMIT",
+    "MSG_SHED",
+    "MSG_PROMOTE",
+    "MSG_CLOSE",
+    "MSG_METRICS",
+    "MSG_SHUTDOWN",
+    "MSG_RESULT",
+    "MSG_ERROR",
+    "message_name",
+    "pack_frame",
+    "parse_header",
+    "decode_body",
+    "read_frame",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+FRAME_MAGIC = b"DQRW"
+
+#: magic, version, message type, 2 pad bytes, body length, body CRC32.
+_FRAME = struct.Struct("<4sBB2xII")
+FRAME_HEADER_SIZE = _FRAME.size
+
+#: Hard cap on one frame's body; a length field beyond this is treated
+#: as corruption, not as a request to allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 28
+
+# -- message types ---------------------------------------------------------
+
+MSG_HELLO = 1  # front-end -> worker: build the shard's broker
+MSG_LOAD = 2  # front-end -> worker: bulk-load this shard's segment subset
+MSG_REGISTER = 3  # front-end -> worker: admit one client sub-session
+MSG_TICK = 4  # front-end -> worker: run one master tick, return results
+MSG_SUBMIT = 5  # front-end -> worker: enqueue one insert/expire op
+MSG_SHED = 6  # front-end -> worker: degrade one sub-session to SPDQ
+MSG_PROMOTE = 7  # front-end -> worker: restore one sub-session
+MSG_CLOSE = 8  # front-end -> worker: close one sub-session
+MSG_METRICS = 9  # front-end -> worker: report shard-level counters
+MSG_SHUTDOWN = 10  # front-end -> worker: quiesce and exit
+MSG_RESULT = 32  # worker -> front-end: successful reply
+MSG_ERROR = 33  # worker -> front-end: the request raised a ReproError
+
+_MESSAGE_NAMES = {
+    MSG_HELLO: "HELLO",
+    MSG_LOAD: "LOAD",
+    MSG_REGISTER: "REGISTER",
+    MSG_TICK: "TICK",
+    MSG_SUBMIT: "SUBMIT",
+    MSG_SHED: "SHED",
+    MSG_PROMOTE: "PROMOTE",
+    MSG_CLOSE: "CLOSE",
+    MSG_METRICS: "METRICS",
+    MSG_SHUTDOWN: "SHUTDOWN",
+    MSG_RESULT: "RESULT",
+    MSG_ERROR: "ERROR",
+}
+
+
+def message_name(msg_type: int) -> str:
+    """Human-readable name for a message type (for diagnostics)."""
+    return _MESSAGE_NAMES.get(msg_type, f"UNKNOWN({msg_type})")
+
+
+# -- the typed-object registry ---------------------------------------------
+
+_WIRE_KEY = "!dq"
+
+
+def _enc_interval(iv: Interval) -> Any:
+    return [iv.low, iv.high]
+
+
+def _dec_interval(v: Any) -> Interval:
+    return Interval(float(v[0]), float(v[1]))
+
+
+def _enc_box(box: Box) -> Any:
+    return [[e.low, e.high] for e in box.extents]
+
+
+def _dec_box(v: Any) -> Box:
+    return Box(Interval(float(low), float(high)) for low, high in v)
+
+
+def _enc_sts(seg: SpaceTimeSegment) -> Any:
+    return {
+        "t": _enc_interval(seg.time),
+        "o": list(seg.origin),
+        "v": list(seg.velocity),
+    }
+
+
+def _dec_sts(v: Any) -> SpaceTimeSegment:
+    return SpaceTimeSegment(
+        _dec_interval(v["t"]),
+        tuple(float(x) for x in v["o"]),
+        tuple(float(x) for x in v["v"]),
+    )
+
+
+def _enc_motion(rec: MotionSegment) -> Any:
+    return {"id": rec.object_id, "seq": rec.seq, "s": _enc_sts(rec.segment)}
+
+
+def _dec_motion(v: Any) -> MotionSegment:
+    return MotionSegment(int(v["id"]), int(v["seq"]), _dec_sts(v["s"]))
+
+
+def _enc_key_snapshot(ks: KeySnapshot) -> Any:
+    return {"t": ks.time, "w": _enc_box(ks.window)}
+
+
+def _dec_key_snapshot(v: Any) -> KeySnapshot:
+    return KeySnapshot(float(v["t"]), _dec_box(v["w"]))
+
+
+def _enc_trajectory(traj: QueryTrajectory) -> Any:
+    return [_enc_key_snapshot(k) for k in traj.key_snapshots]
+
+
+def _dec_trajectory(v: Any) -> QueryTrajectory:
+    return QueryTrajectory([_dec_key_snapshot(k) for k in v])
+
+
+def _enc_answer_item(item: AnswerItem) -> Any:
+    return {"r": _enc_motion(item.record), "vis": _enc_interval(item.visibility)}
+
+
+def _dec_answer_item(v: Any) -> AnswerItem:
+    return AnswerItem(_dec_motion(v["r"]), _dec_interval(v["vis"]))
+
+
+def _enc_tick_result(r: TickResult) -> Any:
+    return {
+        "index": r.index,
+        "start": r.start,
+        "end": r.end,
+        "mode": r.mode,
+        "items": [_enc_answer_item(i) for i in r.items],
+        "prefetched": [_enc_answer_item(i) for i in r.prefetched],
+        "degraded": r.degraded,
+        "covers_until": r.covers_until,
+    }
+
+
+def _dec_tick_result(v: Any) -> TickResult:
+    covers = v.get("covers_until")
+    return TickResult(
+        index=int(v["index"]),
+        start=float(v["start"]),
+        end=float(v["end"]),
+        mode=str(v["mode"]),
+        items=tuple(_dec_answer_item(i) for i in v["items"]),
+        prefetched=tuple(_dec_answer_item(i) for i in v["prefetched"]),
+        degraded=bool(v["degraded"]),
+        covers_until=None if covers is None else float(covers),
+    )
+
+
+def _enc_tick_metrics(tm: TickMetrics) -> Any:
+    return {f.name: getattr(tm, f.name) for f in _dataclass_fields(tm)}
+
+
+def _dec_tick_metrics(v: Any) -> TickMetrics:
+    return TickMetrics(**v)
+
+
+def _enc_update_op(op: UpdateOp) -> Any:
+    return {"time": op.time, "kind": op.kind, "seg": _enc_motion(op.segment)}
+
+
+def _dec_update_op(v: Any) -> UpdateOp:
+    return UpdateOp(float(v["time"]), str(v["kind"]), _dec_motion(v["seg"]))
+
+
+_BY_TYPE: Dict[type, Tuple[str, Any]] = {
+    Interval: ("iv", _enc_interval),
+    Box: ("box", _enc_box),
+    SpaceTimeSegment: ("sts", _enc_sts),
+    MotionSegment: ("seg", _enc_motion),
+    KeySnapshot: ("ks", _enc_key_snapshot),
+    QueryTrajectory: ("traj", _enc_trajectory),
+    AnswerItem: ("ai", _enc_answer_item),
+    TickResult: ("tr", _enc_tick_result),
+    TickMetrics: ("tm", _enc_tick_metrics),
+    UpdateOp: ("op", _enc_update_op),
+}
+
+_BY_TAG: Dict[str, Any] = {
+    "iv": _dec_interval,
+    "box": _dec_box,
+    "sts": _dec_sts,
+    "seg": _dec_motion,
+    "ks": _dec_key_snapshot,
+    "traj": _dec_trajectory,
+    "ai": _dec_answer_item,
+    "tr": _dec_tick_result,
+    "tm": _dec_tick_metrics,
+    "op": _dec_update_op,
+}
+
+
+def _to_wire(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    entry = _BY_TYPE.get(type(value))
+    if entry is not None:
+        tag, encode = entry
+        return {_WIRE_KEY: tag, "v": encode(value)}
+    if isinstance(value, (list, tuple)):
+        return [_to_wire(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _to_wire(v) for k, v in value.items()}
+    raise RemoteProtocolError(
+        f"cannot encode {type(value).__name__} on the wire; "
+        "register it in the protocol's typed-object registry"
+    )
+
+
+def _from_wire(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get(_WIRE_KEY)
+        if tag is not None:
+            decode = _BY_TAG.get(tag)
+            if decode is None:
+                raise RemoteProtocolError(f"unknown wire-object tag {tag!r}")
+            return decode(value["v"])
+        return {k: _from_wire(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_from_wire(v) for v in value]
+    return value
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def pack_frame(msg_type: int, payload: Any) -> bytes:
+    """Serialise one message into its framed byte representation."""
+    body = json.dumps(
+        _to_wire(payload), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"{message_name(msg_type)} body of {len(body)} bytes exceeds "
+            f"the {MAX_FRAME_BYTES}-byte frame cap"
+        )
+    header = _FRAME.pack(
+        FRAME_MAGIC,
+        PROTOCOL_VERSION,
+        msg_type,
+        len(body),
+        zlib.crc32(body) & 0xFFFFFFFF,
+    )
+    return header + body
+
+
+def parse_header(raw: bytes) -> Tuple[int, int, int]:
+    """Validate a frame header; returns ``(msg_type, length, crc)``."""
+    if len(raw) != FRAME_HEADER_SIZE:
+        raise RemoteProtocolError(
+            f"frame header is {len(raw)} bytes, expected {FRAME_HEADER_SIZE}"
+        )
+    magic, version, msg_type, length, crc = _FRAME.unpack(raw)
+    if magic != FRAME_MAGIC:
+        raise RemoteProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise RemoteProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return msg_type, length, crc
+
+
+def decode_body(body: bytes, crc: int) -> Any:
+    """CRC-check and decode one frame body into its payload."""
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise RemoteProtocolError("frame body failed its CRC32 check")
+    try:
+        raw = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RemoteProtocolError(f"frame body is not valid JSON: {exc}")
+    return _from_wire(raw)
+
+
+def read_frame(fp: BinaryIO) -> Optional[Tuple[int, Any]]:
+    """Read one frame from a blocking binary stream.
+
+    Returns ``(msg_type, payload)``, or ``None`` on a clean EOF at a
+    frame boundary (the peer closed the pipe).  EOF *inside* a frame is
+    corruption and raises :class:`~repro.errors.RemoteProtocolError`.
+    """
+    header = _read_exactly(fp, FRAME_HEADER_SIZE, allow_eof=True)
+    if header is None:
+        return None
+    msg_type, length, crc = parse_header(header)
+    body = _read_exactly(fp, length, allow_eof=False)
+    return msg_type, decode_body(body, crc)
+
+
+def _read_exactly(
+    fp: BinaryIO, count: int, allow_eof: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = fp.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise RemoteProtocolError(
+                f"stream ended {remaining} bytes short of a "
+                f"{count}-byte frame section"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(fp: BinaryIO, msg_type: int, payload: Any) -> None:
+    """Frame and write one message, flushing so the peer can react."""
+    fp.write(pack_frame(msg_type, payload))
+    fp.flush()

@@ -1,0 +1,232 @@
+"""Shard worker: one process, one index shard, one framed pipe.
+
+Run as ``python -m repro.server.remote.worker``.  The worker reads
+framed requests (see :mod:`repro.server.remote.protocol`) on stdin and
+writes one framed reply per request on stdout; stderr stays free for
+tracebacks.  It owns one shard's worth of serving machinery — a native
+and (optionally) dual-time index with their own buffer pools, a
+:class:`~repro.server.broker.QueryBroker` with its shared-scan
+scheduler and single-writer dispatcher — and is driven entirely by its
+front-end: the worker's clock never self-advances, every tick boundary
+arrives over the wire, so K workers replay exactly the lockstep
+schedule the in-process :class:`~repro.server.shard.MultiplexBroker`
+would run.
+
+The worker is deliberately *stateless across its own lifetime*: every
+mutation it holds (loaded segments, registrations, submitted update
+ops, shed/promote transitions, served ticks) arrived as a message, so
+the front-end can rebuild a SIGKILL'd worker by replaying its message
+journal against a fresh process — the respawn path leans on this.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, BinaryIO, Dict, Optional
+
+from repro.errors import RemoteProtocolError, ReproError
+from repro.index.dualtime import DualTimeIndex
+from repro.index.nsi import NativeSpaceIndex
+from repro.server.broker import QueryBroker, ServerConfig
+from repro.server.clock import SimulatedClock, Tick
+from repro.server.metrics import LatencyModel
+from repro.server.remote import protocol as proto
+from repro.workload.observers import path_of
+
+__all__ = ["ShardWorker", "serve", "main"]
+
+
+def _decode_config(payload: Any) -> ServerConfig:
+    fields = dict(payload)
+    read, cpu = fields.pop("latency")
+    return ServerConfig(latency=LatencyModel(float(read), float(cpu)), **fields)
+
+
+class ShardWorker:
+    """Message-driven owner of one shard's broker and index pair."""
+
+    def __init__(self) -> None:
+        self.shard_id: Optional[int] = None
+        self.native: Optional[NativeSpaceIndex] = None
+        self.dual: Optional[DualTimeIndex] = None
+        self.broker: Optional[QueryBroker] = None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, msg_type: int, payload: Any) -> Any:
+        """Process one request; returns the RESULT payload or raises."""
+        handler = _HANDLERS.get(msg_type)
+        if handler is None:
+            raise RemoteProtocolError(
+                f"worker cannot handle {proto.message_name(msg_type)}"
+            )
+        if msg_type != proto.MSG_HELLO and self.broker is None:
+            if msg_type == proto.MSG_SHUTDOWN:
+                return {"expired": 0}
+            raise RemoteProtocolError(
+                f"{proto.message_name(msg_type)} before HELLO"
+            )
+        return handler(self, payload)
+
+    # -- request handlers --------------------------------------------------
+
+    def _hello(self, p: Any) -> Any:
+        index_kwargs: Dict[str, Any] = {"dims": int(p["dims"])}
+        if p.get("page_size") is not None:
+            index_kwargs["page_size"] = int(p["page_size"])
+        self.shard_id = int(p["shard_id"])
+        self.native = NativeSpaceIndex(**index_kwargs)
+        self.dual = DualTimeIndex(**index_kwargs) if p["dual"] else None
+        self.broker = QueryBroker(
+            self.native,
+            dual=self.dual,
+            clock=SimulatedClock(
+                start=float(p["clock_start"]), period=float(p["clock_period"])
+            ),
+            config=_decode_config(p["config"]),
+        )
+        return {
+            "shard_id": self.shard_id,
+            "native_uncertainty": self.native.uncertainty,
+            "dual_uncertainty": (
+                self.dual.uncertainty if self.dual is not None else None
+            ),
+        }
+
+    def _load(self, p: Any) -> Any:
+        segments = p["segments"]
+        if segments:
+            self.native.bulk_load(segments)
+            if self.dual is not None:
+                self.dual.bulk_load(segments)
+        return {"records": len(self.native)}
+
+    def _register(self, p: Any) -> Any:
+        kind = p["kind"]
+        client_id = p["client_id"]
+        kwargs = dict(p.get("kwargs") or {})
+        if kind == "pdq":
+            self.broker.register_pdq(client_id, p["trajectory"], **kwargs)
+        elif kind == "npdq":
+            self.broker.register_npdq(client_id, p["trajectory"], **kwargs)
+        elif kind == "auto":
+            self.broker.register_auto(
+                client_id,
+                path_of(p["trajectory"]),
+                [float(x) for x in p["half_extents"]],
+                **kwargs,
+            )
+        else:
+            raise RemoteProtocolError(f"unknown session kind {kind!r}")
+        return {"client_id": client_id, "kind": kind}
+
+    def _tick(self, p: Any) -> Any:
+        tick = Tick(int(p["index"]), float(p["start"]), float(p["end"]))
+        tick_metrics = self.broker.run_tick(tick)
+        quiet = bool(p.get("quiet"))
+        results = []
+        clients: Dict[str, Any] = {}
+        for session in self.broker.sessions:
+            polled = session.poll()
+            if not quiet:
+                results.append([session.client_id, polled])
+            m = session.metrics
+            clients[session.client_id] = {
+                "engine_reads": session.logical_reads,
+                "logical_reads": m.logical_reads,
+                "predicted_pages": m.predicted_pages,
+                "actual_pages": m.actual_pages,
+                "mispredicted_pages": m.mispredicted_pages,
+            }
+        bm = self.broker.metrics
+        return {
+            "tick": tick_metrics,
+            "results": results,
+            "clients": clients,
+            "writer_crashes": bm.writer_crashes,
+            "updates_deferred": bm.updates_deferred,
+            "updates_dropped": bm.updates_dropped,
+        }
+
+    def _submit(self, p: Any) -> Any:
+        self.broker.dispatcher.submit(p["op"])
+        return {"queued": True}
+
+    def _shed(self, p: Any) -> Any:
+        self.broker.session(p["client_id"]).shed(
+            float(p["delta"]), int(p["stride"])
+        )
+        return {}
+
+    def _promote(self, p: Any) -> Any:
+        self.broker.session(p["client_id"]).promote()
+        return {}
+
+    def _close(self, p: Any) -> Any:
+        self.broker.close_client(p["client_id"])
+        return {}
+
+    def _metrics(self, p: Any) -> Any:
+        m = self.broker.metrics
+        return {
+            "records": len(self.native),
+            "clients": len(self.broker.sessions),
+            "physical_reads": m.physical_reads,
+            "reads_per_tick": m.reads_per_tick,
+            "logical_reads": m.logical_reads,
+            "updates_applied": m.updates_applied,
+        }
+
+    def _shutdown(self, p: Any) -> Any:
+        return {"expired": self.broker.quiesce()}
+
+
+_HANDLERS = {
+    proto.MSG_HELLO: ShardWorker._hello,
+    proto.MSG_LOAD: ShardWorker._load,
+    proto.MSG_REGISTER: ShardWorker._register,
+    proto.MSG_TICK: ShardWorker._tick,
+    proto.MSG_SUBMIT: ShardWorker._submit,
+    proto.MSG_SHED: ShardWorker._shed,
+    proto.MSG_PROMOTE: ShardWorker._promote,
+    proto.MSG_CLOSE: ShardWorker._close,
+    proto.MSG_METRICS: ShardWorker._metrics,
+    proto.MSG_SHUTDOWN: ShardWorker._shutdown,
+}
+
+
+def serve(stdin: BinaryIO, stdout: BinaryIO) -> int:
+    """Request/reply loop until SHUTDOWN or the front-end closes the pipe.
+
+    A :class:`~repro.errors.ReproError` from a handler becomes an ERROR
+    reply (the worker survives: the failure is the request's, not the
+    process's); anything else escapes and kills the worker, which the
+    front-end observes as a crash and handles via respawn-and-replay.
+    """
+    worker = ShardWorker()
+    while True:
+        frame = proto.read_frame(stdin)
+        if frame is None:
+            return 0
+        msg_type, payload = frame
+        try:
+            reply = worker.handle(msg_type, payload)
+        except ReproError as exc:
+            proto.write_frame(
+                stdout,
+                proto.MSG_ERROR,
+                {"error": str(exc), "kind": type(exc).__name__},
+            )
+            continue
+        proto.write_frame(stdout, proto.MSG_RESULT, reply)
+        if msg_type == proto.MSG_SHUTDOWN:
+            return 0
+
+
+def main() -> int:
+    """Entry point for ``python -m repro.server.remote.worker``."""
+    return serve(sys.stdin.buffer, sys.stdout.buffer)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -358,6 +358,10 @@ class PDQSession(ClientSession):
     def will_serve(self, tick: Tick) -> bool:
         if self.state is SessionState.CLOSED:
             return False
+        if tick.start > self._span_end():
+            # The trajectory has ended: a window past its span has no
+            # answers, and [tick.start, span_end] would be inverted.
+            return False
         return tick.index >= self._next_eval
 
     def frontier_pages(self, tick: Tick) -> List[int]:

@@ -381,6 +381,15 @@ class MultiplexBroker:
     config:
         Front-end tunables.  Shard brokers inherit them except for
         queue depth and promotion, which only exist at the front-end.
+    durability:
+        Optional duck-typed durability driver
+        (``begin_tick``/``commit_tick``), driven at the *master* tick
+        boundary: ``begin_tick`` before any shard serves, ``commit_tick``
+        after the merge phase delivered every client's result.  One
+        driver spans every shard's stores, so the group-commit cut
+        keeps all K shards mutually consistent.  Shard brokers always
+        run with ``durability=None`` — the front-end owns the tick
+        transaction.
     """
 
     def __init__(
@@ -390,11 +399,13 @@ class MultiplexBroker:
         dual_factory: Optional[Callable[[], DualTimeIndex]] = None,
         clock: Optional[SimulatedClock] = None,
         config: Optional[ServerConfig] = None,
+        durability: Optional[object] = None,
     ):
         self.plan = plan
         self.router = ShardRouter(plan)
         self.clock = clock or SimulatedClock()
         self.config = config or ServerConfig()
+        self.durability = durability
         shard_config = replace(
             self.config,
             queue_depth=_SHARD_QUEUE_DEPTH,
@@ -628,6 +639,8 @@ class MultiplexBroker:
     def run_tick(self) -> TickMetrics:
         """One master tick: every shard broker, then the merge phase."""
         tick = self.clock.next_tick()
+        if self.durability is not None:
+            self.durability.begin_tick(tick)
         shard_ticks = [
             shard.broker.run_tick(tick) for shard in self.shards
         ]
@@ -643,6 +656,8 @@ class MultiplexBroker:
         )
         tick_metrics = merge_tick_metrics(shard_ticks, clients_served=served)
         self.metrics.record_tick(tick_metrics)
+        if self.durability is not None:
+            self.durability.commit_tick(tick)
         return tick_metrics
 
     def _merge_phase(self, tick: Tick) -> int:

@@ -202,6 +202,45 @@ class TestLayeringRules:
             )
             assert code == 0, f"{exempt} must be exempt from DQL05"
 
+    def test_dql06_subprocess_outside_remote(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL06",
+            "repro/server/broker.py",
+            "import subprocess\n\n\n"
+            "def spawn():\n"
+            "    return subprocess.Popen(['true'])\n",
+        )
+
+    def test_dql06_socket_and_multiprocessing_from_imports(
+        self, tmp_path, capsys
+    ):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/index/mod.py",
+            "from socket import socketpair\n"
+            "from multiprocessing.connection import Pipe\n",
+        )
+        assert code == 1
+        assert out.count("DQL06") == 2
+
+    def test_dql06_remote_package_and_cli_are_exempt(self, tmp_path, capsys):
+        for exempt in (
+            "repro/server/remote/broker.py",
+            "repro/server/remote/worker.py",
+            "repro/cli.py",
+        ):
+            code, _ = lint_file(
+                tmp_path,
+                capsys,
+                exempt,
+                "import subprocess\n"
+                "import socket\n",
+            )
+            assert code == 0, f"{exempt} must be exempt from DQL06"
+
     def test_dqx01_resurrected_alias(self, tmp_path, capsys):
         assert_flags(
             tmp_path,

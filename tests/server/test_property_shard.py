@@ -3,7 +3,9 @@
 For K in {1, 2, 4} shards, any mixed PDQ / NPDQ / auto fleet, any fleet
 overlap structure, and any small concurrent insert + expire stream, the
 multiplexed front-end delivers per-snapshot answer sets identical to the
-single unsharded broker fed the same streams on the same seed.
+single unsharded broker fed the same streams on the same seed — and the
+*out-of-process* front-end (spawned shard workers behind the framed
+pipe protocol) matches both.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -12,6 +14,7 @@ from hypothesis import strategies as st
 from repro.server import (
     MultiplexBroker,
     QueryBroker,
+    RemoteMultiplexBroker,
     ServerConfig,
     SimulatedClock,
     UpdateOp,
@@ -45,13 +48,22 @@ def build_ops(scenario, trajectories, tiny_segments):
 
 
 def drive(broker, scenario, trajectories, ops):
-    sink = broker if isinstance(broker, MultiplexBroker) else broker.dispatcher
+    remote = isinstance(broker, RemoteMultiplexBroker)
+    sink = (
+        broker.dispatcher
+        if isinstance(broker, QueryBroker)
+        else broker
+    )
     for i, (spec, traj) in enumerate(zip(scenario["clients"], trajectories)):
         cid = f"c{i}"
         if spec == "pdq":
             broker.register_pdq(cid, traj)
         elif spec == "npdq":
             broker.register_npdq(cid, traj)
+        elif remote:
+            # The remote front-end takes the trajectory itself: a path
+            # closure cannot cross the process boundary.
+            broker.register_auto(cid, traj, HALF)
         else:
             broker.register_auto(cid, path_of(traj), HALF)
     for op in ops:
@@ -133,3 +145,58 @@ def test_sharded_answers_match_unsharded(
     got = drive(sharded, scenario, trajectories, ops)
 
     assert got == expected
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(scenario=scenario_st)
+def test_remote_workers_match_in_process_and_unsharded(
+    scenario, tiny_config, tiny_segments, build_native, build_dual
+):
+    """Three-way: unsharded ≡ in-process mux ≡ spawned-worker mux.
+
+    Few examples — every one spawns K worker processes — but each pins
+    the whole stack: routing, the wire protocol's float fidelity, the
+    asyncio barrier's reply re-serialisation, and the merge phase.
+    """
+    trajectories = observer_fleet(
+        tiny_config,
+        len(scenario["clients"]),
+        mode=scenario["mode"],
+        duration=TICKS * PERIOD + 0.5,
+        start_time=START,
+        seed=scenario["seed"],
+    )
+    ops = build_ops(scenario, trajectories, tiny_segments)
+
+    unsharded = QueryBroker(
+        build_native(),
+        dual=build_dual(),
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(queue_depth=1000),
+    )
+    expected = drive(unsharded, scenario, trajectories, ops)
+
+    sharded = MultiplexBroker.over_segments(
+        tiny_segments,
+        shards=scenario["shards"],
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(queue_depth=1000),
+        page_size=PAGE_SIZE,
+    )
+    assert drive(sharded, scenario, trajectories, ops) == expected
+
+    remote = RemoteMultiplexBroker.over_segments(
+        tiny_segments,
+        shards=scenario["shards"],
+        clock=SimulatedClock(start=START, period=PERIOD),
+        config=ServerConfig(queue_depth=1000),
+        page_size=PAGE_SIZE,
+    )
+    try:
+        assert drive(remote, scenario, trajectories, ops) == expected
+    finally:
+        remote.close()
