@@ -26,6 +26,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.asyncsafety import (
+    BlockingAsyncCallRule,
+    SharedTableAsyncMutationRule,
+    UnawaitedCoroutineRule,
+)
 from repro.analysis.crashsafety import (
     MutableDefaultArgRule,
     SharedMutableClassAttrRule,
@@ -67,6 +72,9 @@ ALL_RULES: Tuple[Rule, ...] = tuple(
             UnloggedPageMutationRule(),
             MutableDefaultArgRule(),
             SharedMutableClassAttrRule(),
+            BlockingAsyncCallRule(),
+            UnawaitedCoroutineRule(),
+            SharedTableAsyncMutationRule(),
         ),
         key=lambda rule: rule.id,
     )
@@ -91,11 +99,16 @@ class LintReport:
     suppressed: int = 0
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: baseline keys whose allowance was not (fully) consumed even
+    #: though the keyed file was checked: dead ratchet weight.
+    stale: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """True when nothing new was found (baselined debt is tolerated)."""
-        return not self.violations and not self.parse_errors
+        """True when nothing new was found (baselined debt is tolerated,
+        *stale* baseline debt is not: a fixed violation must be
+        ratcheted out with ``--update-baseline``, not carried)."""
+        return not self.violations and not self.parse_errors and not self.stale
 
     def render(self, show_baselined: bool = False) -> str:
         """Human-readable report, one violation per line."""
@@ -103,19 +116,71 @@ class LintReport:
         if show_baselined:
             lines += [f"{v.render()} [baselined]" for v in self.baselined]
         lines += [f"{path}: parse error" for path in self.parse_errors]
+        lines += [
+            f"{key}: stale baseline entry (violation no longer exists; "
+            f"run --update-baseline to ratchet it out)"
+            for key in self.stale
+        ]
         summary = (
             f"{self.files_checked} files checked: "
             f"{len(self.violations)} new violation(s), "
             f"{len(self.baselined)} baselined, {self.suppressed} suppressed"
         )
+        if self.stale:
+            summary += f", {len(self.stale)} stale baseline entr(ies)"
         return "\n".join(lines + [summary])
+
+    def to_json(self) -> str:
+        """Machine-readable report for ``--format json`` / CI artifacts."""
+
+        def encode(violation: Violation) -> Dict[str, object]:
+            return {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+                "witness": list(violation.witness),
+            }
+
+        payload = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "violations": [encode(v) for v in self.violations],
+            "baselined": [encode(v) for v in self.baselined],
+            "parse_errors": list(self.parse_errors),
+            "stale_baseline": list(self.stale),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
 
 
 class LintEngine:
-    """Run :data:`ALL_RULES` (or a subset) over files and directories."""
+    """Run :data:`ALL_RULES` (or a subset) over files and directories.
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+    With ``graph=True`` a second, whole-program phase runs after the
+    per-file rules: the parsed modules are assembled into a
+    :class:`~repro.analysis.graph.model.Program` and every rule in
+    ``graph_rules`` (default
+    :data:`~repro.analysis.graph.GRAPH_RULES`) checks it.  Graph
+    violations flow through the same suppression comments and baseline
+    allowance as per-file ones.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        graph_rules: Optional[Sequence] = None,
+        graph: bool = False,
+    ):
         self.rules: Tuple[Rule, ...] = tuple(rules) if rules else ALL_RULES
+        self.graph = graph
+        if graph_rules is not None:
+            self.graph_rules = tuple(graph_rules)
+        else:
+            from repro.analysis.graph import GRAPH_RULES
+
+            self.graph_rules = GRAPH_RULES
 
     # -- file discovery -----------------------------------------------------
 
@@ -146,6 +211,15 @@ class LintEngine:
 
     # -- per-file checking ----------------------------------------------------
 
+    @staticmethod
+    def _file_suppressions(lines: List[str]) -> set:
+        suppressed: set = set()
+        for line in lines:
+            match = _SUPPRESS_FILE.search(line)
+            if match:
+                suppressed |= _parse_ids(match.group(1))
+        return suppressed
+
     def check_file(self, path: Path) -> Tuple[List[Violation], int, bool]:
         """Lint one file: (kept violations, suppressed count, parsed ok)."""
         display = str(path)
@@ -155,11 +229,7 @@ class LintEngine:
         except (SyntaxError, ValueError, OSError):
             return [], 0, False
         lines = source.splitlines()
-        file_suppressed: set = set()
-        for line in lines:
-            match = _SUPPRESS_FILE.search(line)
-            if match:
-                file_suppressed |= _parse_ids(match.group(1))
+        file_suppressed = self._file_suppressions(lines)
         parts = path.resolve().parts
         kept: List[Violation] = []
         suppressed = 0
@@ -194,25 +264,90 @@ class LintEngine:
         baseline: Optional[Dict[str, int]] = None,
     ) -> LintReport:
         """Lint ``paths``; violations covered by ``baseline`` counts are
-        reported separately and do not fail the run."""
+        reported separately and do not fail the run.  A baseline
+        allowance that goes *unconsumed* for a file that was checked is
+        reported as stale and fails the run — the ratchet only ever
+        tightens.  With ``graph=True`` the whole-program rules run
+        over every parsed ``repro.*`` module after the per-file phase.
+        """
         report = LintReport()
         allowance: Dict[str, int] = dict(baseline or {})
+        # (display, parts, module) for the graph phase plus the per-file
+        # suppression context graph violations are reconciled against.
+        parsed: List[Tuple[str, Tuple[str, ...], ast.Module]] = []
+        suppression: Dict[str, Tuple[List[str], set]] = {}
+        checked: set = set()
         for path in self.discover(paths):
-            violations, suppressed, parsed = self.check_file(path)
             report.files_checked += 1
-            report.suppressed += suppressed
-            if not parsed:
-                report.parse_errors.append(str(path))
+            display = str(path)
+            checked.add(display)
+            try:
+                source = path.read_text()
+                module = ast.parse(source, filename=display)
+            except (SyntaxError, ValueError, OSError):
+                report.parse_errors.append(display)
                 continue
+            lines = source.splitlines()
+            file_suppressed = self._file_suppressions(lines)
+            parts = tuple(path.resolve().parts)
+            parsed.append((display, parts, module))
+            suppression[display] = (lines, file_suppressed)
+            kept: List[Violation] = []
+            for rule in self.rules:
+                if not rule.applies(parts):
+                    continue
+                for violation in rule.check(module, source, display):
+                    if self._suppressed(violation, lines, file_suppressed):
+                        report.suppressed += 1
+                    else:
+                        kept.append(violation)
             for violation in sorted(
-                violations, key=lambda v: (v.line, v.col, v.rule)
+                kept, key=lambda v: (v.line, v.col, v.rule)
             ):
-                if allowance.get(violation.baseline_key, 0) > 0:
-                    allowance[violation.baseline_key] -= 1
-                    report.baselined.append(violation)
-                else:
-                    report.violations.append(violation)
+                self._settle(violation, allowance, report)
+        if self.graph and parsed:
+            self._run_graph(parsed, suppression, allowance, report)
+        for key in sorted(allowance):
+            if allowance[key] > 0 and key.rsplit("::", 1)[0] in checked:
+                report.stale.append(key)
         return report
+
+    def _run_graph(
+        self,
+        parsed: List[Tuple[str, Tuple[str, ...], ast.Module]],
+        suppression: Dict[str, Tuple[List[str], set]],
+        allowance: Dict[str, int],
+        report: LintReport,
+    ) -> None:
+        from repro.analysis.graph import build_program
+
+        program = build_program(parsed)
+        kept: List[Violation] = []
+        for rule in self.graph_rules:
+            for violation in rule.check_program(program):
+                lines, file_suppressed = suppression.get(
+                    violation.path, ([], set())
+                )
+                if self._suppressed(violation, lines, file_suppressed):
+                    report.suppressed += 1
+                else:
+                    kept.append(violation)
+        for violation in sorted(
+            kept, key=lambda v: (v.path, v.line, v.col, v.rule)
+        ):
+            self._settle(violation, allowance, report)
+
+    @staticmethod
+    def _settle(
+        violation: Violation,
+        allowance: Dict[str, int],
+        report: LintReport,
+    ) -> None:
+        if allowance.get(violation.baseline_key, 0) > 0:
+            allowance[violation.baseline_key] -= 1
+            report.baselined.append(violation)
+        else:
+            report.violations.append(violation)
 
     # -- baseline persistence ------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""Whole-program analysis: the repo-wide import+call graph.
+
+The per-file rules (DQD/DQL) see one module at a time, so a transitive
+import (``server → workload → storage.disk``) or a wall-clock call two
+hops below an engine module sails through them.  This package closes
+that hole:
+
+* :mod:`repro.analysis.graph.model` parses every ``repro.*`` module
+  into a :class:`~repro.analysis.graph.model.Program` — import edges
+  (top-level, lazy/function-local, and ``__getattr__`` deferred
+  re-exports), a name-based call graph at function granularity, and
+  primitive *effect sites* (wall-clock, unseeded RNG, filesystem I/O,
+  process/socket APIs);
+* :mod:`repro.analysis.graph.layers` enforces the declared layer
+  contracts in transitive closure (DQG01), with the witness path in
+  every diagnostic;
+* :mod:`repro.analysis.graph.effects` propagates effect sites over the
+  import+call graph (DQG02–DQG04), flagging modules that can *reach*
+  an effect their layer forbids;
+* :mod:`repro.analysis.graph.protocol` cross-references the remote
+  protocol registry, the worker's ``_HANDLERS`` table, and every
+  front-end send site (DQP01).
+
+Surfaced through ``repro-dq lint --graph`` via the same suppression
+and baseline machinery as the per-file rules.
+"""
+
+from repro.analysis.graph.effects import (
+    EntropyReachRule,
+    FilesystemReachRule,
+    ProcessReachRule,
+)
+from repro.analysis.graph.layers import LayerContract, LayerReachRule
+from repro.analysis.graph.model import (
+    EffectSite,
+    GraphRule,
+    ImportEdge,
+    ModuleInfo,
+    Program,
+    build_program,
+    module_name_for,
+)
+from repro.analysis.graph.protocol import ProtocolDriftRule
+
+__all__ = [
+    "GRAPH_RULES",
+    "GraphRule",
+    "Program",
+    "ModuleInfo",
+    "ImportEdge",
+    "EffectSite",
+    "LayerContract",
+    "LayerReachRule",
+    "EntropyReachRule",
+    "FilesystemReachRule",
+    "ProcessReachRule",
+    "ProtocolDriftRule",
+    "build_program",
+    "module_name_for",
+]
+
+#: Every registered whole-program rule, id-sorted; run by ``lint --graph``.
+GRAPH_RULES = tuple(
+    sorted(
+        (
+            LayerReachRule(),
+            EntropyReachRule(),
+            FilesystemReachRule(),
+            ProcessReachRule(),
+            ProtocolDriftRule(),
+        ),
+        key=lambda rule: rule.id,
+    )
+)

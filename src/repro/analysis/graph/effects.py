@@ -1,0 +1,329 @@
+"""DQG02–DQG04: effect reachability over the import+call graph.
+
+The per-file determinism/isolation rules (DQD01/02, DQL05/06) flag an
+effect *in the module that performs it*.  This pass flags the modules
+that can **reach** one: every primitive effect site recorded by the
+model (wall-clock reads, unseeded RNG, filesystem I/O, process/socket
+APIs) is propagated backwards over the call graph to a fixpoint, so a
+server module calling a helper that calls ``time.time()`` two modules
+away is charged with the wall-clock dependency even though no rule
+fires on its own text.
+
+Propagation is *call-based*: a function inherits the effects of every
+function it calls, and importing a module inherits only that module's
+import-time (top-level) effects — merely importing a module whose
+*functions* do I/O charges you with nothing until you call one.  That
+asymmetry is what keeps ``import repro`` in a leaf module from
+inheriting the union of the whole library's effects.
+
+Each rule reports one violation per (source module, effect kind,
+defining module), anchored at the reaching function's ``def`` line,
+with the function-level witness chain in the message and the
+module-level chain in :attr:`Violation.witness`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.graph.model import (
+    EDGE_EAGER,
+    EDGE_LAZY,
+    MODULE_BODY,
+    EffectSite,
+    GraphRule,
+    ModuleInfo,
+    Program,
+)
+from repro.analysis.rules import Violation
+
+__all__ = [
+    "EntropyReachRule",
+    "FilesystemReachRule",
+    "ProcessReachRule",
+    "effect_reach",
+]
+
+#: A call-graph node: (dotted module, function qualname).
+_Node = Tuple[str, str]
+
+
+def _under(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+def _under_any(name: str, prefixes: Sequence[str]) -> bool:
+    return any(_under(name, p) for p in prefixes)
+
+
+def _chase(
+    program: Program, module: str, attr: str, depth: int = 8
+) -> Optional[Tuple[str, str]]:
+    """Follow from-import/re-export chains to the defining (module, name)."""
+    current = module
+    for _ in range(depth):
+        info = program.modules.get(current)
+        if info is None:
+            return None
+        origin = info.export_origin.get(attr)
+        if origin is None:
+            return current, attr
+        next_mod, next_attr = origin
+        if f"{next_mod}.{next_attr}" in program.modules:
+            # The name is bound to a submodule, not a callable.
+            return None
+        current, attr = next_mod, next_attr
+    return None
+
+
+def _resolve_call(
+    program: Program, info: ModuleInfo, ref: Tuple
+) -> List[_Node]:
+    """Call-graph successors for one recorded call reference."""
+    kind = ref[0]
+    if kind == "local":
+        name = ref[1]
+        targets = []
+        if name in info.functions:
+            targets.append((info.name, name))
+        if f"{name}.__init__" in info.functions:
+            targets.append((info.name, f"{name}.__init__"))
+        return targets
+    if kind == "self":
+        attr = ref[1]
+        return [
+            (info.name, qual)
+            for qual in info.functions
+            if qual.endswith(f".{attr}")
+        ]
+    # ("mod", dotted, attr) and ("member", dotted, orig) resolve the
+    # same way: find the defining module, then the function or class
+    # initializer of that name inside it.
+    dotted, attr = ref[1], ref[2]
+    if f"{dotted}.{attr}" in program.modules:
+        return []
+    resolved = _chase(program, dotted, attr)
+    if resolved is None:
+        return []
+    target_mod, target_attr = resolved
+    target = program.modules.get(target_mod)
+    if target is None:
+        return []
+    targets = []
+    if target_attr in target.functions:
+        targets.append((target_mod, target_attr))
+    if f"{target_attr}.__init__" in target.functions:
+        targets.append((target_mod, f"{target_attr}.__init__"))
+    return targets
+
+
+def effect_reach(
+    program: Program,
+) -> Dict[_Node, Dict[EffectSite, Optional[_Node]]]:
+    """Fixpoint: every effect site each call-graph node can reach.
+
+    The value per (node, site) is the *first hop* — the callee through
+    which the site was first discovered — so a witness chain can be
+    reconstructed by following hops until ``None`` (the site's own
+    node).  Memoised on the program: the three reach rules share one
+    propagation.
+    """
+    cached = getattr(program, "_effect_reach", None)
+    if cached is not None:
+        return cached
+
+    callers: Dict[_Node, List[_Node]] = {}
+    edge_seen: Set[Tuple[_Node, _Node]] = set()
+
+    def add_edge(caller: _Node, callee: _Node) -> None:
+        if caller == callee or (caller, callee) in edge_seen:
+            return
+        edge_seen.add((caller, callee))
+        callers.setdefault(callee, []).append(caller)
+
+    for name in sorted(program.modules):
+        info = program.modules[name]
+        for edge in info.edges:
+            # Importing a module runs (only) its top-level body.
+            if edge.kind in (EDGE_EAGER, EDGE_LAZY) and (
+                edge.dst in program.modules
+            ):
+                add_edge((name, edge.func), (edge.dst, MODULE_BODY))
+        for qual, fn in info.functions.items():
+            node = (name, qual)
+            for ref in fn.calls:
+                for callee in _resolve_call(program, info, ref):
+                    add_edge(node, callee)
+
+    reached: Dict[_Node, Dict[EffectSite, Optional[_Node]]] = {}
+    work = deque()
+    for name in sorted(program.modules):
+        info = program.modules[name]
+        for qual, fn in info.functions.items():
+            if not fn.effects:
+                continue
+            node = (name, qual)
+            store = reached.setdefault(node, {})
+            for site in fn.effects:
+                store.setdefault(site, None)
+            work.append(node)
+    while work:
+        node = work.popleft()
+        sites = reached.get(node, {})
+        for caller in callers.get(node, ()):
+            store = reached.setdefault(caller, {})
+            changed = False
+            for site in sites:
+                if site not in store:
+                    store[site] = node
+                    changed = True
+            if changed:
+                work.append(caller)
+
+    program._effect_reach = reached
+    return reached
+
+
+def _witness(
+    reached: Dict[_Node, Dict[EffectSite, Optional[_Node]]],
+    node: _Node,
+    site: EffectSite,
+) -> Tuple[List[str], Tuple[str, ...]]:
+    """(function-level chain for the message, module-level witness)."""
+    funcs: List[str] = []
+    modules: List[str] = []
+    current: Optional[_Node] = node
+    while current is not None:
+        mod, qual = current
+        funcs.append(mod if qual == MODULE_BODY else f"{mod}:{qual}")
+        if not modules or modules[-1] != mod:
+            modules.append(mod)
+        current = reached.get(current, {}).get(site)
+        if current is None:
+            break
+        if reached.get(current, {}).get(site, "missing") == "missing":
+            break
+    if not modules or modules[-1] != site.module:
+        modules.append(site.module)
+    return funcs, tuple(modules)
+
+
+class _EffectReachRule(GraphRule):
+    """Shared machinery: which kinds, which modules, one report each."""
+
+    kinds: Tuple[str, ...] = ()
+    #: module prefixes the rule binds (empty = every repro module) ...
+    sources: Tuple[str, ...] = ()
+    #: ... minus these prefixes (the layer allowed to own the effect).
+    exempt: Tuple[str, ...] = ()
+    describe: str = "effect"
+
+    def _binds(self, module: str) -> bool:
+        if self.sources and not _under_any(module, self.sources):
+            return False
+        return not _under_any(module, self.exempt)
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        reached = effect_reach(program)
+        for name in sorted(program.modules):
+            if not self._binds(name):
+                continue
+            info = program.modules[name]
+            seen: Set[Tuple[str, str]] = set()
+            ordered = sorted(
+                info.functions.items(), key=lambda kv: (kv[1].lineno, kv[0])
+            )
+            for qual, fn in ordered:
+                node = (name, qual)
+                sites = reached.get(node)
+                if not sites:
+                    continue
+                for site in sorted(
+                    sites, key=lambda s: (s.module, s.kind, s.line, s.col)
+                ):
+                    if site.kind not in self.kinds or site.module == name:
+                        continue
+                    key = (site.module, site.kind)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    funcs, witness = _witness(reached, node, site)
+                    message = (
+                        f"{name} can reach {self.describe} {site.what} in "
+                        f"{site.module}:{site.line}"
+                        f" via {' -> '.join(funcs)}"
+                    )
+                    yield self.violation(
+                        info.display,
+                        fn.lineno,
+                        0,
+                        message,
+                        witness=witness,
+                    )
+
+
+class EntropyReachRule(_EffectReachRule):
+    """Engine layers must not be able to reach wall-clock or unseeded RNG.
+
+    Invariant: every run of the PDQ/NPDQ engines, the indexes, and the
+    serving stack is a pure function of the workload and the simulated
+    clock — reproducibility of the paper's experiments depends on it.
+    DQD01/DQD02 flag an entropy source in the module that reads it;
+    this rule flags an engine module that can *reach* one through any
+    chain of calls, which a per-file rule cannot see.
+    """
+
+    id = "DQG02"
+    title = "engine layer can transitively reach wall-clock or unseeded RNG"
+    kinds = ("wallclock", "rng")
+    sources = (
+        "repro.core",
+        "repro.index",
+        "repro.server",
+        "repro.workload",
+        "repro.motion",
+    )
+    describe = "entropy source"
+
+
+class FilesystemReachRule(_EffectReachRule):
+    """Only the durable-storage boundary may be able to touch the filesystem.
+
+    Invariant: all real file I/O lives behind ``repro.storage.file`` /
+    ``repro.storage.wal`` (plus the CLI and the analysis tooling that
+    reads source trees), so simulation results can never depend on disk
+    state.  DQL05 flags direct ``open``/``os`` calls per file; this
+    rule closes the transitive hole where an engine module calls a
+    helper that performs the I/O for it.
+    """
+
+    id = "DQG03"
+    title = "module can transitively reach filesystem I/O"
+    kinds = ("fs",)
+    exempt = (
+        "repro.cli",
+        "repro.analysis",
+        "repro.storage.file",
+        "repro.storage.wal",
+    )
+    describe = "filesystem I/O"
+
+
+class ProcessReachRule(_EffectReachRule):
+    """Only the remote stack may be able to spawn processes or open sockets.
+
+    Invariant: the single-process simulation semantics (and CI
+    hermeticity) require that nothing outside
+    ``repro.server.remote`` / the CLI can create subprocesses, sockets,
+    or multiprocessing primitives.  DQL06 bans the *imports* per file;
+    this rule additionally catches a module that reaches
+    ``subprocess.run`` or ``asyncio.create_subprocess_exec`` through an
+    intermediary — which the import-based check misses entirely.
+    """
+
+    id = "DQG04"
+    title = "module can transitively reach process/socket APIs"
+    kinds = ("process",)
+    exempt = ("repro.server.remote", "repro.cli")
+    describe = "process/socket API"

@@ -1,0 +1,248 @@
+"""DQG01: layer contracts enforced in transitive closure.
+
+The per-file layering rules (DQL01/02/04/05/06) catch a *direct*
+import of a forbidden layer; this rule walks the whole import graph so
+``server.broker → workload.runner → storage.disk`` fails even though
+no single file names the forbidden module.
+
+Each :class:`LayerContract` is the graph-level form of one per-file
+rule, with two escape valves the flat rules cannot express:
+
+* **mediators** — layers that are *allowed* to cross the boundary on
+  the source's behalf (``repro.index`` legitimately reaches
+  ``repro.storage.disk``; a server module reaching disk *through the
+  index* is the architecture working, not a leak).  Mediator modules
+  are checked as targets but never expanded.
+* **package inits are stop nodes** — ``repro/__init__.py`` eagerly
+  re-exports half the library, so walking through it would connect
+  everything to everything.  An init is still checked as a *target*
+  (importing ``repro.server`` from geometry is a real edge) and still
+  analysed as a *source*, but its own fan-out is not charged to whoever
+  imported it.  Deferred ``__getattr__`` exports don't need this
+  special case — they are non-traversable ``reexport`` edges — and a
+  consumer that from-imports a re-exported name gets a direct resolved
+  edge to the defining module, so real dependencies are still charged
+  to whoever takes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.graph.model import (
+    EDGE_EAGER,
+    EDGE_LAZY,
+    GraphRule,
+    ImportEdge,
+    Program,
+)
+from repro.analysis.rules import Violation
+
+__all__ = ["LayerContract", "LayerReachRule", "CONTRACTS"]
+
+_TRAVERSABLE = (EDGE_EAGER, EDGE_LAZY)
+
+
+def _under(name: str, prefix: str) -> bool:
+    """Dotted-boundary prefix test: ``a.b`` covers ``a.b.c``, not ``a.bc``."""
+    return name == prefix or name.startswith(prefix + ".")
+
+
+def _under_any(name: str, prefixes: Sequence[str]) -> bool:
+    return any(_under(name, p) for p in prefixes)
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """One transitive reachability contract over the layer DAG.
+
+    ``sources`` selects the modules the contract binds (prefixes; empty
+    means every ``repro`` module).  A source matching ``exempt`` (by
+    prefix) or ``exempt_exact`` (by full name) is skipped.  Exactly one
+    of ``forbidden``/``allowed`` is set: ``forbidden`` fails when a
+    source can reach a module under any listed prefix; ``allowed``
+    fails when a source can reach a repro module *outside* every listed
+    prefix (confinement).  ``mediators`` are stop prefixes: checked as
+    targets, never expanded.
+    """
+
+    name: str
+    rule_hint: str  # the per-file rule this generalises, for the message
+    sources: Tuple[str, ...] = ()
+    exempt: Tuple[str, ...] = ()
+    exempt_exact: Tuple[str, ...] = ()
+    forbidden: Tuple[str, ...] = ()
+    allowed: Tuple[str, ...] = ()
+    mediators: Tuple[str, ...] = ()
+
+    def binds(self, module: str) -> bool:
+        if self.sources and not _under_any(module, self.sources):
+            return False
+        if module in self.exempt_exact:
+            return False
+        return not _under_any(module, self.exempt)
+
+    def offends(self, module: str) -> bool:
+        if self.forbidden:
+            return _under_any(module, self.forbidden)
+        return not _under_any(module, self.allowed)
+
+
+#: The declared layer DAG, as reachability contracts.
+CONTRACTS: Tuple[LayerContract, ...] = (
+    LayerContract(
+        name="engine-over-physical-storage",
+        rule_hint="DQL01",
+        sources=("repro.server", "repro.core"),
+        forbidden=("repro.storage.disk",),
+        mediators=("repro.index",),
+    ),
+    LayerContract(
+        name="geometry-leaf-confinement",
+        rule_hint="DQL02",
+        sources=("repro.geometry",),
+        allowed=("repro.geometry", "repro.errors"),
+    ),
+    LayerContract(
+        name="server-internals-below-front-end",
+        rule_hint="DQL04",
+        sources=("repro.server",),
+        exempt=("repro.server.shard", "repro.server.remote"),
+        exempt_exact=("repro.server",),
+        forbidden=("repro.server.shard",),
+    ),
+    LayerContract(
+        name="durable-storage-behind-cli",
+        rule_hint="DQL05",
+        exempt=("repro.cli", "repro.analysis", "repro.storage.file"),
+        forbidden=("repro.storage.file",),
+    ),
+    LayerContract(
+        name="remote-stack-behind-front-end",
+        rule_hint="DQL06",
+        exempt=("repro.cli", "repro.server.remote"),
+        exempt_exact=("repro.server",),
+        forbidden=("repro.server.remote",),
+    ),
+)
+
+
+@dataclass
+class _Reach:
+    """One offending target with its witness chain and anchor edge."""
+
+    target: str
+    chain: Tuple[str, ...]
+    first_edge: ImportEdge
+
+
+class LayerReachRule(GraphRule):
+    """Layer contracts must hold in *transitive* closure of imports.
+
+    Invariant: the layer DAG the per-file rules enforce edge-by-edge
+    (engines never touch physical storage except through the index,
+    geometry stays a leaf, server internals sit below the front-end,
+    the durable-file and remote stacks stay behind their entry points)
+    also holds for every *path* of imports — a module may not launder a
+    forbidden dependency through an intermediate layer.  Each
+    diagnostic carries the witness path that proves the leak.
+    """
+
+    id = "DQG01"
+    title = "transitive import reaches a forbidden layer"
+
+    def __init__(self, contracts: Optional[Sequence[LayerContract]] = None):
+        self.contracts: Tuple[LayerContract, ...] = (
+            tuple(contracts) if contracts is not None else CONTRACTS
+        )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        for contract in self.contracts:
+            for name in sorted(program.modules):
+                if not contract.binds(name):
+                    continue
+                for reach in self._offending(program, contract, name):
+                    yield self._render(program, contract, name, reach)
+
+    # -- traversal ----------------------------------------------------------
+
+    def _offending(
+        self, program: Program, contract: LayerContract, source: str
+    ) -> List[_Reach]:
+        """BFS from ``source`` over eager+lazy edges; returns one
+        :class:`_Reach` per distinct offending module, shortest path
+        first."""
+        hits: Dict[str, _Reach] = {}
+        seen = {source}
+        # queue entries: (module, chain-so-far, first edge on the chain)
+        queue: List[Tuple[str, Tuple[str, ...], Optional[ImportEdge]]] = [
+            (source, (source,), None)
+        ]
+        while queue:
+            current, chain, first = queue.pop(0)
+            info = program.module(current)
+            if info is None:
+                continue
+            # Stop nodes: expand the source itself even if it is an
+            # init/mediator, but nothing reached *through* one.
+            if current != source and self._stops(program, contract, current):
+                continue
+            for edge in info.edges:
+                if edge.kind not in _TRAVERSABLE:
+                    continue
+                target = edge.dst
+                if target in seen:
+                    continue
+                seen.add(target)
+                head = first if first is not None else edge
+                if contract.offends(target) and (
+                    target in program.modules or contract.allowed
+                ):
+                    # A forbidden target must exist in the program; the
+                    # confinement form also flags unknown repro names
+                    # (a geometry module importing a typo'd layer is
+                    # still an escape from the leaf).
+                    hits.setdefault(
+                        target, _Reach(target, chain + (target,), head)
+                    )
+                    continue
+                queue.append((target, chain + (target,), head))
+        return [hits[t] for t in sorted(hits)]
+
+    def _stops(
+        self, program: Program, contract: LayerContract, module: str
+    ) -> bool:
+        if _under_any(module, contract.mediators):
+            return True
+        info = program.module(module)
+        return info is not None and info.is_package
+
+    def _render(
+        self,
+        program: Program,
+        contract: LayerContract,
+        source: str,
+        reach: _Reach,
+    ) -> Violation:
+        info = program.module(source)
+        edge = reach.first_edge
+        arrow = " -> ".join(reach.chain)
+        if contract.forbidden:
+            what = f"reaches forbidden layer {reach.target}"
+        else:
+            what = (
+                f"escapes its layer to {reach.target} "
+                f"(allowed: {', '.join(contract.allowed)})"
+            )
+        message = (
+            f"{source} {what} [{contract.name}, generalises "
+            f"{contract.rule_hint}]: {arrow}"
+        )
+        return self.violation(
+            info.display if info is not None else source,
+            edge.line if edge is not None else 1,
+            edge.col if edge is not None else 0,
+            message,
+            witness=reach.chain,
+        )

@@ -1,0 +1,717 @@
+"""The program model: modules, import edges, call refs, effect sites.
+
+:func:`build_program` turns parsed source files into a
+:class:`Program` — the shared substrate every whole-program rule walks.
+The model is deliberately *name-based* (no type inference): a call is
+resolved through the module's import aliases and its own definitions,
+method calls resolve through ``self`` within the defining module, and
+attribute calls on objects of unknown class resolve to nothing.  That
+makes the analysis an under-approximation — it misses effects routed
+through stored callbacks or duck-typed receivers — which is the right
+bias for a lint gate: everything it reports is a real static path.
+
+Import edges carry a *kind*:
+
+* ``eager`` — a top-level (or class-body) import, executed at import
+  time;
+* ``lazy`` — a function-local import, executed when the function runs;
+* ``reexport`` — a deferred module-``__getattr__`` re-export (the
+  ``_LAZY``/``_DEFERRED_EXPORTS`` dict idiom), executed only when
+  someone touches the name;
+* ``typing`` — inside ``if TYPE_CHECKING:``, never executed.
+
+Layer and effect traversals walk ``eager``+``lazy`` only: a deferred
+re-export is API surface, not a dependency of the module holding it —
+but a *consumer* that from-imports the deferred name gets a direct
+resolved edge to the defining module, so the dependency is charged to
+whoever actually takes it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import Violation
+
+__all__ = [
+    "EDGE_EAGER",
+    "EDGE_LAZY",
+    "EDGE_REEXPORT",
+    "EDGE_TYPING",
+    "EffectSite",
+    "ImportEdge",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "GraphRule",
+    "build_program",
+    "module_name_for",
+]
+
+EDGE_EAGER = "eager"
+EDGE_LAZY = "lazy"
+EDGE_REEXPORT = "reexport"
+EDGE_TYPING = "typing"
+
+#: Pseudo-function holding a module's import-time statements.
+MODULE_BODY = "<module>"
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "sleep",
+    }
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_FS_OS_CALLS = frozenset(
+    {
+        "fsync",
+        "open",
+        "fdopen",
+        "replace",
+        "rename",
+        "remove",
+        "unlink",
+        "makedirs",
+        "mkdir",
+        "rmdir",
+        "truncate",
+        "ftruncate",
+        "link",
+        "symlink",
+    }
+)
+_PROC_OS_CALLS = frozenset(
+    {
+        "fork",
+        "forkpty",
+        "kill",
+        "killpg",
+        "popen",
+        "system",
+        "execv",
+        "execve",
+        "execvp",
+        "execvpe",
+        "execl",
+        "execle",
+        "execlp",
+        "execlpe",
+        "spawnl",
+        "spawnv",
+        "spawnve",
+        "posix_spawn",
+        "wait",
+        "waitpid",
+    }
+)
+_PROC_MODULES = ("subprocess", "socket", "multiprocessing")
+_ASYNC_PROC_CALLS = frozenset(
+    {"create_subprocess_exec", "create_subprocess_shell"}
+)
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One primitive effect call, anchored where it textually happens."""
+
+    kind: str  # "wallclock" | "rng" | "fs" | "process"
+    module: str  # dotted repro module holding the call
+    line: int
+    col: int
+    what: str  # e.g. "time.sleep()" — for diagnostics
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, charged to the function containing it."""
+
+    src: str
+    dst: str
+    kind: str  # EDGE_* above
+    func: str  # qualname of the containing function (MODULE_BODY at top)
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method body (module top level is ``<module>``)."""
+
+    qualname: str
+    lineno: int = 0
+    #: raw call references, resolved lazily by the effect propagation:
+    #: ("local", name) | ("self", attr) | ("mod", dotted, attr) |
+    #: ("member", dotted, orig)
+    calls: List[Tuple] = field(default_factory=list)
+    effects: List[EffectSite] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the graph rules need to know about one module."""
+
+    name: str
+    display: str  # the path string used in diagnostics / baseline keys
+    node: ast.Module
+    is_package: bool
+    edges: List[ImportEdge] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local name -> (defining module, original name) for from-imports
+    #: and deferred ``__getattr__`` exports; used to chase re-exports.
+    export_origin: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: local alias -> dotted module for plain imports.
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: top-level ``NAME = <int|str constant>`` assignments (DQP01 input).
+    constants: Dict[str, object] = field(default_factory=dict)
+    #: top-level dict-literal assignments with Name keys (DQP01 input):
+    #: var name -> [(key name, key line, value node), ...]
+    name_key_dicts: Dict[str, List[Tuple[str, int, ast.AST]]] = field(
+        default_factory=dict
+    )
+
+
+class Program:
+    """A parsed set of ``repro.*`` modules plus resolved import edges."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        self.modules = modules
+
+    def module(self, name: str) -> Optional[ModuleInfo]:
+        return self.modules.get(name)
+
+    def edges_from(self, name: str) -> List[ImportEdge]:
+        info = self.modules.get(name)
+        return info.edges if info is not None else []
+
+    def chase_export(
+        self, module: str, name: str, _depth: int = 8
+    ) -> Optional[str]:
+        """The module that actually defines ``module.name``, following
+        from-import and deferred re-export chains; None if unknown."""
+        current, attr = module, name
+        for _ in range(_depth):
+            info = self.modules.get(current)
+            if info is None:
+                return None
+            origin = info.export_origin.get(attr)
+            if origin is None:
+                # Defined here (or at least not re-exported onward).
+                return current
+            current, attr = origin
+            # ``from pkg import submodule`` binds a module, not a member.
+            if attr in self.modules and current == attr.rsplit(".", 1)[0]:
+                return attr
+            sub = f"{current}.{attr}"
+            if sub in self.modules:
+                return sub
+        return current if current in self.modules else None
+
+
+class GraphRule:
+    """Base for whole-program rules: one pass over a :class:`Program`.
+
+    Unlike :class:`~repro.analysis.rules.Rule` there is no per-file
+    ``scope`` — a graph rule sees every module and anchors each
+    violation at the import/call that starts the offending path, so the
+    engine's suppression comments and baseline keys work unchanged.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        display: str,
+        line: int,
+        col: int,
+        message: str,
+        witness: Tuple[str, ...] = (),
+    ) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=display,
+            line=line,
+            col=col,
+            message=message,
+            witness=witness,
+        )
+
+
+def module_name_for(parts: Sequence[str]) -> Optional[str]:
+    """Dotted ``repro.*`` name for a path's parts, or None.
+
+    Uses the *last* ``repro`` directory segment so both the shipped
+    tree (``src/repro/core/pdq.py``) and test fixtures
+    (``tmp.../repro/core/mod.py``) resolve identically.
+    """
+    parts = tuple(parts)
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    dirs = parts[:-1]
+    idx = None
+    for i, part in enumerate(dirs):
+        if part == "repro":
+            idx = i
+    if idx is None:
+        return None
+    stem = parts[-1][: -len(".py")]
+    segments = list(dirs[idx:])
+    if stem != "__init__":
+        segments.append(stem)
+    return ".".join(segments)
+
+
+# -- the builder -------------------------------------------------------------
+
+
+def build_program(
+    files: Sequence[Tuple[str, Sequence[str], ast.Module]]
+) -> Program:
+    """Build a :class:`Program` from ``(display, path_parts, ast)`` files.
+
+    Files whose parts contain no ``repro`` package segment (tests,
+    benchmarks, scripts) are skipped: they are not part of the library's
+    layer graph.
+    """
+    modules: Dict[str, ModuleInfo] = {}
+    for display, parts, node in files:
+        name = module_name_for(parts)
+        if name is None:
+            continue
+        info = ModuleInfo(
+            name=name,
+            display=display,
+            node=node,
+            is_package=tuple(parts)[-1] == "__init__.py",
+        )
+        modules[name] = info
+    program = Program(modules)
+    pending: List[Tuple[ModuleInfo, str, str, str, int, int]] = []
+    for info in modules.values():
+        _scan_module(info, pending)
+    _link_member_imports(program, pending)
+    return program
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _ModuleScanner:
+    """One recursive AST walk collecting edges, calls, and effect sites."""
+
+    def __init__(self, info: ModuleInfo, pending: List[Tuple]):
+        self.info = info
+        self.pending = pending
+        self.package = (
+            info.name if info.is_package else info.name.rsplit(".", 1)[0]
+        )
+        # Module-wide alias views (union over the whole file), used for
+        # effect-site and call classification exactly like ImportMap.
+        self.members: Dict[str, Tuple[str, str]] = {}
+
+    # -- import recording ---------------------------------------------------
+
+    def _edge(self, dst: str, kind: str, func: str, node: ast.AST) -> None:
+        self.info.edges.append(
+            ImportEdge(
+                src=self.info.name,
+                dst=dst,
+                kind=kind,
+                func=func,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+
+    def record_import(self, node: ast.Import, kind: str, func: str) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.info.module_aliases[local] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            # Even without an asname, ``import a.b.c`` executes a.b.c.
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                self._edge(alias.name, kind, func, node)
+
+    def _resolve_from(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        base = self.package
+        for _ in range(node.level - 1):
+            if "." not in base:
+                return None
+            base = base.rsplit(".", 1)[0]
+        if node.module:
+            return f"{base}.{node.module}"
+        return base
+
+    def record_import_from(
+        self, node: ast.ImportFrom, kind: str, func: str
+    ) -> None:
+        dotted = self._resolve_from(node)
+        if dotted is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.members[local] = (dotted, alias.name)
+            if func == MODULE_BODY and kind == EDGE_EAGER:
+                self.info.export_origin.setdefault(
+                    local, (dotted, alias.name)
+                )
+        if dotted == "repro" or dotted.startswith("repro."):
+            self._edge(dotted, kind, func, node)
+            for alias in node.names:
+                # ``from pkg import name``: charge the importer with a
+                # direct edge to whatever module defines ``name`` (a
+                # submodule, or a re-export chased at link time).
+                self.pending.append(
+                    (
+                        self.info,
+                        dotted,
+                        alias.name,
+                        kind,
+                        func,
+                        node.lineno,
+                        node.col_offset,
+                    )
+                )
+
+    # -- call / effect classification ---------------------------------------
+
+    def _site(
+        self, node: ast.Call, kind: str, what: str, func: FunctionInfo
+    ) -> None:
+        func.effects.append(
+            EffectSite(
+                kind=kind,
+                module=self.info.name,
+                line=node.lineno,
+                col=node.col_offset,
+                what=what,
+            )
+        )
+
+    def record_call(self, node: ast.Call, func: FunctionInfo) -> None:
+        target = node.func
+        if isinstance(target, ast.Name):
+            self._record_name_call(node, target.id, func)
+        elif isinstance(target, ast.Attribute):
+            self._record_attr_call(node, target, func)
+
+    def _record_name_call(
+        self, node: ast.Call, name: str, func: FunctionInfo
+    ) -> None:
+        origin = self.members.get(name)
+        if origin is not None:
+            dotted, orig = origin
+            if dotted == "time" and orig in _TIME_FUNCS:
+                self._site(node, "wallclock", f"{orig}()", func)
+            elif dotted == "random":
+                if orig == "Random":
+                    if not node.args and not node.keywords:
+                        self._site(node, "rng", "Random() unseeded", func)
+                elif orig == "SystemRandom":
+                    self._site(node, "rng", "SystemRandom()", func)
+                else:
+                    self._site(node, "rng", f"random.{orig}()", func)
+            elif dotted == "os" and orig in _FS_OS_CALLS:
+                self._site(node, "fs", f"os.{orig}()", func)
+            elif dotted == "io" and orig == "open":
+                self._site(node, "fs", "io.open()", func)
+            elif dotted == "os" and orig in _PROC_OS_CALLS:
+                self._site(node, "process", f"os.{orig}()", func)
+            elif dotted.split(".")[0] in _PROC_MODULES:
+                self._site(node, "process", f"{dotted}.{orig}()", func)
+            elif dotted == "repro" or dotted.startswith("repro."):
+                func.calls.append(("member", dotted, orig))
+            return
+        if name == "open":
+            self._site(node, "fs", "open()", func)
+            return
+        func.calls.append(("local", name))
+
+    def _record_attr_call(
+        self, node: ast.Call, target: ast.Attribute, func: FunctionInfo
+    ) -> None:
+        attr = target.attr
+        recv = target.value
+        if isinstance(recv, ast.Name):
+            if recv.id == "self":
+                func.calls.append(("self", attr))
+                return
+            dotted = self.module_of(recv.id)
+            if dotted is None:
+                return
+            root = dotted.split(".")[0]
+            if dotted == "time" and attr in _TIME_FUNCS:
+                self._site(node, "wallclock", f"time.{attr}()", func)
+            elif dotted == "datetime" and attr in _DATETIME_FUNCS:
+                self._site(node, "wallclock", f"datetime.{attr}()", func)
+            elif dotted == "random":
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._site(node, "rng", "random.Random() unseeded", func)
+                elif attr == "SystemRandom":
+                    self._site(node, "rng", "random.SystemRandom()", func)
+                else:
+                    self._site(node, "rng", f"random.{attr}()", func)
+            elif dotted == "os" and attr in _FS_OS_CALLS:
+                self._site(node, "fs", f"os.{attr}()", func)
+            elif dotted == "io" and attr == "open":
+                self._site(node, "fs", "io.open()", func)
+            elif dotted == "os" and attr in _PROC_OS_CALLS:
+                self._site(node, "process", f"os.{attr}()", func)
+            elif root in _PROC_MODULES:
+                self._site(node, "process", f"{dotted}.{attr}()", func)
+            elif dotted == "asyncio" and attr in _ASYNC_PROC_CALLS:
+                self._site(node, "process", f"asyncio.{attr}()", func)
+            elif dotted == "repro" or dotted.startswith("repro."):
+                func.calls.append(("mod", dotted, attr))
+        elif isinstance(recv, ast.Attribute) and attr in _DATETIME_FUNCS:
+            # datetime.datetime.now() / dt.date.today()
+            if recv.attr in ("datetime", "date") and isinstance(
+                recv.value, ast.Name
+            ):
+                if self.module_of(recv.value.id) == "datetime":
+                    self._site(node, "wallclock", f"datetime.{attr}()", func)
+
+    def module_of(self, local: str) -> Optional[str]:
+        dotted = self.info.module_aliases.get(local)
+        if dotted is not None:
+            return dotted
+        origin = self.members.get(local)
+        if origin is not None:
+            dotted, orig = origin
+            return f"{dotted}.{orig}"
+        return None
+
+    # -- constants / dict literals (DQP01) ----------------------------------
+
+    def record_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(
+            value.value, (int, str)
+        ):
+            self.info.constants[name] = value.value
+        elif isinstance(value, ast.Dict):
+            entries: List[Tuple[str, int, ast.AST]] = []
+            for key, val in zip(value.keys, value.values):
+                key_name = None
+                if isinstance(key, ast.Name):
+                    key_name = key.id
+                elif isinstance(key, ast.Attribute):
+                    key_name = key.attr
+                if key_name is not None:
+                    entries.append((key_name, key.lineno, val))
+            if entries:
+                self.info.name_key_dicts[name] = entries
+
+    # -- deferred __getattr__ exports ---------------------------------------
+
+    def record_getattr(self, node: ast.FunctionDef) -> None:
+        """A module-level ``__getattr__``: its string literals that name
+        ``repro.*`` modules are deferred re-exports; any top-level dict
+        mapping names to ``(module, attr)`` / ``"module"`` feeds it."""
+        targets: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                if sub.value.startswith("repro."):
+                    targets.add(sub.value)
+        for dotted in sorted(targets):
+            self._edge(dotted, EDGE_REEXPORT, MODULE_BODY, node)
+
+    def record_lazy_map(self, node: ast.Assign) -> None:
+        """``_LAZY = {"Name": ("repro.x", "attr")}`` (or ``"repro.x"``)
+        string-keyed dicts become export_origin entries so consumers of
+        the deferred names get direct edges to the defining module."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return
+        for key, val in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            exported = key.value
+            if isinstance(val, ast.Constant) and isinstance(val.value, str):
+                if val.value.startswith("repro"):
+                    self.info.export_origin.setdefault(
+                        exported, (val.value, exported)
+                    )
+            elif isinstance(val, (ast.Tuple, ast.List)) and len(val.elts) == 2:
+                mod_node, attr_node = val.elts
+                if (
+                    isinstance(mod_node, ast.Constant)
+                    and isinstance(mod_node.value, str)
+                    and mod_node.value.startswith("repro")
+                    and isinstance(attr_node, ast.Constant)
+                    and isinstance(attr_node.value, str)
+                ):
+                    self.info.export_origin.setdefault(
+                        exported, (mod_node.value, attr_node.value)
+                    )
+
+
+def _scan_module(info: ModuleInfo, pending: List[Tuple]) -> None:
+    scanner = _ModuleScanner(info, pending)
+    info.functions[MODULE_BODY] = FunctionInfo(MODULE_BODY, 1)
+    _scan_body(
+        scanner, info.node.body, qual=MODULE_BODY, class_prefix="", lazy=False
+    )
+
+
+def _scan_body(
+    scanner: _ModuleScanner,
+    body: Sequence[ast.stmt],
+    qual: str,
+    class_prefix: str,
+    lazy: bool,
+) -> None:
+    info = scanner.info
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fq = f"{class_prefix}{stmt.name}"
+            if qual == MODULE_BODY and stmt.name == "__getattr__" and (
+                not class_prefix
+            ):
+                scanner.record_getattr(stmt)
+                continue
+            if fq not in info.functions:
+                info.functions[fq] = FunctionInfo(fq, stmt.lineno)
+            # Decorators and default expressions run in the enclosing
+            # scope; the body runs when the function is called.
+            for expr in list(stmt.decorator_list) + list(
+                stmt.args.defaults
+            ) + list(stmt.args.kw_defaults):
+                if expr is not None:
+                    _scan_exprs(scanner, expr, qual)
+            _scan_body(
+                scanner, stmt.body, qual=fq, class_prefix=class_prefix,
+                lazy=True,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            prefix = f"{class_prefix}{stmt.name}."
+            for expr in stmt.decorator_list + stmt.bases:
+                _scan_exprs(scanner, expr, qual)
+            _scan_body(
+                scanner, stmt.body, qual=qual, class_prefix=prefix, lazy=lazy
+            )
+        elif isinstance(stmt, ast.Import):
+            kind = EDGE_LAZY if lazy else EDGE_EAGER
+            scanner.record_import(stmt, kind, qual)
+        elif isinstance(stmt, ast.ImportFrom):
+            kind = EDGE_LAZY if lazy else EDGE_EAGER
+            scanner.record_import_from(stmt, kind, qual)
+        elif isinstance(stmt, ast.If) and _is_type_checking_test(stmt.test):
+            _scan_typing_block(scanner, stmt.body, qual)
+            _scan_body(
+                scanner, stmt.orelse, qual=qual, class_prefix=class_prefix,
+                lazy=lazy,
+            )
+        else:
+            if (
+                qual == MODULE_BODY
+                and not class_prefix
+                and isinstance(stmt, ast.Assign)
+            ):
+                scanner.record_assign(stmt)
+                scanner.record_lazy_map(stmt)
+            _scan_stmt(scanner, stmt, qual, class_prefix, lazy)
+
+
+def _scan_typing_block(
+    scanner: _ModuleScanner, body: Sequence[ast.stmt], qual: str
+) -> None:
+    """``if TYPE_CHECKING:`` — record aliases for name resolution but
+    emit only non-traversable ``typing`` edges."""
+    for stmt in body:
+        if isinstance(stmt, ast.Import):
+            scanner.record_import(stmt, EDGE_TYPING, qual)
+        elif isinstance(stmt, ast.ImportFrom):
+            dotted = scanner._resolve_from(stmt)
+            if dotted is None:
+                continue
+            for alias in stmt.names:
+                scanner.members.setdefault(
+                    alias.asname or alias.name, (dotted, alias.name)
+                )
+            if dotted == "repro" or dotted.startswith("repro."):
+                scanner._edge(dotted, EDGE_TYPING, qual, stmt)
+
+
+def _scan_stmt(
+    scanner: _ModuleScanner,
+    stmt: ast.stmt,
+    qual: str,
+    class_prefix: str,
+    lazy: bool,
+) -> None:
+    """A plain statement: collect nested imports/defs/calls recursively."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs (closures, local helpers) fold into the
+            # enclosing function: they are almost always called there.
+            continue
+        if isinstance(node, ast.Import):
+            scanner.record_import(node, EDGE_LAZY if lazy else EDGE_EAGER, qual)
+        elif isinstance(node, ast.ImportFrom):
+            scanner.record_import_from(
+                node, EDGE_LAZY if lazy else EDGE_EAGER, qual
+            )
+        elif isinstance(node, ast.Call):
+            func = scanner.info.functions[qual]
+            scanner.record_call(node, func)
+
+
+def _scan_exprs(scanner: _ModuleScanner, expr: ast.AST, qual: str) -> None:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            scanner.record_call(node, scanner.info.functions[qual])
+
+
+def _link_member_imports(program: Program, pending: List[Tuple]) -> None:
+    """Second pass: ``from pkg import name`` edges to defining modules."""
+    for info, dotted, name, kind, func, line, col in pending:
+        sub = f"{dotted}.{name}"
+        if sub in program.modules:
+            target = sub
+        else:
+            target = program.chase_export(dotted, name)
+            if target is None or target == dotted:
+                continue
+        if target == info.name:
+            continue
+        info.edges.append(
+            ImportEdge(
+                src=info.name,
+                dst=target,
+                kind=kind,
+                func=func,
+                line=line,
+                col=col,
+            )
+        )

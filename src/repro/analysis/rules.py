@@ -20,13 +20,21 @@ __all__ = ["Violation", "Rule", "ImportMap", "terminal_name"]
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    ``witness`` is the module chain proving a whole-program finding
+    (``("repro.server.broker", "repro.core.pdq", "repro.storage.disk")``);
+    empty for per-file rules.  The chain is already rendered into
+    ``message`` for humans — the structured copy exists for
+    ``--format json`` consumers.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    witness: Tuple[str, ...] = ()
 
     def render(self) -> str:
         """The canonical one-line report form."""

@@ -1197,14 +1197,17 @@ def _fsck_durable(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.engine import ALL_RULES, DEFAULT_BASELINE, LintEngine
+    from repro.analysis.graph import GRAPH_RULES
     from repro.errors import LintConfigError
 
     if args.rules:
         for rule in ALL_RULES:
             print(f"{rule.id}  {rule.title}")
+        for rule in GRAPH_RULES:
+            print(f"{rule.id}  {rule.title}  [--graph]")
         return 0
 
-    engine = LintEngine()
+    engine = LintEngine(graph=args.graph)
     baseline_path = args.baseline or DEFAULT_BASELINE
     try:
         baseline = (
@@ -1223,7 +1226,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
-    print(report.render(show_baselined=args.show_baselined))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render(show_baselined=args.show_baselined))
     return 0 if report.ok else 1
 
 
@@ -1496,6 +1502,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--rules",
         action="store_true",
         help="list every rule id with its one-line summary and exit",
+    )
+    p_lint.add_argument(
+        "--graph",
+        action="store_true",
+        help="also run the whole-program pass (transitive layering, "
+        "effect reachability, protocol drift) over the import+call graph",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format; json includes the structured witness paths",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

@@ -1,0 +1,195 @@
+"""Fixture tests for the async-safety rules (DQA01–DQA03)."""
+
+from repro.cli import main
+
+
+def lint_file(tmp_path, capsys, relpath, source):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    code = main(["lint", str(target), "--no-baseline"])
+    return code, capsys.readouterr().out
+
+
+class TestBlockingAsyncCall:
+    def test_time_sleep_in_async_def(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import time\n\n\n"
+            "async def pump():\n"
+            "    time.sleep(0.1)  # repro: disable=DQD01\n",
+        )
+        assert code == 1
+        assert "DQA01" in out
+
+    def test_subprocess_run_and_os_read(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import os\n"
+            "import subprocess\n\n\n"
+            "async def pump(fd):\n"
+            "    subprocess.run(['true'])\n"
+            "    return os.read(fd, 1)\n",
+        )
+        assert code == 1
+        assert out.count("DQA01") == 2
+
+    def test_open_via_from_import(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "from time import sleep\n\n\n"
+            "async def pump():\n"
+            "    sleep(1)  # repro: disable=DQD01\n",
+        )
+        assert code == 1
+        assert "DQA01" in out
+
+    def test_sync_def_and_nested_sync_def_are_fine(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import subprocess\n\n\n"
+            "def spawn():\n"
+            "    return subprocess.run(['true'])\n\n\n"
+            "async def pump(loop):\n"
+            "    def blocking():\n"
+            "        return subprocess.run(['true'])\n"
+            "    return await loop.run_in_executor(None, blocking)\n",
+        )
+        assert code == 0, out
+
+    def test_asyncio_sleep_is_fine(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "async def pump():\n"
+            "    await asyncio.sleep(0.1)\n",
+        )
+        assert code == 0, out
+
+
+class TestUnawaitedCoroutine:
+    def test_bare_call_of_local_coroutine(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "async def tick():\n"
+            "    pass\n\n\n"
+            "async def run():\n"
+            "    tick()\n",
+        )
+        assert code == 1
+        assert "DQA02" in out
+
+    def test_bare_method_call_and_asyncio_primitive(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "class Broker:\n"
+            "    async def teardown(self):\n"
+            "        pass\n\n"
+            "    async def run(self):\n"
+            "        asyncio.sleep(1)\n"
+            "        self.teardown()\n",
+        )
+        assert code == 1
+        assert out.count("DQA02") == 2
+
+    def test_awaited_and_scheduled_calls_are_fine(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "async def tick():\n"
+            "    pass\n\n\n"
+            "async def run():\n"
+            "    await tick()\n"
+            "    task = asyncio.create_task(tick())\n"
+            "    await asyncio.gather(task)\n",
+        )
+        assert code == 0, out
+
+
+class TestSharedTableAsyncMutation:
+    def test_mutation_after_await(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "class Broker:\n"
+            "    async def respawn(self, wid):\n"
+            "        await asyncio.sleep(0)\n"
+            "        self.workers[wid] = object()\n",
+        )
+        assert code == 1
+        assert "DQA03" in out
+
+    def test_mutator_method_and_del_after_await(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "class Broker:\n"
+            "    async def drop(self, wid):\n"
+            "        await asyncio.sleep(0)\n"
+            "        self.sessions.pop(wid, None)\n"
+            "        del self.subs[wid]\n",
+        )
+        assert code == 1
+        assert out.count("DQA03") == 2
+
+    def test_mutation_before_first_await_is_fine(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "class Broker:\n"
+            "    async def submit(self, handle, op):\n"
+            "        pending, handle.pending = handle.pending, []\n"
+            "        await asyncio.sleep(0)\n"
+            "        return pending\n",
+        )
+        assert code == 0, out
+
+    def test_unprotected_attribute_is_fine(self, tmp_path, capsys):
+        # .journal is the per-request replay log the owning coroutine
+        # appends to after its round-trip; it is deliberately not in the
+        # protected-table set.
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "import asyncio\n\n\n"
+            "class Broker:\n"
+            "    async def request(self, handle, frame):\n"
+            "        await asyncio.sleep(0)\n"
+            "        handle.journal.append(frame)\n",
+        )
+        assert code == 0, out
+
+    def test_coroutine_without_await_is_fine(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/server/remote/mod.py",
+            "class Broker:\n"
+            "    async def seed(self, wid):\n"
+            "        self.workers[wid] = object()\n",
+        )
+        assert code == 0, out

@@ -142,8 +142,88 @@ class TestBaseline:
         assert LintEngine.load_baseline(str(tmp_path / "absent.json")) == {}
 
 
+class TestStaleBaseline:
+    def test_fixed_debt_makes_the_entry_stale_and_fails(self, tmp_path):
+        target = write(tmp_path, "repro/core/a.py", CLEAN)
+        baseline = {f"{target}::DQC02": 1}
+        report = LintEngine().run([str(target)], baseline)
+        assert report.stale == [f"{target}::DQC02"]
+        assert not report.ok
+        assert "stale baseline entry" in report.render()
+
+    def test_partially_consumed_allowance_is_stale(self, tmp_path):
+        # Two tolerated, one fixed: the ratchet must be tightened.
+        target = write(tmp_path, "repro/core/a.py", DIRTY)
+        baseline = {f"{target}::DQC02": 2}
+        report = LintEngine().run([str(target)], baseline)
+        assert report.stale == [f"{target}::DQC02"]
+        assert not report.ok
+
+    def test_entry_for_an_unchecked_file_is_not_stale(self, tmp_path):
+        # Linting a subset must not declare other files' debt dead.
+        target = write(tmp_path, "repro/core/a.py", CLEAN)
+        baseline = {"somewhere/else.py::DQC02": 1}
+        report = LintEngine().run([str(target)], baseline)
+        assert report.stale == []
+        assert report.ok
+
+    def test_update_baseline_prunes_the_stale_entry(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        target = write(tmp_path, "repro/core/a.py", DIRTY)
+        baseline_file = tmp_path / "baseline.json"
+        main(["lint", str(target), "--baseline", str(baseline_file),
+              "--update-baseline"])
+        target.write_text(CLEAN)
+        # Without --update-baseline the stale entry fails the run ...
+        assert (
+            main(["lint", str(target), "--baseline", str(baseline_file)]) == 1
+        )
+        assert "stale" in capsys.readouterr().out
+        # ... and with it, the ratchet tightens to empty.
+        main(["lint", str(target), "--baseline", str(baseline_file),
+              "--update-baseline"])
+        assert json.loads(baseline_file.read_text())["violations"] == {}
+        assert (
+            main(["lint", str(target), "--baseline", str(baseline_file)]) == 0
+        )
+
+
+class TestJsonFormat:
+    def test_report_to_json_shape(self, tmp_path, capsys):
+        target = write(tmp_path, "repro/core/a.py", DIRTY)
+        assert (
+            main(["lint", str(target), "--no-baseline", "--format", "json"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "DQC02"
+        assert violation["path"] == str(target)
+        assert violation["line"] == 1
+        assert violation["witness"] == []
+
+    def test_clean_tree_json_is_ok(self, tmp_path, capsys):
+        target = write(tmp_path, "repro/core/a.py", CLEAN)
+        assert (
+            main(["lint", str(target), "--no-baseline", "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+
+
 class TestRepoIsClean:
     def test_shipped_tree_passes_its_own_lint(self, capsys):
         # The dogfood guarantee: src/ + tests/ + benchmarks/ lint clean
         # against the committed baseline (which is empty).
         assert main(["lint"]) == 0
+
+    def test_shipped_tree_passes_the_graph_pass(self, capsys):
+        # And the whole-program pass finds no transitive leak, effect
+        # reachability, or protocol drift either — CI runs this form.
+        assert main(["lint", "--graph"]) == 0

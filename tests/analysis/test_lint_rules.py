@@ -9,6 +9,7 @@ rule fires end to end, not just at the AST-visitor level.
 import pytest
 
 from repro.analysis.engine import ALL_RULES
+from repro.analysis.graph import GRAPH_RULES
 from repro.cli import main
 
 
@@ -297,7 +298,7 @@ class TestCrashSafetyRules:
 class TestRuleHygiene:
     def test_every_rule_has_id_title_and_why(self):
         seen = set()
-        for rule in ALL_RULES:
+        for rule in ALL_RULES + GRAPH_RULES:
             assert rule.id and rule.id not in seen
             seen.add(rule.id)
             assert rule.title
@@ -308,5 +309,5 @@ class TestRuleHygiene:
     def test_rules_listing_via_cli(self, capsys):
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ALL_RULES:
+        for rule in ALL_RULES + GRAPH_RULES:
             assert rule.id in out

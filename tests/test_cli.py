@@ -185,3 +185,46 @@ class TestAnswerLogTruncation:
         path = tmp_path / "answers.log"
         path.write_text(self.GOOD, encoding="utf-8")
         assert self._truncate(path, -1) == ""
+
+
+class TestLintExitCodes:
+    """The contract CI scripts build on: 0 clean, 1 violation/stale, 2 usage."""
+
+    CLEAN = "def add(a, b):\n    return a + b\n"
+    DIRTY = "def collect(items=[]):\n    return items\n"  # DQC02
+    SUPPRESSED = (
+        "def collect(items=[]):  # repro: disable=DQC02\n    return items\n"
+    )
+
+    def _write(self, tmp_path, source):
+        target = tmp_path / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return target
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = self._write(tmp_path, self.CLEAN)
+        assert main(["lint", str(target), "--no-baseline"]) == 0
+
+    def test_new_violation_exits_one(self, tmp_path, capsys):
+        target = self._write(tmp_path, self.DIRTY)
+        assert main(["lint", str(target), "--no-baseline"]) == 1
+        assert "DQC02" in capsys.readouterr().out
+
+    def test_suppressed_violation_exits_zero(self, tmp_path, capsys):
+        target = self._write(tmp_path, self.SUPPRESSED)
+        assert main(["lint", str(target), "--no-baseline"]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_stale_baseline_exits_one(self, tmp_path, capsys):
+        target = self._write(tmp_path, self.DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(target), "--baseline", str(baseline),
+              "--update-baseline"])
+        assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+        target.write_text(self.CLEAN)
+        assert main(["lint", str(target), "--baseline", str(baseline)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_usage_error_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing"), "--no-baseline"]) == 2
