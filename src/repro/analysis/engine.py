@@ -47,6 +47,7 @@ from repro.analysis.layering import (
     FrontEndIsolationRule,
     GenericRaiseRule,
     GeometryIsolationRule,
+    NumpyIsolationRule,
     PhysicalStorageImportRule,
     ProcessBoundaryRule,
 )
@@ -68,6 +69,7 @@ ALL_RULES: Tuple[Rule, ...] = tuple(
             FrontEndIsolationRule(),
             FilesystemIsolationRule(),
             ProcessBoundaryRule(),
+            NumpyIsolationRule(),
             DeprecatedAliasRule(),
             UnloggedPageMutationRule(),
             MutableDefaultArgRule(),

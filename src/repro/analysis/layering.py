@@ -27,6 +27,7 @@ __all__ = [
     "FrontEndIsolationRule",
     "FilesystemIsolationRule",
     "ProcessBoundaryRule",
+    "NumpyIsolationRule",
     "DeprecatedAliasRule",
 ]
 
@@ -415,6 +416,56 @@ class ProcessBoundaryRule(Rule):
                         f"import of {dotted} outside the remote serving "
                         "boundary; only repro.server.remote and the CLI "
                         "may spawn processes or open sockets",
+                    )
+
+
+class NumpyIsolationRule(Rule):
+    """DQL07 — numpy escaping the batch-kernel boundary.
+
+    **Invariant:** the scalar geometry/engine code is the reference
+    implementation and must run on a numpy-less install; numpy is an
+    *optional accelerator* confined to :mod:`repro.geometry.kernels`
+    (which guards its own import and degrades gracefully).  If any other
+    ``repro`` module imported numpy, the "always-available scalar path"
+    claim — and the accel-matrix CI leg that runs without numpy — would
+    silently rot.
+
+    Flagged: any import of ``numpy`` (including submodules and ``from``
+    imports) inside ``repro`` outside ``repro/geometry/kernels.py``.
+    Benchmarks and tests live outside the scoped package and may use
+    numpy freely.
+    """
+
+    id = "DQL07"
+    title = "numpy import outside repro.geometry.kernels"
+    scope = (("repro",),)
+
+    def _exempt(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return tuple(parts[-2:]) == ("geometry", "kernels.py")
+
+    def _flag(self, dotted: str) -> bool:
+        return dotted == "numpy" or dotted.startswith("numpy.")
+
+    def check(self, module, source, path) -> Iterator[Violation]:
+        if self._exempt(path):
+            return
+        for node in ast.walk(module):
+            names = ()
+            if isinstance(node, ast.Import):
+                names = tuple(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import — never numpy
+                    continue
+                names = (node.module,)
+            for dotted in names:
+                if self._flag(dotted):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"import of {dotted} outside repro.geometry."
+                        "kernels; the scalar path is the reference and "
+                        "must not depend on the optional accelerator",
                     )
 
 

@@ -549,6 +549,24 @@ def _checkpoint_shard_trees(shard_stores, natives, duals) -> None:
             disk.checkpoint(meta=tree.recovery_meta())
 
 
+def _resolve_accel(accel: str) -> str:
+    """The accel mode the server will actually run.
+
+    Requesting ``numpy`` on an install without numpy is not an error —
+    the kernels degrade to the scalar reference — but the operator
+    should know their benchmark is running the slow path.
+    """
+    from repro.geometry import kernels
+
+    resolved = kernels.resolve(accel)
+    if resolved != accel:
+        print(
+            f"--accel {accel}: numpy unavailable, running scalar path",
+            file=sys.stderr,
+        )
+    return resolved
+
+
 def _serve_durable(args: argparse.Namespace) -> int:
     import os
 
@@ -615,6 +633,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
             "shared_scan": not args.no_shared_scan,
             "promote_after": args.promote_after,
             "npdq_margin": args.npdq_margin,
+            "accel": args.accel,
             "churn": args.churn,
             "checkpoint_every": args.checkpoint_every,
         }
@@ -713,6 +732,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
         shared_scan=cfg["shared_scan"],
         promote_after=cfg["promote_after"],
         npdq_predict_margin=cfg["npdq_margin"],
+        accel=_resolve_accel(cfg.get("accel", "off")),
     )
     if shards > 1:
         plan = ShardPlan.grid([0.0, 0.0], [space_side, space_side], shards)
@@ -912,6 +932,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shared_scan=not args.no_shared_scan,
         promote_after=args.promote_after,
         npdq_predict_margin=args.npdq_margin,
+        accel=_resolve_accel(args.accel),
     )
     if process_workers:
         broker = RemoteMultiplexBroker(
@@ -1413,6 +1434,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="slack of NPDQ frontier prediction, in multiples of the "
         "largest observed inter-frame step (smaller batches fewer pages "
         "but mispredicts more; mispredicts only cost demand fetches)",
+    )
+    p_serve.add_argument(
+        "--accel",
+        choices=("off", "numpy"),
+        default="off",
+        help="geometry evaluation path: 'off' runs the scalar reference, "
+        "'numpy' evaluates whole node pages with the batch kernels "
+        "(answers are bit-identical; silently degrades to the scalar "
+        "path when numpy is not importable)",
     )
     p_serve.add_argument(
         "--data-dir",

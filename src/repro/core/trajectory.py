@@ -27,6 +27,7 @@ from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.geometry.segment import SpaceTimeSegment
 from repro.geometry.timeset import TimeSet
+from repro.geometry import kernels
 from repro.geometry.trapezoid import (
     MovingWindow,
     moving_window_box_overlap,
@@ -59,7 +60,7 @@ class QueryTrajectory:
         window dimensionality.
     """
 
-    __slots__ = ("_keys", "_times", "_segments")
+    __slots__ = ("_keys", "_times", "_segments", "_params")
 
     def __init__(self, key_snapshots: Sequence[KeySnapshot]):
         keys = tuple(key_snapshots)
@@ -77,6 +78,8 @@ class QueryTrajectory:
             MovingWindow(Interval(a.time, b.time), a.window, b.window)
             for a, b in zip(keys, keys[1:])
         )
+        # Per-segment kernels.WindowParams, filled lazily on first batch use.
+        self._params: List = [None] * len(self._segments)
 
     # -- constructors -----------------------------------------------------
 
@@ -221,6 +224,53 @@ class QueryTrajectory:
             for j in self._segment_range(segment.time)
         ]
         return TimeSet(intervals)
+
+    # -- page-at-a-time batch evaluation (repro.geometry.kernels) ----------
+
+    def _segment_params(self, j: int) -> "kernels.WindowParams":
+        params = self._params[j]
+        if params is None:
+            params = kernels.window_params(self._segments[j])
+            self._params[j] = params
+        return params
+
+    def box_overlap_page(self, boxes: "kernels.BoxBatch") -> List[TimeSet]:
+        """``box_overlap`` for every box of one node page, batched.
+
+        One kernel call per trajectory segment covers all entries; each
+        entry's TimeSet is then assembled from exactly the segment range
+        the scalar path would have visited, in the same order — the
+        answers are bit-identical.
+        """
+        ranges = [
+            self._segment_range(Interval(lo[0], hi[0]))
+            for lo, hi in zip(boxes.lows, boxes.highs)
+        ]
+        per_j = {
+            j: kernels.moving_window_box_overlap_batch(
+                self._segment_params(j), boxes
+            )
+            for j in sorted({j for r in ranges for j in r})
+        }
+        return [
+            TimeSet([per_j[j][k] for j in ranges[k]]) for k in range(boxes.n)
+        ]
+
+    def segment_overlap_page(self, segs: "kernels.SegmentBatch") -> List[TimeSet]:
+        """``segment_overlap`` for every record of one leaf page, batched."""
+        ranges = [
+            self._segment_range(Interval(lo, hi))
+            for lo, hi in zip(segs.t_lo, segs.t_hi)
+        ]
+        per_j = {
+            j: kernels.moving_window_segment_overlap_batch(
+                self._segment_params(j), segs
+            )
+            for j in sorted({j for r in ranges for j in r})
+        }
+        return [
+            TimeSet([per_j[j][k] for j in ranges[k]]) for k in range(segs.n)
+        ]
 
     # -- deriving the frame-level snapshot series ---------------------------------
 

@@ -1,0 +1,477 @@
+"""Vectorized batch kernels over the scalar geometry reference.
+
+Every hot query path evaluates the same small algebra — half-line
+solutions of ``m·t + c >= 0``, interval intersection, box overlap — once
+per *entry* of an R-tree node page.  This module evaluates it once per
+*page*: each kernel takes a struct-of-arrays batch (one float64 array
+per field, one row per entry) and returns the per-entry results in one
+numpy pass.
+
+The scalar implementations in :mod:`repro.geometry.trapezoid`,
+:mod:`repro.geometry.segment`, :mod:`repro.geometry.box` and
+:mod:`repro.index.tpbox` remain the reference semantics.  The kernels
+are written to be **bit-identical** to them, not merely close:
+
+* numpy float64 ``+ - * /`` are the same IEEE-754 double operations the
+  Python scalars use, so replicating the reference's exact expression
+  structure (same operands, same left-to-right order) replicates its
+  exact results.
+* every scalar branch ``a if a >= b else b`` becomes
+  ``np.where(a >= b, a, b)`` — never ``np.maximum``, whose NaN and
+  signed-zero choices differ from the branch.
+* the scalar code normalises an empty intermediate (``low > high``) to
+  ``EMPTY_INTERVAL`` and early-returns.  The kernels instead carry the
+  raw crossed bounds through the remaining constraints — interval
+  intersection only ever raises lows and lowers highs, so an empty row
+  stays empty — and normalise once when materialising the final
+  :class:`~repro.geometry.interval.Interval`.  Rows the scalar code
+  empties *structurally* (an empty box extent, a failed rest-dimension
+  containment test) are tracked in an explicit mask instead.
+
+numpy is optional.  :func:`available` reports whether the accelerated
+path can run (set ``REPRO_DISABLE_NUMPY=1`` to force it off) and
+:func:`resolve` maps a requested ``accel`` mode to the effective one;
+callers fall back to the scalar reference rather than raising
+``ImportError``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+from repro.geometry.interval import EMPTY_INTERVAL, Interval
+
+try:  # pragma: no cover - exercised via REPRO_DISABLE_NUMPY in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "ACCEL_MODES",
+    "available",
+    "resolve",
+    "SegmentBatch",
+    "BoxBatch",
+    "TPBoxBatch",
+    "WindowParams",
+    "window_params",
+    "moving_window_box_overlap_batch",
+    "moving_window_segment_overlap_batch",
+    "segment_box_overlap_batch",
+    "box_query_masks",
+    "tpbox_overlap_with_box_batch",
+    "tpbox_overlap_with_moving_window_batch",
+]
+
+ACCEL_MODES = ("off", "numpy")
+
+
+def available() -> bool:
+    """True iff the numpy kernels can run right now.
+
+    Checked per call so ``REPRO_DISABLE_NUMPY=1`` (the capability
+    kill-switch used by the degradation tests) takes effect without a
+    module reload.
+    """
+    return _np is not None and os.environ.get("REPRO_DISABLE_NUMPY") != "1"
+
+
+def resolve(accel: str) -> str:
+    """Map a requested accel mode to the effective one.
+
+    ``"numpy"`` degrades to ``"off"`` when numpy is missing or disabled;
+    unknown modes raise :class:`~repro.errors.GeometryError`.
+    """
+    if accel not in ACCEL_MODES:
+        raise GeometryError(
+            f"unknown accel mode {accel!r}; expected one of {ACCEL_MODES}"
+        )
+    if accel == "numpy" and available():
+        return "numpy"
+    return "off"
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - guarded by resolve()/available()
+        raise GeometryError(
+            "numpy kernels invoked without numpy; call kernels.available() "
+            "or kernels.resolve() before taking the accelerated path"
+        )
+    return _np
+
+
+# ---------------------------------------------------------------------------
+# Struct-of-arrays batches
+# ---------------------------------------------------------------------------
+
+
+class SegmentBatch:
+    """Struct-of-arrays view of ``n`` motion segments.
+
+    Keeps the plain-float tuples (``t_lo``/``t_hi``) alongside the
+    float64 arrays so callers that only need scalar metadata (e.g. the
+    trajectory's bisect-based segment-range lookup) never touch numpy.
+    """
+
+    __slots__ = ("n", "dims", "t_lo", "t_hi", "_t_lo", "_t_hi", "_origin",
+                 "_velocity", "_length")
+
+    def __init__(
+        self,
+        t_lo: Sequence[float],
+        t_hi: Sequence[float],
+        origins: Sequence[Sequence[float]],
+        velocities: Sequence[Sequence[float]],
+    ):
+        np = _require_numpy()
+        self.t_lo = tuple(t_lo)
+        self.t_hi = tuple(t_hi)
+        self.n = len(self.t_lo)
+        self.dims = len(origins[0]) if self.n else 0
+        self._t_lo = np.asarray(self.t_lo, dtype=np.float64)
+        self._t_hi = np.asarray(self.t_hi, dtype=np.float64)
+        shape = (self.n, self.dims)
+        self._origin = np.asarray(origins, dtype=np.float64).reshape(shape)
+        self._velocity = np.asarray(velocities, dtype=np.float64).reshape(shape)
+        # Interval.length is max(0.0, high - low); mirror Python's max()
+        # branch rather than np.maximum (signed-zero choice differs).
+        d = self._t_hi - self._t_lo
+        self._length = np.where(d > 0.0, d, 0.0)
+
+
+class BoxBatch:
+    """Struct-of-arrays view of ``n`` axis-aligned boxes (``axes`` extents)."""
+
+    __slots__ = ("n", "axes", "lows", "highs", "_lows", "_highs")
+
+    def __init__(
+        self,
+        lows: Sequence[Sequence[float]],
+        highs: Sequence[Sequence[float]],
+    ):
+        np = _require_numpy()
+        self.lows = tuple(tuple(row) for row in lows)
+        self.highs = tuple(tuple(row) for row in highs)
+        self.n = len(self.lows)
+        self.axes = len(self.lows[0]) if self.n else 0
+        shape = (self.n, self.axes)
+        self._lows = np.asarray(self.lows, dtype=np.float64).reshape(shape)
+        self._highs = np.asarray(self.highs, dtype=np.float64).reshape(shape)
+
+
+class TPBoxBatch:
+    """Struct-of-arrays view of ``n`` time-parameterized boxes."""
+
+    __slots__ = ("n", "dims", "_ref", "_lows", "_highs", "_vlows", "_vhighs")
+
+    def __init__(
+        self,
+        refs: Sequence[float],
+        lows: Sequence[Sequence[float]],
+        highs: Sequence[Sequence[float]],
+        vlows: Sequence[Sequence[float]],
+        vhighs: Sequence[Sequence[float]],
+    ):
+        np = _require_numpy()
+        self.n = len(refs)
+        self.dims = len(lows[0]) if self.n else 0
+        shape = (self.n, self.dims)
+        self._ref = np.asarray(refs, dtype=np.float64)
+        self._lows = np.asarray(lows, dtype=np.float64).reshape(shape)
+        self._highs = np.asarray(highs, dtype=np.float64).reshape(shape)
+        self._vlows = np.asarray(vlows, dtype=np.float64).reshape(shape)
+        self._vhighs = np.asarray(vhighs, dtype=np.float64).reshape(shape)
+
+    @classmethod
+    def from_boxes(cls, boxes: Sequence) -> "TPBoxBatch":
+        """Build from a sequence of :class:`repro.index.tpbox.TPBox`."""
+        return cls(
+            [b.ref for b in boxes],
+            [b.lows for b in boxes],
+            [b.highs for b in boxes],
+            [b.vlows for b in boxes],
+            [b.vhighs for b in boxes],
+        )
+
+
+class WindowParams:
+    """Precomputed border lines of one :class:`MovingWindow`.
+
+    ``uc``/``lc`` are the constant terms of the borders rewritten around
+    ``t = 0`` (``u(t) = mu·t + uc``) — exactly the subexpressions
+    ``u0 - mu * t0`` / ``l0 - ml * t0`` the scalar overlap functions
+    compute, evaluated once in Python floats so every kernel row reuses
+    the identical values.
+    """
+
+    __slots__ = ("t_lo", "t_hi", "dims", "mus", "ucs", "mls", "lcs")
+
+    def __init__(
+        self,
+        t_lo: float,
+        t_hi: float,
+        mus: Sequence[float],
+        ucs: Sequence[float],
+        mls: Sequence[float],
+        lcs: Sequence[float],
+    ):
+        self.t_lo = t_lo
+        self.t_hi = t_hi
+        self.dims = len(mus)
+        self.mus = tuple(mus)
+        self.ucs = tuple(ucs)
+        self.mls = tuple(mls)
+        self.lcs = tuple(lcs)
+
+
+def window_params(window) -> WindowParams:
+    """Extract :class:`WindowParams` from a ``MovingWindow`` (pure Python)."""
+    t0 = window.time.low
+    mus, ucs, mls, lcs = [], [], [], []
+    for i in range(window.dims):
+        mu, u0 = window._border(i, upper=True)
+        ml, l0 = window._border(i, upper=False)
+        mus.append(mu)
+        ucs.append(u0 - mu * t0)
+        mls.append(ml)
+        lcs.append(l0 - ml * t0)
+    return WindowParams(t0, window.time.high, mus, ucs, mls, lcs)
+
+
+# ---------------------------------------------------------------------------
+# Elementary batch algebra
+# ---------------------------------------------------------------------------
+
+
+def _solve_ge(np, slope, intercept):
+    """Row-wise ``solve_linear_ge``: bounds of ``{t : slope·t + c >= 0}``."""
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        root = -intercept / slope
+    zero_lo = np.where(intercept >= 0.0, -np.inf, np.inf)
+    zero_hi = np.where(intercept >= 0.0, np.inf, -np.inf)
+    lo = np.where(slope > 0.0, root, -np.inf)
+    lo = np.where(slope == 0.0, zero_lo, lo)
+    hi = np.where(slope < 0.0, root, np.inf)
+    hi = np.where(slope == 0.0, zero_hi, hi)
+    return lo, hi
+
+
+def _intersect(np, lo, hi, other_lo, other_hi):
+    """Row-wise ``Interval.intersect`` with (lo, hi) as ``self``.
+
+    No empty normalisation: crossed bounds flow through unchanged, which
+    is sound because intersection is monotone (see module docstring).
+    """
+    new_lo = np.where(lo >= other_lo, lo, other_lo)
+    new_hi = np.where(hi <= other_hi, hi, other_hi)
+    return new_lo, new_hi
+
+
+def _to_intervals(lo, hi, forced_empty=None) -> List[Interval]:
+    """Materialise rows as Intervals, normalising empties like the scalars."""
+    out: List[Interval] = []
+    for k in range(len(lo)):
+        if forced_empty is not None and forced_empty[k]:
+            out.append(EMPTY_INTERVAL)
+            continue
+        low = float(lo[k])
+        high = float(hi[k])
+        out.append(EMPTY_INTERVAL if low > high else Interval(low, high))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Page kernels
+# ---------------------------------------------------------------------------
+
+
+def moving_window_box_overlap_batch(
+    params: WindowParams, boxes: BoxBatch
+) -> List[Interval]:
+    """Batch ``moving_window_box_overlap`` over native-space boxes.
+
+    ``boxes`` carries the temporal extent at axis 0 and one spatial
+    extent per window dimension after it.
+    """
+    np = _require_numpy()
+    if boxes.n == 0:
+        return []
+    if boxes.axes != params.dims + 1:
+        raise GeometryError(
+            f"boxes have {boxes.axes} axes, expected {params.dims + 1}"
+        )
+    lo, hi = _intersect(
+        np, params.t_lo, params.t_hi, boxes._lows[:, 0], boxes._highs[:, 0]
+    )
+    forced_empty = np.zeros(boxes.n, dtype=bool)
+    for i in range(params.dims):
+        r_lo = boxes._lows[:, i + 1]
+        r_hi = boxes._highs[:, i + 1]
+        forced_empty |= r_lo > r_hi
+        # upper border u(t) = mu·t + uc must satisfy u(t) >= r.low
+        s_lo, s_hi = _solve_ge(np, params.mus[i], params.ucs[i] - r_lo)
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+        # lower border l(t) = ml·t + lc must satisfy l(t) <= r.high
+        s_lo, s_hi = _solve_ge(np, -params.mls[i], r_hi - params.lcs[i])
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+    return _to_intervals(lo, hi, forced_empty)
+
+
+def moving_window_segment_overlap_batch(
+    params: WindowParams, segs: SegmentBatch
+) -> List[Interval]:
+    """Batch ``moving_window_segment_overlap`` over motion segments."""
+    np = _require_numpy()
+    if segs.n == 0:
+        return []
+    if segs.dims != params.dims:
+        raise GeometryError(
+            f"segments have {segs.dims} dims, window {params.dims}"
+        )
+    lo, hi = _intersect(np, params.t_lo, params.t_hi, segs._t_lo, segs._t_hi)
+    for i in range(params.dims):
+        v = segs._velocity[:, i]
+        # p(t) = pc + v·t with pc = x0 - v * st0
+        pc = segs._origin[:, i] - v * segs._t_lo
+        # u(t) - p(t) >= 0
+        s_lo, s_hi = _solve_ge(np, params.mus[i] - v, params.ucs[i] - pc)
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+        # p(t) - l(t) >= 0
+        s_lo, s_hi = _solve_ge(np, v - params.mls[i], pc - params.lcs[i])
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+    return _to_intervals(lo, hi)
+
+
+def segment_box_overlap_batch(segs: SegmentBatch, query: Box) -> List[Interval]:
+    """Batch ``segment_box_overlap_interval`` against one static query box."""
+    np = _require_numpy()
+    if segs.n == 0:
+        return []
+    if query.dims != segs.dims + 1:
+        raise GeometryError(
+            f"query has {query.dims} dims, expected {segs.dims + 1}"
+        )
+    q_lows = query.lows
+    q_highs = query.highs
+    lo, hi = _intersect(np, segs._t_lo, segs._t_hi, q_lows[0], q_highs[0])
+    forced_empty = np.zeros(segs.n, dtype=bool)
+    for i in range(segs.dims):
+        w_lo = q_lows[i + 1]
+        w_hi = q_highs[i + 1]
+        x0 = segs._origin[:, i]
+        v = segs._velocity[:, i]
+        # Rest dimension (exactly the scalar's sub-ulp displacement test):
+        # containment decides, the algebraic branch is skipped.
+        rest = (v == 0.0) | (x0 + v * segs._length == x0)
+        forced_empty |= rest & ~((w_lo <= x0) & (x0 <= w_hi))
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            ta = segs._t_lo + (w_lo - x0) / v
+            tb = segs._t_lo + (w_hi - x0) / v
+        o_lo = np.where(ta <= tb, ta, tb)
+        o_hi = np.where(ta <= tb, tb, ta)
+        new_lo, new_hi = _intersect(np, lo, hi, o_lo, o_hi)
+        lo = np.where(rest, lo, new_lo)
+        hi = np.where(rest, hi, new_hi)
+    return _to_intervals(lo, hi, forced_empty)
+
+
+def box_query_masks(
+    boxes: BoxBatch, query: Box, prev: Optional[Box] = None
+) -> Tuple[List[bool], List[bool]]:
+    """Per-entry NPDQ pruning masks against a dual-space query box.
+
+    Returns ``(empty, covered)`` where ``empty[k]`` is True iff
+    ``boxes[k].intersect(query)`` is empty, and ``covered[k]`` is True
+    iff ``prev`` (when given and non-empty) contains that non-empty
+    intersection — the scalar ``prev.contains_box(shared)`` with
+    ``shared`` known non-empty, so the raw (unnormalised) intersection
+    bounds are exactly the scalar's.  ``covered`` is only meaningful on
+    rows where ``empty`` is False, matching the scalar control flow.
+    """
+    np = _require_numpy()
+    if boxes.n == 0:
+        return [], []
+    if query.dims != boxes.axes:
+        raise GeometryError(
+            f"query has {query.dims} axes, boxes {boxes.axes}"
+        )
+    q_lows = np.asarray(query.lows, dtype=np.float64)
+    q_highs = np.asarray(query.highs, dtype=np.float64)
+    i_lo = np.where(boxes._lows >= q_lows, boxes._lows, q_lows)
+    i_hi = np.where(boxes._highs <= q_highs, boxes._highs, q_highs)
+    empty = (i_lo > i_hi).any(axis=1)
+    if prev is None or prev.is_empty:
+        covered = np.zeros(boxes.n, dtype=bool)
+    else:
+        p_lows = np.asarray(prev.lows, dtype=np.float64)
+        p_highs = np.asarray(prev.highs, dtype=np.float64)
+        covered = ((p_lows <= i_lo) & (i_hi <= p_highs)).all(axis=1)
+    return empty.tolist(), covered.tolist()
+
+
+# ---------------------------------------------------------------------------
+# TP-box kernels (TPR-tree pages)
+# ---------------------------------------------------------------------------
+
+
+def tpbox_overlap_with_box_batch(
+    batch: TPBoxBatch, window: Box, time: Interval
+) -> List[Interval]:
+    """Batch ``TPBox.overlap_interval_with_box`` for one static window."""
+    np = _require_numpy()
+    if batch.n == 0:
+        return []
+    if window.dims != batch.dims:
+        raise GeometryError("window dimensionality differs")
+    lo, hi = _intersect(np, time.low, time.high, batch._ref, np.inf)
+    for i in range(batch.dims):
+        w_lo = window.lows[i]
+        w_hi = window.highs[i]
+        # high edge:  highs + vhigh (t - ref) >= w.low
+        s_lo, s_hi = _solve_ge(
+            np,
+            batch._vhighs[:, i],
+            batch._highs[:, i] - batch._vhighs[:, i] * batch._ref - w_lo,
+        )
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+        # low edge:   lows + vlow (t - ref) <= w.high
+        s_lo, s_hi = _solve_ge(
+            np,
+            -batch._vlows[:, i],
+            w_hi - batch._lows[:, i] + batch._vlows[:, i] * batch._ref,
+        )
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+    return _to_intervals(lo, hi)
+
+
+def tpbox_overlap_with_moving_window_batch(
+    batch: TPBoxBatch, params: WindowParams
+) -> List[Interval]:
+    """Batch ``TPBox.overlap_interval_with_moving_window``."""
+    np = _require_numpy()
+    if batch.n == 0:
+        return []
+    if params.dims != batch.dims:
+        raise GeometryError("window dimensionality differs")
+    lo, hi = _intersect(np, params.t_lo, params.t_hi, batch._ref, np.inf)
+    for i in range(batch.dims):
+        # window upper border >= box low edge
+        s_lo, s_hi = _solve_ge(
+            np,
+            params.mus[i] - batch._vlows[:, i],
+            params.ucs[i]
+            - (batch._lows[:, i] - batch._vlows[:, i] * batch._ref),
+        )
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+        # box high edge >= window lower border
+        s_lo, s_hi = _solve_ge(
+            np,
+            batch._vhighs[:, i] - params.mls[i],
+            (batch._highs[:, i] - batch._vhighs[:, i] * batch._ref)
+            - params.lcs[i],
+        )
+        lo, hi = _intersect(np, lo, hi, s_lo, s_hi)
+    return _to_intervals(lo, hi)

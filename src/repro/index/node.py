@@ -24,7 +24,7 @@ __all__ = ["Node"]
 class Node:
     """One R-tree node, resident on one disk page."""
 
-    __slots__ = ("page_id", "level", "entries", "timestamp", "_mbr")
+    __slots__ = ("page_id", "level", "entries", "timestamp", "_mbr", "_arrays")
 
     def __init__(
         self,
@@ -40,6 +40,7 @@ class Node:
         self.entries: List[Entry] = list(entries) if entries else []
         self.timestamp = timestamp
         self._mbr: Optional[Box] = None
+        self._arrays = None  # cached PageArrays view (repro.index.pagearrays)
 
     # -- classification ------------------------------------------------------
 
@@ -85,6 +86,7 @@ class Node:
         self.entries.append(entry)
         self.timestamp = max(self.timestamp, clock)
         self._mbr = None
+        self._arrays = None
 
     def replace_entries(self, entries: Sequence[Entry], clock: int) -> None:
         """Swap in a whole new entry list (used by splits)."""
@@ -93,6 +95,7 @@ class Node:
         self.entries = list(entries)
         self.timestamp = max(self.timestamp, clock)
         self._mbr = None
+        self._arrays = None
 
     def remove_child(self, child_id: int, clock: int) -> InternalEntry:
         """Remove and return the entry pointing at ``child_id``.
@@ -109,6 +112,7 @@ class Node:
                 del self.entries[i]
                 self.timestamp = max(self.timestamp, clock)
                 self._mbr = None
+                self._arrays = None
                 return e  # type: ignore[return-value]
         raise IndexStructureError(f"node {self.page_id} has no child {child_id}")
 
@@ -127,6 +131,7 @@ class Node:
                 del self.entries[i]
                 self.timestamp = max(self.timestamp, clock)
                 self._mbr = None
+                self._arrays = None
                 return e  # type: ignore[return-value]
         raise IndexStructureError(f"node {self.page_id} has no record {key}")
 
@@ -139,6 +144,7 @@ class Node:
                 self.entries[i] = InternalEntry(box, child_id, timestamp=clock)
                 self.timestamp = max(self.timestamp, clock)
                 self._mbr = None
+                self._arrays = None
                 return
         raise IndexStructureError(f"node {self.page_id} has no child {child_id}")
 

@@ -92,6 +92,7 @@ class ServerConfig:
     buffer_capacity: int = 1024
     npdq_predict_margin: float = 2.0
     npdq_history_weight: float = 0.5
+    accel: str = "off"
     latency: LatencyModel = LatencyModel()
 
     def __post_init__(self) -> None:
@@ -113,6 +114,8 @@ class ServerConfig:
             raise ServerError("npdq_predict_margin must be >= 0")
         if not 0.0 <= self.npdq_history_weight <= 1.0:
             raise ServerError("npdq_history_weight must be in [0, 1]")
+        if self.accel not in ("off", "numpy"):
+            raise ServerError("accel must be 'off' or 'numpy'")
 
 
 class QueryBroker:
@@ -212,6 +215,7 @@ class QueryBroker:
                 rebuild_depth=rebuild_depth,
                 track_updates=track_updates,
                 fault_budget=fault_budget,
+                accel=self.config.accel,
             )
         )
 
@@ -235,6 +239,7 @@ class QueryBroker:
                 fault_budget=fault_budget,
                 predict_margin=self.config.npdq_predict_margin,
                 history_weight=self.config.npdq_history_weight,
+                accel=self.config.accel,
             )
         )
 
@@ -248,6 +253,7 @@ class QueryBroker:
         """Admit an auto-mode client (Sect. 4 mode hand-off session)."""
         if self.dual is None:
             raise ServerError("broker has no dual-time index for auto clients")
+        session_kwargs.setdefault("accel", self.config.accel)
         session = DynamicQuerySession(
             self.native, self.dual, half_extents, **session_kwargs
         )

@@ -242,6 +242,47 @@ class TestLayeringRules:
             )
             assert code == 0, f"{exempt} must be exempt from DQL06"
 
+    def test_dql07_numpy_outside_kernels(self, tmp_path, capsys):
+        assert_flags(
+            tmp_path,
+            capsys,
+            "DQL07",
+            "repro/core/pdq.py",
+            "import numpy\n\n\n"
+            "def fast(xs):\n"
+            "    return numpy.asarray(xs)\n",
+        )
+
+    def test_dql07_from_import_and_submodule(self, tmp_path, capsys):
+        code, out = lint_file(
+            tmp_path,
+            capsys,
+            "repro/geometry/trapezoid.py",
+            "from numpy import float64\n"
+            "import numpy.linalg\n",
+        )
+        assert code == 1
+        assert out.count("DQL07") == 2
+
+    def test_dql07_kernels_module_is_exempt(self, tmp_path, capsys):
+        code, _ = lint_file(
+            tmp_path,
+            capsys,
+            "repro/geometry/kernels.py",
+            "import numpy\n",
+        )
+        assert code == 0, "repro.geometry.kernels must be exempt from DQL07"
+
+    def test_dql07_outside_repro_scope_not_flagged(self, tmp_path, capsys):
+        # benchmarks and tests live outside the scoped package
+        code, _ = lint_file(
+            tmp_path,
+            capsys,
+            "benchmarks/test_perf.py",
+            "import numpy\n",
+        )
+        assert code == 0
+
     def test_dqx01_resurrected_alias(self, tmp_path, capsys):
         assert_flags(
             tmp_path,

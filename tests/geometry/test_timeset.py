@@ -144,3 +144,47 @@ class TestProperties:
     def test_idempotent_normalisation(self, xs):
         ts = TimeSet(xs)
         assert TimeSet(ts.components) == ts
+
+class TestIntersectIntervalBoundaries:
+    """Boundary semantics pinned for the batch kernels to differ against.
+
+    Components and windows are *closed* intervals: touching at exactly
+    one instant is overlap, and the instant survives restriction as a
+    zero-width component.
+    """
+
+    def test_touching_endpoint_keeps_the_instant(self):
+        a = TimeSet.of(Interval(0.0, 2.0))
+        r = a.intersect_interval(Interval(2.0, 5.0))
+        assert r.components == (Interval(2.0, 2.0),)
+        assert not r.is_empty
+
+    def test_zero_width_window_inside_component(self):
+        a = TimeSet.of(Interval(0.0, 2.0), Interval(4.0, 6.0))
+        r = a.intersect_interval(Interval(5.0, 5.0))
+        assert r.components == (Interval(5.0, 5.0),)
+
+    def test_zero_width_window_between_components_is_empty(self):
+        a = TimeSet.of(Interval(0.0, 2.0), Interval(4.0, 6.0))
+        assert a.intersect_interval(Interval(3.0, 3.0)).is_empty
+
+    def test_zero_width_component_survives_covering_window(self):
+        a = TimeSet.of(Interval(1.0, 1.0), Interval(4.0, 6.0))
+        r = a.intersect_interval(Interval(0.0, 5.0))
+        assert r.components == (Interval(1.0, 1.0), Interval(4.0, 5.0))
+
+    def test_zero_width_component_dropped_just_outside(self):
+        # window ends one ulp left of the instant: strictly outside
+        import math
+
+        a = TimeSet.of(Interval(1.0, 1.0))
+        below = math.nextafter(1.0, -math.inf)
+        assert a.intersect_interval(Interval(0.0, below)).is_empty
+        assert a.intersect_interval(Interval(0.0, 1.0)).components == (
+            Interval(1.0, 1.0),
+        )
+
+    def test_window_clips_both_sides_exactly(self):
+        a = TimeSet.of(Interval(0.0, 10.0))
+        r = a.intersect_interval(Interval(3.0, 7.0))
+        assert r.components == (Interval(3.0, 7.0),)

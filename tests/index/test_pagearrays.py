@@ -1,0 +1,176 @@
+"""The struct-of-arrays page view: lossless codec round-trip + caching.
+
+``page_arrays(node)`` must carry *everything* the node codecs serialise,
+so the round-trip ``arrays_to_node(page_arrays(decode(b)))`` encodes to
+exactly the bytes ``decode(b)`` would — that is the sense in which the
+array-backed representation is lossless, and it is what lets the batch
+kernels read pages without an object-graph walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexStructureError
+from repro.geometry.box import Box
+from repro.index.codec import DualTimeNodeCodec, NativeNodeCodec
+from repro.index.entry import InternalEntry, LeafEntry
+from repro.index.node import Node
+from repro.index.pagearrays import PageArrays, arrays_to_node, page_arrays
+
+from _helpers import make_segment
+
+
+def leaf_node(codec, page_id=7, n=5, timestamp=3):
+    entries = []
+    for k in range(n):
+        seg = make_segment(
+            100 + k, k, 0.5 * k, 0.5 * k + 2.0, (1.0 * k, 2.0 * k), (0.25, -0.5)
+        )
+        entries.append(LeafEntry(codec._leaf_box(seg), seg, timestamp=k))
+    return Node(page_id, 0, entries, timestamp=timestamp)
+
+
+def internal_node(page_id=9, n=4, axes=3, timestamp=2):
+    entries = []
+    for k in range(n):
+        lows = [1.0 * k + a for a in range(axes)]
+        highs = [v + 1.5 for v in lows]
+        entries.append(
+            InternalEntry(Box.from_bounds(lows, highs), 50 + k, timestamp=k)
+        )
+    return Node(page_id, 1, entries, timestamp=timestamp)
+
+
+@pytest.fixture(params=["native", "dual"])
+def codec(request):
+    if request.param == "native":
+        return NativeNodeCodec(dims=2)
+    return DualTimeNodeCodec(dims=2)
+
+
+class TestCodecRoundTrip:
+    def test_leaf_round_trip_is_byte_identical(self, codec):
+        encoded = codec.encode(leaf_node(codec))
+        baseline = codec.decode(encoded)
+        rebuilt = arrays_to_node(page_arrays(baseline))
+        assert codec.encode(rebuilt) == codec.encode(baseline)
+
+    def test_internal_round_trip_is_byte_identical(self, codec):
+        node = internal_node(axes=codec._axes_count())
+        baseline = codec.decode(codec.encode(node))
+        rebuilt = arrays_to_node(page_arrays(baseline))
+        assert codec.encode(rebuilt) == codec.encode(baseline)
+
+    def test_empty_page_round_trip(self, codec):
+        node = Node(11, 0, timestamp=5)
+        baseline = codec.decode(codec.encode(node))
+        rebuilt = arrays_to_node(page_arrays(baseline))
+        assert codec.encode(rebuilt) == codec.encode(baseline)
+        assert rebuilt.page_id == 11
+        assert rebuilt.timestamp == 5
+
+    def test_structure_fields_restored(self, codec):
+        node = leaf_node(codec)
+        rebuilt = arrays_to_node(page_arrays(node))
+        assert rebuilt.page_id == node.page_id
+        assert rebuilt.level == node.level
+        assert rebuilt.timestamp == node.timestamp
+        assert [e.timestamp for e in rebuilt.entries] == [
+            e.timestamp for e in node.entries
+        ]
+        assert [e.record.object_id for e in rebuilt.entries] == [
+            e.record.object_id for e in node.entries
+        ]
+        assert [e.record.seq for e in rebuilt.entries] == [
+            e.record.seq for e in node.entries
+        ]
+
+
+class TestArrayShapes:
+    def test_leaf_fields(self):
+        codec = NativeNodeCodec(dims=2)
+        arrays = page_arrays(leaf_node(codec, n=3))
+        assert arrays.is_leaf
+        assert arrays.count == 3
+        assert len(arrays.box_lows) == 3
+        assert arrays.child_ids == ()
+        assert len(arrays.origins) == 3
+        assert all(len(o) == 2 for o in arrays.origins)
+
+    def test_internal_fields(self):
+        arrays = page_arrays(internal_node(n=4))
+        assert not arrays.is_leaf
+        assert arrays.child_ids == (50, 51, 52, 53)
+        assert arrays.object_ids == ()
+        assert arrays.seg_t_lo == ()
+
+    def test_internal_page_has_no_segment_batch(self):
+        arrays = page_arrays(internal_node())
+        with pytest.raises(IndexStructureError):
+            arrays.segment_batch()
+
+
+class TestCaching:
+    def test_view_is_cached(self):
+        codec = NativeNodeCodec(dims=2)
+        node = leaf_node(codec)
+        assert page_arrays(node) is page_arrays(node)
+
+    def test_every_mutation_invalidates(self):
+        codec = NativeNodeCodec(dims=2)
+
+        def fresh_internal():
+            return internal_node(axes=3)
+
+        seg = make_segment(999, 0, 0.0, 2.0, (5.0, 5.0), (0.0, 0.0))
+        cases = [
+            (
+                leaf_node(codec),
+                lambda n: n.add(LeafEntry(codec._leaf_box(seg), seg), clock=9),
+            ),
+            (
+                leaf_node(codec),
+                lambda n: n.replace_entries(list(n.entries[:2]), clock=9),
+            ),
+            (fresh_internal(), lambda n: n.remove_child(51, clock=9)),
+            (
+                leaf_node(codec),
+                lambda n: n.remove_record(
+                    (n.entries[0].record.object_id, n.entries[0].record.seq),
+                    clock=9,
+                ),
+            ),
+            (
+                fresh_internal(),
+                lambda n: n.update_child_box(
+                    52,
+                    Box.from_bounds([0.0, 0.0, 0.0], [9.0, 9.0, 9.0]),
+                    clock=9,
+                ),
+            ),
+        ]
+        for node, mutate in cases:
+            before = page_arrays(node)
+            mutate(node)
+            after = page_arrays(node)
+            assert after is not before
+            assert after.count == len(node.entries)
+
+    def test_rebuilt_view_reflects_mutation(self):
+        node = internal_node(n=3, axes=3)
+        page_arrays(node)
+        node.remove_child(51, clock=4)
+        assert page_arrays(node).child_ids == (50, 52)
+
+
+class TestPageArraysDirect:
+    def test_constructor_does_not_require_numpy(self, monkeypatch):
+        # the flattening itself is pure Python; only the lazy batch
+        # views touch numpy
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        codec = NativeNodeCodec(dims=2)
+        arrays = PageArrays(leaf_node(codec))
+        assert arrays.count == 5
+        rebuilt = arrays_to_node(arrays)
+        assert codec.encode(rebuilt) == codec.encode(leaf_node(codec))

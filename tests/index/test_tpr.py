@@ -251,6 +251,22 @@ class TestTPRPDQ:
                     break
         assert got == want
 
+    def test_accel_numpy_is_bit_identical(self, setup):
+        from repro.geometry import kernels
+
+        if not kernels.available():
+            pytest.skip("numpy unavailable")
+        tree, _, trajectory = setup
+        span = trajectory.time_span
+        scalar = TPRPDQEngine(tree, trajectory, accel="off")
+        batched = TPRPDQEngine(tree, trajectory, accel="numpy")
+        got = batched.window(span.low, span.high)
+        want = scalar.window(span.low, span.high)
+        assert [
+            (i.object_id, i.appears_at, i.visibility) for i in got
+        ] == [(i.object_id, i.appears_at, i.visibility) for i in want]
+        assert batched.cost.segment_tests == scalar.cost.segment_tests
+
     def test_appearance_order(self, setup):
         tree, _, trajectory = setup
         engine = TPRPDQEngine(tree, trajectory)
@@ -292,3 +308,74 @@ class TestTPRPDQ:
         assert len(early) + len(late) == len(whole)
         for item in early:
             assert item.appears_at <= mid + 1e-9
+
+class TestMovingWindowOverlapBoundaries:
+    """Closed-endpoint semantics of ``overlap_interval_with_moving_window``.
+
+    These pin the scalar reference's boundary behaviour — grazing
+    contact is a zero-width (instantaneous, non-empty) overlap — so the
+    batch kernels have an exact spec to differ against.
+    """
+
+    @staticmethod
+    def static_window(lo, hi, t0, t1):
+        box_lo, box_hi = (lo,), (hi,)
+        return MovingWindow(
+            Interval(t0, t1),
+            Box.from_bounds(box_lo, box_hi),
+            Box.from_bounds(box_lo, box_hi),
+        )
+
+    def test_grazing_contact_is_instantaneous(self):
+        # box [0,1] moving right at 1; static window [3,4]: the box high
+        # edge reaches 3 exactly at t=2, and the box leaves at t=4+... —
+        # shrink the window's time span to end exactly at first contact
+        b = TPBox(0.0, (0.0,), (1.0,), (1.0,), (1.0,))
+        w = self.static_window(3.0, 4.0, 0.0, 2.0)
+        r = b.overlap_interval_with_moving_window(w)
+        assert r == Interval(2.0, 2.0)
+        assert not r.is_empty
+
+    def test_contact_one_instant_too_late_is_empty(self):
+        b = TPBox(0.0, (0.0,), (1.0,), (1.0,), (1.0,))
+        import math
+
+        t_end = math.nextafter(2.0, 0.0)
+        w = self.static_window(3.0, 4.0, 0.0, t_end)
+        assert b.overlap_interval_with_moving_window(w).is_empty
+
+    def test_window_before_box_reference_is_clipped(self):
+        # TP boxes only bound the present/future: overlap clips to
+        # [ref, inf) even when the window span starts earlier
+        b = TPBox(5.0, (0.0,), (1.0,), (0.0,), (0.0,))
+        w = self.static_window(0.0, 2.0, 0.0, 10.0)
+        assert b.overlap_interval_with_moving_window(w) == Interval(5.0, 10.0)
+        before = self.static_window(0.0, 2.0, 0.0, 4.0)
+        assert b.overlap_interval_with_moving_window(before).is_empty
+
+    def test_everything_at_rest_full_span_or_nothing(self):
+        b = TPBox(0.0, (0.0,), (1.0,), (0.0,), (0.0,))
+        inside = self.static_window(0.5, 2.0, 1.0, 7.0)
+        assert b.overlap_interval_with_moving_window(inside) == Interval(1.0, 7.0)
+        outside = self.static_window(2.0, 3.0, 1.0, 7.0)
+        assert b.overlap_interval_with_moving_window(outside).is_empty
+
+    def test_touching_at_rest_is_the_whole_span(self):
+        # window low edge equals box high edge: contact for the entire
+        # span, not an instant (closed intervals)
+        b = TPBox(0.0, (0.0,), (1.0,), (0.0,), (0.0,))
+        touching = self.static_window(1.0, 3.0, 0.0, 5.0)
+        assert b.overlap_interval_with_moving_window(touching) == Interval(0.0, 5.0)
+
+    def test_shrinking_window_crossing_box(self):
+        # window narrows from [0,10] to [4,5] while the box sits at
+        # [6,7]: covered early, uncovered when the upper border passes 6
+        mw = MovingWindow(
+            Interval(0.0, 10.0),
+            Box.from_bounds((0.0,), (10.0,)),
+            Box.from_bounds((4.0,), (5.0,)),
+        )
+        b = TPBox(0.0, (6.0,), (7.0,), (0.0,), (0.0,))
+        r = b.overlap_interval_with_moving_window(mw)
+        # upper border u(t) = 10 - 0.5 t reaches 6 at t = 8
+        assert r == Interval(0.0, 8.0)
