@@ -370,7 +370,7 @@ def _durable_store(
     from repro.storage.file import open_durable
     from repro.storage.wal import wal_tail_info
 
-    need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
+    need_dual = cfg["kind"] in _DUAL_KINDS
     names = ["native"] + (["dual"] if need_dual else [])
     codecs = {
         "native": ChecksummedCodec(NativeNodeCodec(2)),
@@ -418,7 +418,7 @@ def _durable_shard_stores(data_dir: str, cfg: dict, fresh: bool = False):
     from repro.storage.wal import wal_tail_info
 
     shards = cfg.get("shards", 1)
-    need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
+    need_dual = cfg["kind"] in _DUAL_KINDS
     names = ["native"] + (["dual"] if need_dual else [])
     if fresh:
         through = -1
@@ -496,9 +496,27 @@ class _AnswerStream:
         self.lines = 0
 
     def append(self, client_id: str, result) -> None:
-        keys = sorted(
-            {f"{item.record.object_id}:{item.record.seq}" for item in result.items}
-        )
+        if result.mode == "knn":
+            # Rank order is the answer; distances use repr so two
+            # configurations must agree bit-for-bit to compare equal.
+            keys = [
+                f"{n.record.object_id}:{n.record.seq}@{n.distance!r}"
+                for n in result.neighbors
+            ]
+        elif result.mode == "join":
+            keys = sorted(
+                f"{p.key[0][0]}:{p.key[0][1]}&{p.key[1][0]}:{p.key[1][1]}"
+                for p in result.pairs
+            )
+        elif result.mode == "aggregate":
+            keys = [f"{t!r}:{c}" for t, c in result.aggregate]
+        else:
+            keys = sorted(
+                {
+                    f"{item.record.object_id}:{item.record.seq}"
+                    for item in result.items
+                }
+            )
         self._fh.write(
             f"{result.index}\t{client_id}\t{result.mode}\t"
             f"{int(result.degraded)}\t{','.join(keys)}\n"
@@ -513,6 +531,70 @@ class _AnswerStream:
 
     def close(self) -> None:
         self._fh.close()
+
+
+#: Client kinds a ``--kind`` value cycles through across the fleet.
+_FLEET_KINDS = {
+    "pdq": ["pdq"],
+    "npdq": ["npdq"],
+    "auto": ["auto"],
+    "mixed": ["pdq", "npdq", "auto"],
+    "knn": ["knn"],
+    "join": ["join"],
+    "aggregate": ["aggregate"],
+    "zoo": ["pdq", "knn", "join", "aggregate"],
+}
+
+#: ``--kind`` values that need the dual-time index built.
+_DUAL_KINDS = ("npdq", "auto", "mixed")
+
+
+def _register_fleet(broker, fleet, cfg: dict, process_workers: bool = False):
+    """Admit one client per fleet trajectory, cycling the kind list.
+
+    Works against any broker tier (they share the ``register_*`` /
+    ``register_query`` surface); ``process_workers`` switches auto
+    registration to the trajectory form, since a path closure cannot
+    cross the pipe.  Spec-expressible kinds go through the declarative
+    front door so the planner runs and the summary gains its
+    ``planner:`` lines; auto sessions have no spec form (route refresh
+    is a serving-policy knob, not a query property).
+    """
+    from repro.core.query import QuerySpec
+    from repro.workload.observers import path_of
+
+    kinds = _FLEET_KINDS[cfg["kind"]]
+    half_extents = (cfg["window"] / 2.0,) * 2
+    for i, trajectory in enumerate(fleet):
+        kind = kinds[i % len(kinds)]
+        client_id = f"{kind}-{i}"
+        if kind == "pdq":
+            broker.register_query(client_id, QuerySpec.range(trajectory))
+        elif kind == "npdq":
+            broker.register_query(
+                client_id, QuerySpec.range(trajectory, predictive=False)
+            )
+        elif kind == "knn":
+            broker.register_query(
+                client_id, QuerySpec.knn(trajectory, cfg.get("knn_k", 4))
+            )
+        elif kind == "join":
+            broker.register_query(
+                client_id,
+                QuerySpec.join(trajectory, cfg.get("join_delta", 4.0)),
+            )
+        elif kind == "aggregate":
+            broker.register_query(
+                client_id, QuerySpec.aggregate(trajectory)
+            )
+        elif process_workers:
+            broker.register_auto(
+                client_id, trajectory, half_extents=half_extents
+            )
+        else:
+            broker.register_auto(
+                client_id, path_of(trajectory), half_extents=half_extents
+            )
 
 
 def _churn_batch(cfg: dict, tick_index: int):
@@ -584,7 +666,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
         write_store_config,
     )
     from repro.workload.config import WorkloadConfig
-    from repro.workload.observers import observer_fleet, path_of
+    from repro.workload.observers import observer_fleet
 
     if getattr(args, "workers", "inprocess") == "process":
         print(
@@ -610,6 +692,11 @@ def _serve_durable(args: argparse.Namespace) -> int:
         # Stores pinned before sharded durability existed carry no
         # "shards" key; they are single-shard by construction.
         cfg.setdefault("shards", 1)
+        # Stores pinned before the query zoo existed carry none of the
+        # zoo knobs; they served range fleets with the old defaults.
+        cfg.setdefault("knn_k", 4)
+        cfg.setdefault("join_delta", 4.0)
+        cfg.setdefault("route_refresh", 0)
         print(
             f"resuming durable store {data_dir} "
             f"(pinned {cfg['scenario']}/{cfg['scale']}, seed {cfg['seed']}, "
@@ -636,6 +723,9 @@ def _serve_durable(args: argparse.Namespace) -> int:
             "accel": args.accel,
             "churn": args.churn,
             "checkpoint_every": args.checkpoint_every,
+            "knn_k": args.knn_k,
+            "join_delta": args.join_delta,
+            "route_refresh": args.route_refresh,
         }
 
     segments, space_side, horizon, name = _build_world(
@@ -643,7 +733,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
     )
     cfg.setdefault("space_side", space_side)
     cfg.setdefault("horizon", horizon)
-    need_dual = cfg["kind"] in ("npdq", "auto", "mixed")
+    need_dual = cfg["kind"] in _DUAL_KINDS
 
     shards = cfg["shards"]
     # A store that was never pinned must start from empty files: page or
@@ -733,6 +823,8 @@ def _serve_durable(args: argparse.Namespace) -> int:
         promote_after=cfg["promote_after"],
         npdq_predict_margin=cfg["npdq_margin"],
         accel=_resolve_accel(cfg.get("accel", "off")),
+        join_delta=cfg["join_delta"],
+        auto_route_refresh=cfg["route_refresh"],
     )
     if shards > 1:
         plan = ShardPlan.grid([0.0, 0.0], [space_side, space_side], shards)
@@ -753,25 +845,7 @@ def _serve_durable(args: argparse.Namespace) -> int:
         broker = QueryBroker(
             natives[0], dual=duals[0], clock=clock, config=server_config
         )
-    kinds = {
-        "pdq": ["pdq"],
-        "npdq": ["npdq"],
-        "auto": ["auto"],
-        "mixed": ["pdq", "npdq", "auto"],
-    }[cfg["kind"]]
-    for i, trajectory in enumerate(fleet):
-        kind = kinds[i % len(kinds)]
-        client_id = f"{kind}-{i}"
-        if kind == "pdq":
-            broker.register_pdq(client_id, trajectory)
-        elif kind == "npdq":
-            broker.register_npdq(client_id, trajectory)
-        else:
-            broker.register_auto(
-                client_id,
-                path_of(trajectory),
-                half_extents=(cfg["window"] / 2.0,) * 2,
-            )
+    _register_fleet(broker, fleet, cfg)
 
     # Churn: a deterministic insert batch lands at the start of every
     # not-yet-durable tick.  Batches for recovered ticks are *not*
@@ -841,6 +915,15 @@ def _serve_durable(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.knn_k < 1:
+        print("--knn-k must be >= 1", file=sys.stderr)
+        return 2
+    if args.join_delta < 0:
+        print("--join-delta must be >= 0", file=sys.stderr)
+        return 2
+    if args.route_refresh < 0:
+        print("--route-refresh must be >= 0", file=sys.stderr)
+        return 2
     if getattr(args, "data_dir", None):
         return _serve_durable(args)
     from repro.index import DualTimeIndex, NativeSpaceIndex
@@ -854,7 +937,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.workload.config import WorkloadConfig
     from repro.workload.objects import generate_motion_segments
-    from repro.workload.observers import observer_fleet, path_of
+    from repro.workload.observers import observer_fleet
     from repro.workload.scenarios import battlefield_scenario, city_scenario
 
     if args.clients < 1 or args.ticks < 1:
@@ -902,7 +985,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         space_side, horizon = world.space_side, world.horizon.high
         name = world.name
 
-    need_dual = args.kind in ("npdq", "auto", "mixed")
+    need_dual = args.kind in _DUAL_KINDS
     print(
         f"building {name} world ({len(segments)} segments"
         f"{', both index flavours' if need_dual else ''}"
@@ -933,6 +1016,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         promote_after=args.promote_after,
         npdq_predict_margin=args.npdq_margin,
         accel=_resolve_accel(args.accel),
+        join_delta=args.join_delta,
+        auto_route_refresh=args.route_refresh,
     )
     if process_workers:
         broker = RemoteMultiplexBroker(
@@ -963,33 +1048,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         broker = QueryBroker(
             native, dual=dual, clock=clock, config=server_config
         )
-    kinds = {
-        "pdq": ["pdq"],
-        "npdq": ["npdq"],
-        "auto": ["auto"],
-        "mixed": ["pdq", "npdq", "auto"],
-    }[args.kind]
-    for i, trajectory in enumerate(fleet):
-        kind = kinds[i % len(kinds)]
-        client_id = f"{kind}-{i}"
-        if kind == "pdq":
-            broker.register_pdq(client_id, trajectory)
-        elif kind == "npdq":
-            broker.register_npdq(client_id, trajectory)
-        elif process_workers:
-            # The path-of closure cannot cross the process boundary;
-            # the worker rebuilds it from the trajectory locally.
-            broker.register_auto(
-                client_id,
-                trajectory,
-                half_extents=(args.window / 2.0,) * 2,
-            )
-        else:
-            broker.register_auto(
-                client_id,
-                path_of(trajectory),
-                half_extents=(args.window / 2.0,) * 2,
-            )
+    _register_fleet(
+        broker,
+        fleet,
+        {
+            "kind": args.kind,
+            "window": args.window,
+            "knn_k": args.knn_k,
+            "join_delta": args.join_delta,
+        },
+        process_workers=process_workers,
+    )
     print(
         f"serving {args.clients} {args.kind} client(s) for {args.ticks} "
         f"tick(s) of {args.period} t.u. "
@@ -1371,9 +1440,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--ticks", type=int, default=50)
     p_serve.add_argument(
         "--kind",
-        choices=("pdq", "npdq", "auto", "mixed"),
+        choices=(
+            "pdq",
+            "npdq",
+            "auto",
+            "mixed",
+            "knn",
+            "join",
+            "aggregate",
+            "zoo",
+        ),
         default="pdq",
-        help="client session kind (mixed cycles pdq/npdq/auto)",
+        help="client session kind (mixed cycles pdq/npdq/auto; zoo "
+        "cycles pdq/knn/join/aggregate — the full query zoo)",
+    )
+    p_serve.add_argument(
+        "--knn-k",
+        type=int,
+        default=4,
+        help="neighbours per frame for --kind knn/zoo clients",
+    )
+    p_serve.add_argument(
+        "--join-delta",
+        type=float,
+        default=4.0,
+        help="distance threshold replicated for moving joins (join "
+        "clients may ask for any delta up to this; shard routing "
+        "inflates boundary replication by delta/2)",
+    )
+    p_serve.add_argument(
+        "--route-refresh",
+        type=int,
+        default=0,
+        help="re-anchor auto sessions only after the observer drifts "
+        "this many windows from its last route, serving ghost frames "
+        "meanwhile when the route provably sees nothing (0 disables; "
+        "answers are identical either way)",
     )
     p_serve.add_argument(
         "--mode",

@@ -111,15 +111,34 @@ class ContinuousCount:
         return count_timeline(items, span)
 
     def verify_against_naive(self, at: float) -> Tuple[int, int]:
-        """(timeline count, exact count) at instant ``at`` — test hook."""
+        """(timeline count, exact count) at instant ``at`` — test hook.
+
+        :func:`count_timeline` counts visibility *right-open*: an object
+        appearing at ``at`` counts, one disappearing exactly at ``at``
+        does not.  A closed point snapshot at ``at`` legitimately
+        disagrees at those instants (it still contains the departing
+        object), so the naive side applies the same rule: a candidate
+        from the snapshot counts only if some component of its overlap
+        with the trajectory, clipped to the span, satisfies
+        ``low <= at < high`` — i.e. it remains visible immediately
+        after ``at``.
+        """
         timeline = self.compute()
         current = 0
         for t, count in timeline:
             if t > at:
                 break
             current = count
+        span = self.trajectory.time_span
         window = self.trajectory.window_at(at)
-        exact = len(
-            self.index.snapshot_search(Interval.point(at), window)
-        )
+        exact = 0
+        for record, _ in self.index.snapshot_search(Interval.point(at), window):
+            overlap = self.trajectory.segment_overlap(record.segment)
+            visible = (c.intersect(span) for c in overlap)
+            if any(
+                iv.low <= at < iv.high
+                for iv in visible
+                if not iv.is_empty and iv.length > 0.0
+            ):
+                exact += 1
         return current, exact

@@ -15,12 +15,12 @@ import itertools
 import math
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import QueryError
+from repro.errors import CorruptPageError, QueryError, TransientIOError
 from repro.index.nsi import NativeSpaceIndex
 from repro.motion.segment import MotionSegment
 from repro.storage.metrics import QueryCost
 
-__all__ = ["incremental_knn", "MovingKNN"]
+__all__ = ["incremental_knn", "knn_frontier_pages", "MovingKNN"]
 
 
 def _spatial_min_dist_sq(box, point: Sequence[float]) -> float:
@@ -103,6 +103,58 @@ def incremental_knn(
                     )
 
 
+def knn_frontier_pages(
+    index: NativeSpaceIndex,
+    t: float,
+    point: Sequence[float],
+    bound: float,
+    cost: Optional[QueryCost] = None,
+    failed: Optional[List[int]] = None,
+) -> List[int]:
+    """Pages a kNN at ``(t, point)`` bounded by ``bound`` may load.
+
+    The shared-scan hook for continuous-kNN sessions: a best-first walk
+    over a priority queue keyed by *distance to the query point* (not
+    overlap time, which orders range-query frontiers) enumerating every
+    node whose minimum distance is within ``bound`` — a superset of the
+    pages a bounded :func:`incremental_knn` pass will touch, exactly
+    like NPDQ's prediction walk over-approximates its snapshot.  The
+    walk reads internal nodes while enumerating (charged to ``cost``,
+    typically a session's ``prediction_cost``); an infinite bound (cold
+    start) predicts nothing rather than enumerating the whole tree.
+
+    Storage faults never propagate: a failing page is included in the
+    result (and in ``failed``) but its subtree stays unenumerated, so a
+    faulty walk only under-predicts — costing demand fetches, never
+    answers.
+    """
+    if math.isinf(bound):
+        return []
+    tree = index.tree
+    tie = itertools.count()
+    bound_sq = bound * bound
+    pages: List[int] = []
+    heap: List[tuple] = [(0.0, next(tie), tree.root_id)]
+    while heap:
+        _, _, page_id = heapq.heappop(heap)
+        pages.append(page_id)
+        try:
+            node = tree.load_node(page_id, cost)
+        except (TransientIOError, CorruptPageError):
+            if failed is not None:
+                failed.append(page_id)
+            continue
+        if node.is_leaf:
+            continue
+        for e in node.entries:
+            if not e.box.extent(0).contains(t):
+                continue
+            d_sq = _spatial_min_dist_sq(e.box, point)
+            if d_sq <= bound_sq:
+                heapq.heappush(heap, (d_sq, next(tie), e.child_id))  # type: ignore[union-attr]
+    return sorted(set(pages))
+
+
 class MovingKNN:
     """k nearest neighbours of a moving query point, frame by frame.
 
@@ -138,29 +190,65 @@ class MovingKNN:
         self.max_step = max_step
         self.max_object_step = max_object_step
         self.cost = QueryCost()
+        self.discarded_cost = QueryCost()
         self._last_kth: float = math.inf
+
+    @property
+    def prune_bound(self) -> float:
+        """Pruning radius the next :meth:`query` will start from.
+
+        Infinite on a cold start (no previous frame) or when the query
+        point's motion is unbounded; the serving layer uses this to
+        enumerate the next frame's page frontier
+        (:func:`knn_frontier_pages`) ahead of evaluation.
+        """
+        if math.isinf(self._last_kth) or math.isinf(self.max_step):
+            return math.inf
+        return self._last_kth + self.max_step + self.max_object_step
 
     def query(
         self, t: float, point: Sequence[float]
     ) -> List[Tuple[MotionSegment, float]]:
-        """The k nearest segments valid at ``t``."""
-        if math.isinf(self._last_kth) or math.isinf(self.max_step):
-            bound = math.inf
-        else:
-            bound = self._last_kth + self.max_step + self.max_object_step
-        results: List[Tuple[MotionSegment, float]] = []
-        for rec, dist in incremental_knn(
-            self.index, t, point, cost=self.cost, max_distance=bound
-        ):
-            results.append((rec, dist))
-            self.cost.count_results()
-            if len(results) >= self.k:
-                break
-        if len(results) < self.k and not math.isinf(bound):
-            # The pruning bound was too tight (can happen right after a
-            # teleport); fall back to an unbounded search.
-            self._last_kth = math.inf
-            return self.query(t, point)
-        if results:
-            self._last_kth = results[-1][1]
-        return results
+        """The k nearest segments valid at ``t``.
+
+        Each pass runs against a scratch accumulator: only the pass that
+        produces the answer is charged to :attr:`cost`, so ``results``
+        counts exactly the answers returned.  A bounded pass that proves
+        too tight (possible right after a teleport) is folded into
+        :attr:`discarded_cost` instead and retried unbounded.
+
+        Ties at the k-th distance are broken by segment key, which makes
+        the answer a deterministic function of the record *set* — a
+        sharded server can merge per-shard top-k lists under the same
+        ``(distance, key)`` order and reproduce the unsharded answer
+        byte for byte.
+        """
+        bound = self.prune_bound
+        while True:
+            scratch = QueryCost()
+            candidates: List[Tuple[MotionSegment, float]] = []
+            for rec, dist in incremental_knn(
+                self.index, t, point, cost=scratch, max_distance=bound
+            ):
+                # Yields are non-decreasing in distance, so once k
+                # candidates are in hand and a strictly farther one
+                # arrives, every tie at the k-th distance has been seen.
+                if len(candidates) >= self.k and dist > candidates[-1][1]:
+                    break
+                candidates.append((rec, dist))
+            if len(candidates) < self.k and not math.isinf(bound):
+                # The pruning bound was too tight; the partial pass is
+                # wasted work, not answer cost.
+                self.discarded_cost.absorb(scratch)
+                bound = math.inf
+                continue
+            results = sorted(
+                candidates, key=lambda pair: (pair[1], pair[0].key)
+            )[: self.k]
+            scratch.count_results(len(results))
+            self.cost.absorb(scratch)
+            if results:
+                self._last_kth = results[-1][1]
+            else:
+                self._last_kth = math.inf
+            return results

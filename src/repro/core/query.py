@@ -1,0 +1,154 @@
+"""Declarative query descriptions + answer carriers for the query zoo.
+
+The paper's conclusion names nearest-neighbour search, distance joins,
+and aggregation as the natural generalizations of dynamic queries.  The
+serving layer exposes all of them behind one small declarative surface:
+a :class:`QuerySpec` says *what* the client wants (a range view along a
+trajectory, the k nearest objects to a moving point, all pairs within
+δ, a windowed count), and the planner (:mod:`repro.server.planner`)
+decides *how* — which engine evaluates it and how many shards it fans
+out to.
+
+Two frozen answer carriers ride along: :class:`KNNAnswer` (a segment
+with its distance to the query point, so cross-shard merges can re-rank
+by distance instead of keep-first dedup) and :class:`JoinAnswer` (an
+unordered segment pair with its exact sub-δ time interval).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.trajectory import QueryTrajectory
+from repro.errors import QueryError
+from repro.geometry.interval import Interval
+from repro.motion.segment import MotionSegment
+
+__all__ = ["KNNAnswer", "JoinAnswer", "QuerySpec"]
+
+
+@dataclass(frozen=True)
+class KNNAnswer:
+    """One nearest neighbour: a segment and its distance to the query.
+
+    Carrying the distance is what lets a sharded front-end merge
+    per-shard top-k lists correctly: re-rank the union by
+    ``(distance, key)`` and truncate, rather than dedup-keep-first.
+    """
+
+    record: MotionSegment
+    distance: float
+
+    @property
+    def object_id(self) -> int:
+        """Identifier of the mobile object."""
+        return self.record.object_id
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Identity of the underlying segment."""
+        return self.record.key
+
+
+@dataclass(frozen=True)
+class JoinAnswer:
+    """One join pair: two segments within δ, and exactly when.
+
+    ``key`` is the *unordered* pair identity — self-join answers arrive
+    from different shards with the sides in either order, and the merge
+    dedups on this key.
+    """
+
+    a: MotionSegment
+    b: MotionSegment
+    interval: Interval
+
+    @property
+    def key(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Order-insensitive identity of the pair."""
+        first, second = sorted((self.a.key, self.b.key))
+        return (first, second)
+
+
+_KINDS = ("range", "knn", "join", "aggregate")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """What a client wants, independent of how the server evaluates it.
+
+    Attributes
+    ----------
+    kind:
+        ``"range"`` (the paper's dynamic query), ``"knn"`` (continuous
+        k nearest neighbours of the trajectory's moving centre),
+        ``"join"`` (all object pairs within ``delta``), or
+        ``"aggregate"`` (windowed visible-object count along the
+        trajectory).
+    trajectory:
+        The observer's path.  Required for every kind except ``join``,
+        which is a whole-population query.
+    predictive:
+        For ``range`` only: prefer the predictive (PDQ) engine over the
+        non-predictive (NPDQ) one.  The planner may still override for
+        tiny populations (naive wins below the tree's height cost).
+    k:
+        Neighbour count for ``knn`` (>= 1).
+    max_step:
+        For ``knn``: upper bound on the query point's movement between
+        frames (feeds :class:`~repro.core.MovingKNN`'s pruning bound).
+    delta:
+        Join distance for ``join`` (>= 0).
+    """
+
+    kind: str
+    trajectory: Optional[QueryTrajectory] = None
+    predictive: bool = True
+    k: int = 0
+    max_step: float = math.inf
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise QueryError(f"unknown query kind {self.kind!r}")
+        if self.kind != "join" and self.trajectory is None:
+            raise QueryError(f"{self.kind} queries need a trajectory")
+        if self.kind == "knn" and self.k < 1:
+            raise QueryError("knn queries need k >= 1")
+        if self.delta < 0:
+            raise QueryError("join distance must be non-negative")
+
+    # -- constructors, one per kind ---------------------------------------
+
+    @classmethod
+    def range(
+        cls, trajectory: QueryTrajectory, predictive: bool = True
+    ) -> "QuerySpec":
+        """A dynamic range query along ``trajectory``."""
+        return cls(kind="range", trajectory=trajectory, predictive=predictive)
+
+    @classmethod
+    def knn(
+        cls,
+        trajectory: QueryTrajectory,
+        k: int,
+        max_step: float = math.inf,
+    ) -> "QuerySpec":
+        """Continuous kNN of the trajectory's moving window centre."""
+        return cls(kind="knn", trajectory=trajectory, k=k, max_step=max_step)
+
+    @classmethod
+    def join(cls, trajectory: QueryTrajectory, delta: float) -> "QuerySpec":
+        """All object pairs within ``delta`` during each served tick.
+
+        The trajectory only scopes the query's *lifetime* (ticks within
+        its time span are served); the join itself is population-wide.
+        """
+        return cls(kind="join", trajectory=trajectory, delta=delta)
+
+    @classmethod
+    def aggregate(cls, trajectory: QueryTrajectory) -> "QuerySpec":
+        """The windowed visible-object count along ``trajectory``."""
+        return cls(kind="aggregate", trajectory=trajectory)

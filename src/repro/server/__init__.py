@@ -13,6 +13,9 @@ isolated engines — without changing a single answer:
 * :mod:`~repro.server.dispatcher` — the single-writer update stream with
   LCA push-down to every live PDQ and crash recovery;
 * :mod:`~repro.server.broker` — the event loop tying them together;
+* :mod:`~repro.server.planner` — the cost-based planner behind the
+  declarative ``register_query`` front door: engine choice and
+  targeted-versus-broadcast shard fan-out from index statistics;
 * :mod:`~repro.server.metrics` — per-client and per-tick accounting;
 * :mod:`~repro.server.shard` — spatial sharding: K index shards behind a
   multiplexed front-end, answer-invariant by boundary replication;
@@ -21,7 +24,7 @@ isolated engines — without changing a single answer:
   respawn-and-replay when a worker dies.
 """
 
-from repro.server.broker import QueryBroker, ServerConfig
+from repro.server.broker import QueryBroker, ServerConfig, dispatch_spec
 from repro.server.clock import SimulatedClock, Tick
 from repro.server.dispatcher import DispatchStats, UpdateDispatcher, UpdateOp
 from repro.server.metrics import (
@@ -32,6 +35,7 @@ from repro.server.metrics import (
     TickMetrics,
     merge_tick_metrics,
 )
+from repro.server.planner import IndexStats, QueryPlan, plan_query
 from repro.server.remote import RemoteMultiplexBroker, RemoteSubSession
 from repro.server.scheduler import BatchStats, SharedScanScheduler
 from repro.server.shard import (
@@ -43,8 +47,11 @@ from repro.server.shard import (
     merge_results,
 )
 from repro.server.session import (
+    AggregateSession,
     AutoSession,
     ClientSession,
+    JoinSession,
+    KNNSession,
     NPDQSession,
     PDQSession,
     SessionState,
@@ -54,6 +61,10 @@ from repro.server.session import (
 __all__ = [
     "QueryBroker",
     "ServerConfig",
+    "dispatch_spec",
+    "IndexStats",
+    "QueryPlan",
+    "plan_query",
     "SimulatedClock",
     "Tick",
     "UpdateDispatcher",
@@ -69,6 +80,9 @@ __all__ = [
     "PDQSession",
     "NPDQSession",
     "AutoSession",
+    "KNNSession",
+    "JoinSession",
+    "AggregateSession",
     "SessionState",
     "TickResult",
     "merge_tick_metrics",

@@ -36,7 +36,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+import math
+
 from repro.analysis import runtime as _sanitize
+from repro.core.query import QuerySpec
 from repro.core.session import DynamicQuerySession
 from repro.core.trajectory import QueryTrajectory
 from repro.errors import AdmissionError, ServerError
@@ -45,16 +48,53 @@ from repro.index.nsi import NativeSpaceIndex
 from repro.server.clock import SimulatedClock, Tick
 from repro.server.dispatcher import UpdateDispatcher
 from repro.server.metrics import LatencyModel, ServerMetrics, TickMetrics
+from repro.server.planner import IndexStats, QueryPlan, plan_query
 from repro.server.scheduler import SharedScanScheduler
 from repro.server.session import (
+    AggregateSession,
     AutoSession,
     ClientSession,
+    JoinSession,
+    KNNSession,
     NPDQSession,
     PDQSession,
     SessionState,
 )
 
-__all__ = ["ServerConfig", "QueryBroker"]
+__all__ = ["ServerConfig", "QueryBroker", "dispatch_spec"]
+
+
+def dispatch_spec(broker, client_id: str, spec: QuerySpec, **kwargs):
+    """Route a declarative :class:`~repro.core.QuerySpec` to the
+    concrete ``register_*`` call on ``broker``.
+
+    Shared by every front-end tier (in-process broker, sharded mux,
+    process-worker mux); ``broker`` only needs the ``register_pdq`` /
+    ``register_npdq`` / ``register_knn`` / ``register_join`` /
+    ``register_aggregate`` quintet, each of which owns its tier's
+    routing decision.
+    """
+    if spec.kind == "range":
+        if spec.predictive:
+            return broker.register_pdq(client_id, spec.trajectory, **kwargs)
+        return broker.register_npdq(client_id, spec.trajectory, **kwargs)
+    if spec.kind == "knn":
+        return broker.register_knn(
+            client_id,
+            spec.trajectory,
+            spec.k,
+            max_step=spec.max_step,
+            **kwargs,
+        )
+    if spec.kind == "join":
+        if spec.trajectory is None:
+            raise ServerError(
+                "join specs need a trajectory to scope their lifetime"
+            )
+        return broker.register_join(
+            client_id, spec.trajectory, delta=spec.delta, **kwargs
+        )
+    return broker.register_aggregate(client_id, spec.trajectory, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -93,6 +133,17 @@ class ServerConfig:
     npdq_predict_margin: float = 2.0
     npdq_history_weight: float = 0.5
     accel: str = "off"
+    # Largest join distance this server must answer correctly.  Sharded
+    # front-ends inflate their routing boxes by half of it (the midpoint
+    # of any sub-δ pair is within δ/2 of both sides, so inflating entry
+    # boxes by δ/2 co-locates every answering pair on some shard);
+    # register_join then rejects deltas beyond what routing covers.
+    join_delta: float = 0.0
+    # Ghost frames for auto clients: 0 disables; N > 0 lets an auto
+    # session skip index work for ticks whose frame query provably
+    # misses both trees' root MBRs, refreshing the proof (and granting
+    # motion-bounded dormancy leases of) every N ticks.
+    auto_route_refresh: int = 0
     latency: LatencyModel = LatencyModel()
 
     def __post_init__(self) -> None:
@@ -116,6 +167,10 @@ class ServerConfig:
             raise ServerError("npdq_history_weight must be in [0, 1]")
         if self.accel not in ("off", "numpy"):
             raise ServerError("accel must be 'off' or 'numpy'")
+        if self.join_delta < 0:
+            raise ServerError("join_delta must be >= 0")
+        if self.auto_route_refresh < 0:
+            raise ServerError("auto_route_refresh must be >= 0")
 
 
 class QueryBroker:
@@ -265,8 +320,93 @@ class QueryBroker:
                 queue_depth=self.config.queue_depth,
                 predict_margin=self.config.npdq_predict_margin,
                 history_weight=self.config.npdq_history_weight,
+                route_refresh=self.config.auto_route_refresh,
             )
         )
+
+    def register_knn(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        k: int,
+        max_step: float = math.inf,
+        max_object_step: float = 0.0,
+    ) -> KNNSession:
+        """Admit a continuous-kNN client over the native-space index."""
+        return self._admit(  # type: ignore[return-value]
+            KNNSession(
+                client_id,
+                self.native,
+                trajectory,
+                k,
+                queue_depth=self.config.queue_depth,
+                max_step=max_step,
+                max_object_step=max_object_step,
+            )
+        )
+
+    def register_join(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        delta: Optional[float] = None,
+    ) -> JoinSession:
+        """Admit a moving-join client (δ defaults to ``config.join_delta``)."""
+        if delta is None:
+            delta = self.config.join_delta
+        return self._admit(  # type: ignore[return-value]
+            JoinSession(
+                client_id,
+                self.native,
+                trajectory,
+                delta,
+                queue_depth=self.config.queue_depth,
+            )
+        )
+
+    def register_aggregate(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        track_updates: bool = True,
+        fault_budget: Optional[int] = None,
+    ) -> AggregateSession:
+        """Admit a windowed-aggregate client over the native-space index."""
+        return self._admit(  # type: ignore[return-value]
+            AggregateSession(
+                client_id,
+                self.native,
+                trajectory,
+                queue_depth=self.config.queue_depth,
+                track_updates=track_updates,
+                fault_budget=fault_budget,
+                accel=self.config.accel,
+            )
+        )
+
+    # -- declarative front door ---------------------------------------------
+
+    def _index_stats(self) -> IndexStats:
+        return IndexStats.from_index(self.native)
+
+    def _plan(self, spec: QuerySpec) -> QueryPlan:
+        return plan_query(spec, self._index_stats(), total_shards=1, route=(0,))
+
+    def register_query(
+        self, client_id: str, spec: QuerySpec, **kwargs
+    ) -> ClientSession:
+        """Admit a client from a declarative :class:`~repro.core.QuerySpec`.
+
+        The planner picks the engine and fan-out from index statistics;
+        the chosen :class:`~repro.server.planner.QueryPlan` is recorded
+        in ``metrics.plans`` so the serving report can show predicted
+        versus actual cost.  Extra keyword arguments flow to the
+        concrete ``register_*`` call.
+        """
+        plan = self._plan(spec)
+        session = dispatch_spec(self, client_id, spec, **kwargs)
+        self.metrics.plans[client_id] = plan
+        return session
 
     def close_client(self, client_id: str) -> None:
         """Close one session, freeing its admission slot."""

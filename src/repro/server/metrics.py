@@ -58,6 +58,10 @@ class ClientMetrics:
     predicted_pages: int = 0
     actual_pages: int = 0
     mispredicted_pages: int = 0
+    # Auto sessions only: ticks served as ghost frames (the route-refresh
+    # reachability proof showed the frame query could match nothing, so
+    # no index work was done).  Answers are unaffected by definition.
+    dormant_ticks: int = 0
 
 
 @dataclass(frozen=True)
@@ -191,6 +195,10 @@ class ServerMetrics:
     # Populated only by the out-of-process front-end (one entry per
     # spawned worker); stays empty for in-process serving.
     shard_health: Dict[int, ShardHealth] = field(default_factory=dict)
+    # Planner decisions, keyed by client id.  Values are duck-typed plan
+    # objects exposing ``describe()`` (the metrics layer never imports
+    # the planner — layering).
+    plans: Dict[str, object] = field(default_factory=dict)
 
     def client(self, client_id: str) -> ClientMetrics:
         """The (created-on-demand) per-client record."""
@@ -278,7 +286,23 @@ class ServerMetrics:
                         f" predicted={c.predicted_pages}"
                         f" mispredicted={c.mispredicted_pages}"
                     )
+                if c.dormant_ticks:
+                    line += f" dormant={c.dormant_ticks}"
                 lines.append(line)
+        if self.plans:
+            lines.append("planner:")
+            for cid in sorted(self.plans):
+                c = self.clients.get(cid)
+                actual = (
+                    f" actual_reads={c.logical_reads}"
+                    f" actual_items={c.items_delivered}"
+                    f" over {c.ticks_served} ticks"
+                    if c is not None
+                    else ""
+                )
+                lines.append(
+                    f"  {cid:<12} {self.plans[cid].describe()}{actual}"  # type: ignore[attr-defined]
+                )
         if self.shard_health:
             lines.append("worker health:")
             for sid in sorted(self.shard_health):

@@ -42,10 +42,13 @@ from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro
+from repro.core.query import QuerySpec
 from repro.core.trajectory import QueryTrajectory
 from repro.errors import AdmissionError, RemoteWorkerError, ServerError
+from repro.geometry.box import Box
 from repro.motion.segment import MotionSegment
-from repro.server.broker import ServerConfig
+from repro.server.broker import ServerConfig, dispatch_spec
+from repro.server.planner import IndexStats, plan_query
 from repro.server.clock import SimulatedClock, Tick
 from repro.server.dispatcher import UpdateOp
 from repro.server.metrics import (
@@ -145,6 +148,8 @@ class RemoteSubSession:
         m.predicted_pages = int(stats["predicted_pages"])
         m.actual_pages = int(stats["actual_pages"])
         m.mispredicted_pages = int(stats["mispredicted_pages"])
+        # .get(): a pre-zoo worker reply simply has no dormant counter.
+        m.dormant_ticks = int(stats.get("dormant_ticks", 0))
 
 
 class _WorkerHandle:
@@ -213,7 +218,16 @@ class RemoteMultiplexBroker:
         uncertainties = [float(first["native_uncertainty"])]
         if dual:
             uncertainties.append(float(first["dual_uncertainty"]))
-        self._route_inflation = max(uncertainties)
+        # δ/2 join slack on top of the index uncertainty — same
+        # co-residency argument as the in-process mux.
+        self._route_inflation = (
+            max(uncertainties) + self.config.join_delta / 2.0
+        )
+        # Population statistics for the planner: the front-end never
+        # touches a tree, so it tracks record count and native-space
+        # bounds as segments flow through load()/submit().
+        self._population = 0
+        self._domain: Optional[Box] = None
 
     # -- construction ------------------------------------------------------
 
@@ -276,6 +290,8 @@ class RemoteMultiplexBroker:
         one LOAD frame; returns per-shard record counts.
         """
         segments = list(segments)
+        for record in segments:
+            self._note_record(record)
         buckets: List[List[MotionSegment]] = [[] for _ in self.workers]
         for record in segments:
             for shard_id in self.router.shards_for_segment(
@@ -298,6 +314,11 @@ class RemoteMultiplexBroker:
 
         self._run(_load_all())
         return [len(bucket) for bucket in buckets]
+
+    def _note_record(self, record: MotionSegment) -> None:
+        box = record.bounding_box()
+        self._population += 1
+        self._domain = box if self._domain is None else self._domain.cover(box)
 
     # -- registration / admission control ----------------------------------
 
@@ -387,6 +408,97 @@ class RemoteMultiplexBroker:
             },
         )
 
+    def register_knn(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        k: int,
+        **kwargs: Any,
+    ) -> MuxClientSession:
+        """Admit a continuous-kNN client on *every* worker (broadcast;
+        the merge re-ranks local top-k lists by ``(distance, key)``)."""
+        self._check_admission(client_id)
+        return self._register(
+            client_id,
+            "knn",
+            list(range(self.plan.shard_count)),
+            {"trajectory": trajectory, "k": int(k), "kwargs": kwargs},
+        )
+
+    def register_join(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        delta: Optional[float] = None,
+    ) -> MuxClientSession:
+        """Admit a moving-join client on *every* worker; δ is capped by
+        ``config.join_delta``, the slack replication was built with."""
+        if delta is None:
+            delta = self.config.join_delta
+        if delta > self.config.join_delta:
+            raise ServerError(
+                f"join delta {delta} exceeds config.join_delta "
+                f"{self.config.join_delta}; replication only guarantees "
+                "pair co-residency up to the configured delta"
+            )
+        self._check_admission(client_id)
+        return self._register(
+            client_id,
+            "join",
+            list(range(self.plan.shard_count)),
+            {"trajectory": trajectory, "kwargs": {"delta": delta}},
+        )
+
+    def register_aggregate(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        **kwargs: Any,
+    ) -> MuxClientSession:
+        """Admit a windowed-aggregate client on the workers its
+        trajectory cover overlaps (key-routable)."""
+        self._check_admission(client_id)
+        shard_ids = self.router.shards_for_trajectory(trajectory)
+        return self._register(
+            client_id,
+            "aggregate",
+            shard_ids,
+            {"trajectory": trajectory, "kwargs": kwargs},
+        )
+
+    def register_query(
+        self, client_id: str, spec: QuerySpec, **kwargs: Any
+    ) -> MuxClientSession:
+        """Admit a client from a declarative :class:`~repro.core.QuerySpec`.
+
+        The front-end never touches an index, so the planner runs on
+        *estimated* statistics — the record count and native-space
+        bounds tracked through :meth:`load`/:meth:`submit`, pushed
+        through the paper's page-layout arithmetic.
+        """
+        stats = IndexStats.estimate(
+            self._population,
+            self._domain,
+            dims=self.dims,
+            **({} if self.page_size is None else {"page_size": self.page_size}),
+        )
+        route = None
+        if spec.kind in ("range", "aggregate") and spec.trajectory is not None:
+            slack = (
+                self.config.shed_delta
+                if spec.kind == "range" and spec.predictive
+                else 0.0
+            )
+            route = self.router.shards_for_trajectory(
+                spec.trajectory, slack=slack
+            )
+        plan = plan_query(
+            spec, stats, total_shards=self.plan.shard_count, route=route
+        )
+        session = dispatch_spec(self, client_id, spec, **kwargs)
+        self.metrics.plans[client_id] = plan
+        return session
+
     def _register(
         self,
         client_id: str,
@@ -427,6 +539,8 @@ class RemoteMultiplexBroker:
 
     def submit(self, op: UpdateOp) -> None:
         """Route one insert/expire to every worker holding its segment."""
+        if op.kind == "insert":
+            self._note_record(op.segment)
         shard_ids = self.router.shards_for_segment(
             op.segment, inflate=self._route_inflation
         )
@@ -534,6 +648,7 @@ class RemoteMultiplexBroker:
         m.mispredicted_pages = sum(
             s.metrics.mispredicted_pages for s in subs
         )
+        m.dormant_ticks = sum(s.metrics.dormant_ticks for s in subs)
 
     def run(self, ticks: int) -> List[TickMetrics]:
         """Serve ``ticks`` consecutive master ticks."""

@@ -7,7 +7,7 @@ corrupted frame is detected before any payload is interpreted:
 
     offset  size  field
     0       4     magic ``DQRW``
-    4       1     protocol version (currently 1)
+    4       1     protocol version (currently 2)
     5       1     message type
     6       2     (padding)
     8       4     body length in bytes (little-endian)
@@ -31,6 +31,7 @@ import zlib
 from dataclasses import fields as _dataclass_fields
 from typing import Any, BinaryIO, Dict, Optional, Tuple
 
+from repro.core.query import JoinAnswer, KNNAnswer
 from repro.core.results import AnswerItem
 from repro.core.trajectory import KeySnapshot, QueryTrajectory
 from repro.errors import RemoteProtocolError
@@ -67,7 +68,12 @@ __all__ = [
     "write_frame",
 ]
 
-PROTOCOL_VERSION = 1
+#: Version 2 added the query-zoo session types: ``ka``/``ja`` wire
+#: objects, the ``neighbors``/``pairs``/``aggregate``/``k`` tick-result
+#: fields, and the ``dormant_ticks`` per-tick stat.  Both ends reject a
+#: version mismatch outright — the worker is always spawned from the
+#: same installation, so there is no skew to negotiate.
+PROTOCOL_VERSION = 2
 FRAME_MAGIC = b"DQRW"
 
 #: magic, version, message type, 2 pad bytes, body length, body CRC32.
@@ -183,6 +189,28 @@ def _dec_answer_item(v: Any) -> AnswerItem:
     return AnswerItem(_dec_motion(v["r"]), _dec_interval(v["vis"]))
 
 
+def _enc_knn_answer(ans: KNNAnswer) -> Any:
+    return {"r": _enc_motion(ans.record), "d": ans.distance}
+
+
+def _dec_knn_answer(v: Any) -> KNNAnswer:
+    return KNNAnswer(_dec_motion(v["r"]), float(v["d"]))
+
+
+def _enc_join_answer(ans: JoinAnswer) -> Any:
+    return {
+        "a": _enc_motion(ans.a),
+        "b": _enc_motion(ans.b),
+        "iv": _enc_interval(ans.interval),
+    }
+
+
+def _dec_join_answer(v: Any) -> JoinAnswer:
+    return JoinAnswer(
+        _dec_motion(v["a"]), _dec_motion(v["b"]), _dec_interval(v["iv"])
+    )
+
+
 def _enc_tick_result(r: TickResult) -> Any:
     return {
         "index": r.index,
@@ -191,6 +219,10 @@ def _enc_tick_result(r: TickResult) -> Any:
         "mode": r.mode,
         "items": [_enc_answer_item(i) for i in r.items],
         "prefetched": [_enc_answer_item(i) for i in r.prefetched],
+        "neighbors": [_enc_knn_answer(n) for n in r.neighbors],
+        "pairs": [_enc_join_answer(p) for p in r.pairs],
+        "aggregate": [[t, c] for t, c in r.aggregate],
+        "k": r.k,
         "degraded": r.degraded,
         "covers_until": r.covers_until,
     }
@@ -205,6 +237,12 @@ def _dec_tick_result(v: Any) -> TickResult:
         mode=str(v["mode"]),
         items=tuple(_dec_answer_item(i) for i in v["items"]),
         prefetched=tuple(_dec_answer_item(i) for i in v["prefetched"]),
+        neighbors=tuple(_dec_knn_answer(n) for n in v.get("neighbors", ())),
+        pairs=tuple(_dec_join_answer(p) for p in v.get("pairs", ())),
+        aggregate=tuple(
+            (float(t), int(c)) for t, c in v.get("aggregate", ())
+        ),
+        k=int(v.get("k", 0)),
         degraded=bool(v["degraded"]),
         covers_until=None if covers is None else float(covers),
     )
@@ -234,6 +272,8 @@ _BY_TYPE: Dict[type, Tuple[str, Any]] = {
     KeySnapshot: ("ks", _enc_key_snapshot),
     QueryTrajectory: ("traj", _enc_trajectory),
     AnswerItem: ("ai", _enc_answer_item),
+    KNNAnswer: ("ka", _enc_knn_answer),
+    JoinAnswer: ("ja", _enc_join_answer),
     TickResult: ("tr", _enc_tick_result),
     TickMetrics: ("tm", _enc_tick_metrics),
     UpdateOp: ("op", _enc_update_op),
@@ -247,6 +287,8 @@ _BY_TAG: Dict[str, Any] = {
     "ks": _dec_key_snapshot,
     "traj": _dec_trajectory,
     "ai": _dec_answer_item,
+    "ka": _dec_knn_answer,
+    "ja": _dec_join_answer,
     "tr": _dec_tick_result,
     "tm": _dec_tick_metrics,
     "op": _dec_update_op,

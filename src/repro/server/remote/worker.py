@@ -116,6 +116,16 @@ class ShardWorker:
                 [float(x) for x in p["half_extents"]],
                 **kwargs,
             )
+        elif kind == "knn":
+            self.broker.register_knn(
+                client_id, p["trajectory"], int(p["k"]), **kwargs
+            )
+        elif kind == "join":
+            self.broker.register_join(client_id, p["trajectory"], **kwargs)
+        elif kind == "aggregate":
+            self.broker.register_aggregate(
+                client_id, p["trajectory"], **kwargs
+            )
         else:
             raise RemoteProtocolError(f"unknown session kind {kind!r}")
         return {"client_id": client_id, "kind": kind}
@@ -137,6 +147,7 @@ class ShardWorker:
                 "predicted_pages": m.predicted_pages,
                 "actual_pages": m.actual_pages,
                 "mispredicted_pages": m.mispredicted_pages,
+                "dormant_ticks": m.dormant_ticks,
             }
         bm = self.broker.metrics
         return {

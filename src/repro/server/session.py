@@ -32,11 +32,13 @@ returns to per-tick exact service.
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Callable,
     Deque,
+    Dict,
     FrozenSet,
     List,
     Optional,
@@ -44,14 +46,18 @@ from typing import (
     Tuple,
 )
 
+from repro.core.aggregate import count_timeline
+from repro.core.joins import snapshot_distance_join
+from repro.core.knn import MovingKNN, knn_frontier_pages
 from repro.core.npdq import NPDQEngine
 from repro.core.pdq import PDQEngine
+from repro.core.query import JoinAnswer, KNNAnswer
 from repro.core.results import AnswerItem
 from repro.core.session import DynamicQuerySession, SessionMode
 from repro.core.snapshot import SnapshotQuery
 from repro.core.spdq import SPDQEngine
 from repro.core.trajectory import QueryTrajectory
-from repro.errors import ServerError
+from repro.errors import CorruptPageError, ServerError, TransientIOError
 from repro.geometry.box import Box
 from repro.geometry.interval import Interval
 from repro.server.clock import Tick
@@ -66,6 +72,9 @@ __all__ = [
     "ClientSession",
     "PDQSession",
     "NPDQSession",
+    "KNNSession",
+    "JoinSession",
+    "AggregateSession",
     "AutoSession",
 ]
 
@@ -85,6 +94,15 @@ class TickResult:
     ``covers_until`` normally equals ``end``; for a shed session's
     strided evaluation it extends to the end of the covered stride, and
     the items are a conservative (δ-inflated) superset for that span.
+
+    The zoo kinds fill their own carriers and leave ``items`` to the
+    range family: ``neighbors`` (kNN answers ranked by ``(distance,
+    key)``, with ``k`` the session's target so a sharded merge knows
+    where to truncate), ``pairs`` (join answers sorted by unordered pair
+    key), and ``aggregate`` (the ``(t, count)`` breakpoints of the
+    visible-object timeline over ``[start, horizon]``, recomputable from
+    ``items`` — which an aggregate result *does* carry, so cross-shard
+    merges can rebuild the timeline from the deduplicated union).
     """
 
     index: int
@@ -95,6 +113,10 @@ class TickResult:
     prefetched: Tuple[AnswerItem, ...] = ()
     degraded: bool = False
     covers_until: Optional[float] = None
+    neighbors: Tuple[KNNAnswer, ...] = ()
+    pairs: Tuple[JoinAnswer, ...] = ()
+    aggregate: Tuple[Tuple[float, int], ...] = ()
+    k: int = 0
 
     @property
     def horizon(self) -> float:
@@ -300,7 +322,9 @@ class ClientSession:
     def deliver(self, result: TickResult) -> bool:
         """Queue a result for the client; ``False`` flags a slow client."""
         self.metrics.ticks_served += 1
-        self.metrics.items_delivered += len(result.items)
+        self.metrics.items_delivered += (
+            len(result.items) + len(result.neighbors) + len(result.pairs)
+        )
         if result.degraded:
             self.metrics.degraded_ticks += 1
         ok = self.queue.push(result)
@@ -608,6 +632,251 @@ class NPDQSession(ClientSession):
         )
 
 
+class KNNSession(ClientSession):
+    """A continuous-kNN client: the k nearest objects of a moving point.
+
+    The query point is the centre of the client trajectory's window at
+    each tick's end; a :class:`~repro.core.MovingKNN` engine carries the
+    previous frame's k-th distance as the next frame's pruning bound.
+    The session joins the shared scan through
+    :func:`~repro.core.knn_frontier_pages` — a best-first page
+    enumeration keyed by *distance to the query point* rather than the
+    overlap time that orders range-query frontiers — so kNN clients
+    batch their reads with everyone else's.  Cold-start frames
+    (infinite bound) contribute no frontier and demand-fetch instead.
+
+    Results are ranked by ``(distance, key)`` and carry their distances,
+    making the answer a deterministic function of the record set: a
+    sharded front-end re-ranks the union of per-shard top-k lists under
+    the same order and reproduces the unsharded answer byte for byte.
+    """
+
+    kind = "knn"
+
+    def __init__(
+        self,
+        client_id: str,
+        index,
+        trajectory: QueryTrajectory,
+        k: int,
+        queue_depth: int,
+        max_step: float = math.inf,
+        max_object_step: float = 0.0,
+    ):
+        super().__init__(client_id, queue_depth)
+        self.index = index
+        self.trajectory = trajectory
+        self.engine = MovingKNN(
+            index, k, max_step=max_step, max_object_step=max_object_step
+        )
+        self.prediction_cost = QueryCost()
+
+    def will_serve(self, tick: Tick) -> bool:
+        if self.state is SessionState.CLOSED:
+            return False
+        return tick.start <= self.trajectory.time_span.high
+
+    def _point(self, tick: Tick) -> Tuple[float, ...]:
+        return self.trajectory.window_at(tick.end).center
+
+    def frontier_pages(self, tick: Tick) -> List[int]:
+        if not self.will_serve(tick):
+            return []
+        return knn_frontier_pages(
+            self.index,
+            tick.end,
+            self._point(tick),
+            self.engine.prune_bound,
+            cost=self.prediction_cost,
+        )
+
+    def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
+        pages = self.frontier_pages(tick)
+        return [(self.index.tree, pages)] if pages else []
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        if not self.will_serve(tick):
+            return None
+        results = self.engine.query(tick.end, self._point(tick))
+        return TickResult(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            mode="knn",
+            items=(),
+            neighbors=tuple(
+                KNNAnswer(rec, dist) for rec, dist in results
+            ),
+            k=self.engine.k,
+        )
+
+    def _cost_source(self):
+        return self.engine
+
+
+class JoinSession(ClientSession):
+    """A moving-join client: all object pairs within δ during each tick.
+
+    The join is population-wide (the trajectory only scopes the
+    session's lifetime), evaluated per tick by a synchronous pair
+    traversal (:func:`~repro.core.snapshot_distance_join`) over the
+    whole tick interval — deliberately unclipped to any shard's
+    sub-population so per-shard answers stay comparable.  Answers are
+    normalized (sides swapped into key order — the sub-δ interval is
+    bit-symmetric under operand swap) and sorted by unordered pair key,
+    so any two evaluations over the same record set agree byte for byte
+    and a sharded merge is a plain key dedup.
+    """
+
+    kind = "join"
+
+    def __init__(
+        self,
+        client_id: str,
+        index,
+        trajectory: QueryTrajectory,
+        delta: float,
+        queue_depth: int,
+    ):
+        if delta < 0:
+            raise ServerError("join distance must be non-negative")
+        super().__init__(client_id, queue_depth)
+        self.index = index
+        self.trajectory = trajectory
+        self.delta = delta
+        self.cost = QueryCost()
+
+    def will_serve(self, tick: Tick) -> bool:
+        if self.state is SessionState.CLOSED:
+            return False
+        return tick.start <= self.trajectory.time_span.high
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        if not self.will_serve(tick):
+            return None
+        found = snapshot_distance_join(
+            self.index,
+            self.index,
+            Interval(tick.start, tick.end),
+            self.delta,
+            cost=self.cost,
+        )
+        answers = []
+        for a, b, interval in found:
+            if b.key < a.key:
+                a, b = b, a
+            answers.append(JoinAnswer(a, b, interval))
+        answers.sort(key=lambda ans: ans.key)
+        return TickResult(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            mode="join",
+            items=(),
+            pairs=tuple(answers),
+        )
+
+    def _cost_source(self):
+        return self
+
+
+class AggregateSession(ClientSession):
+    """A windowed-aggregate client: the visible-object count timeline.
+
+    One exact PDQ traversal feeds a live set of answer items keyed by
+    segment; each tick reports the items visible during the tick and the
+    piecewise-constant count timeline over it
+    (:func:`~repro.core.count_timeline`'s right-open rule).  Carrying
+    the contributing items alongside the timeline is what makes the
+    sharded merge exact: per-shard timelines cannot be summed (replicas
+    double-count), but the deduplicated union of per-shard items recounts
+    to the unsharded timeline.  Never shed: the timeline is derived from
+    exact visibility intervals and a δ-inflated superset would corrupt
+    the counts.
+    """
+
+    kind = "aggregate"
+
+    def __init__(
+        self,
+        client_id: str,
+        index,
+        trajectory: QueryTrajectory,
+        queue_depth: int,
+        track_updates: bool = True,
+        fault_budget: Optional[int] = None,
+        accel: str = "off",
+    ):
+        super().__init__(client_id, queue_depth)
+        self.index = index
+        self.trajectory = trajectory
+        self.engine = PDQEngine(
+            index,
+            trajectory,
+            track_updates=track_updates,
+            fault_budget=fault_budget,
+            accel=accel,
+        )
+        self._live: Dict[Tuple[int, int], AnswerItem] = {}
+
+    def will_serve(self, tick: Tick) -> bool:
+        if self.state is SessionState.CLOSED:
+            return False
+        return tick.start <= self.trajectory.time_span.high
+
+    def _horizon(self, tick: Tick) -> float:
+        return min(tick.end, self.trajectory.time_span.high)
+
+    def frontier_pages(self, tick: Tick) -> List[int]:
+        if not self.will_serve(tick):
+            return []
+        return self.engine.frontier_pages(self._horizon(tick))
+
+    def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
+        pages = self.frontier_pages(tick)
+        return [(self.index.tree, pages)] if pages else []
+
+    def serve(self, tick: Tick) -> Optional[TickResult]:
+        if not self.will_serve(tick):
+            return None
+        horizon = self._horizon(tick)
+        for item in self.engine.window(tick.start, horizon):
+            self._live[item.record.key] = item
+        gone = [
+            key
+            for key, item in self._live.items()
+            if item.visibility.high < tick.start
+        ]
+        for key in gone:
+            del self._live[key]
+        span = Interval(tick.start, horizon)
+        relevant = []
+        for item in self._live.values():
+            visible = item.visibility.intersect(span)
+            if not visible.is_empty and visible.length > 0.0:
+                relevant.append(item)
+        relevant.sort(key=lambda item: item.record.key)
+        timeline = count_timeline(relevant, span)
+        return TickResult(
+            index=tick.index,
+            start=tick.start,
+            end=tick.end,
+            mode="aggregate",
+            items=tuple(relevant),
+            aggregate=tuple(timeline),
+            covers_until=horizon,
+            degraded=getattr(self.engine, "degraded", False),
+        )
+
+    def _cost_source(self):
+        return self.engine
+
+    def close(self) -> None:
+        if self.state is not SessionState.CLOSED:
+            self.engine.close()
+        super().close()
+
+
 class AutoSession(ClientSession):
     """An auto-mode client: the Sect. 4 mode hand-off session.
 
@@ -626,6 +895,23 @@ class AutoSession(ClientSession):
     snapshot-mode frame and reseeds it with that frame's window; after
     this cold-start handshake (one more frame to observe a
     displacement) the session's NPDQ phases re-enter batching.
+
+    ``route_refresh > 0`` enables *ghost frames*: before evaluating a
+    tick, the session proves the frame query can match nothing — its
+    geometric cover (actual windows, plus the predicted trajectory's
+    δ-inflated windows while a predictive engine is live) misses the
+    root MBR of **both** trees.  The dual-tree check matters: a frame
+    empty in native space can still make box-only dual admissions,
+    which feed NPDQ's suppression memory — only double emptiness
+    leaves the skipped frame without a trace on later answers.  A
+    proven-empty frame is observed with ``assume_empty=True`` (no index
+    work, geometry state advances normally), and a *dormancy lease*
+    amortizes the proof itself: when the cover inflated by
+    ``route_refresh`` worth of worst-observed motion is also clear, the
+    next ``route_refresh`` ticks skip even the root-page probe as long
+    as each tick's cover stays inside the leased envelope and no update
+    has touched either tree.  Answers are invariant — only I/O and the
+    ``dormant_ticks`` metric change.
     """
 
     kind = "auto"
@@ -638,21 +924,134 @@ class AutoSession(ClientSession):
         queue_depth: int,
         predict_margin: float = 2.0,
         history_weight: float = 0.5,
+        route_refresh: int = 0,
     ):
+        if route_refresh < 0:
+            raise ServerError("route_refresh must be >= 0")
         super().__init__(client_id, queue_depth)
         self.session = session
         self.path = path
         self.predictor = FrontierPredictor(predict_margin, history_weight)
         self.prediction_cost = QueryCost()
+        self.route_refresh = route_refresh
         self._last_window: Optional[Box] = None
+        self._last_center: Optional[Tuple[float, ...]] = None
+        self._prev_end: Optional[float] = None
+        self._max_step: Optional[List[float]] = None
+        self._ghost_memo: Tuple[int, bool] = (-1, False)
+        self._lease_until = -1
+        self._lease_cover: Optional[Box] = None
+        self._lease_time: Optional[Interval] = None
+        self._lease_records: Tuple[int, int] = (-1, -1)
+
+    # -- ghost frames ------------------------------------------------------
+
+    def _frame_geometry(self, tick: Tick) -> Tuple[Interval, Box]:
+        """Time interval and spatial cover bounding this tick's frame query.
+
+        A superset of whatever the inner session would actually query:
+        the cover of the current and previous observed windows (the NPDQ
+        span rule), plus — while a prediction is live — the predicted
+        trajectory's windows at the frame endpoints (predictive answers
+        are defined over *those*; by convexity their cover contains the
+        whole swept window region).  Everything is inflated by the SPDQ
+        δ, which also absorbs the window a prediction started this very
+        frame would use.
+        """
+        center = tuple(self.path(tick.end))
+        window = self.session.window_for(center)
+        cover = (
+            window
+            if self._last_window is None
+            else window.cover(self._last_window)
+        )
+        start = tick.start if self._prev_end is None else self._prev_end
+        time = Interval(min(start, tick.end), tick.end)
+        predicted = self.session.predicted_trajectory
+        if predicted is not None:
+            cover = cover.cover(predicted.window_at(time.low))
+            cover = cover.cover(predicted.window_at(time.high))
+        pad = self.session.spdq_delta
+        if pad > 0.0:
+            cover = cover.inflate([pad] * cover.dims)
+        return time, cover
+
+    def _index_clear(self, index, box: Box) -> bool:
+        """True when ``box`` provably misses every entry of ``index``."""
+        if len(index) == 0:
+            return True
+        tree = index.tree
+        try:
+            root = tree.load_node(tree.root_id, self.prediction_cost)
+        except (TransientIOError, CorruptPageError):
+            return False  # can't prove emptiness; evaluate normally
+        return not root.mbr().overlaps(box)
+
+    def _unreachable(self, time: Interval, cover: Box) -> bool:
+        session = self.session
+        native_box = Box([time] + list(cover))
+        if not self._index_clear(session.native_index, native_box):
+            return False
+        dual_box = session.dual_index.query_box(time, cover)
+        return self._index_clear(session.dual_index, dual_box)
+
+    def _record_counts(self) -> Tuple[int, int]:
+        return (len(self.session.native_index), len(self.session.dual_index))
+
+    def _should_ghost(self, tick: Tick) -> bool:
+        if self.route_refresh <= 0:
+            return False
+        index, flag = self._ghost_memo
+        if index != tick.index:
+            flag = self._decide_ghost(tick)
+            self._ghost_memo = (tick.index, flag)
+        return flag
+
+    def _decide_ghost(self, tick: Tick) -> bool:
+        time, cover = self._frame_geometry(tick)
+        counts = self._record_counts()
+        lease_cover = self._lease_cover
+        lease_time = self._lease_time
+        if (
+            tick.index < self._lease_until
+            and counts == self._lease_records
+            and lease_cover is not None
+            and lease_time is not None
+            and lease_cover.contains_box(cover)
+            and lease_time.low <= time.low
+            and time.high <= lease_time.high
+        ):
+            return True
+        self._lease_until = -1
+        if not self._unreachable(time, cover):
+            return False
+        if self._max_step is not None:
+            # Amortize the proof: if the worst observed per-tick motion
+            # cannot escape an inflated envelope within route_refresh
+            # ticks, grant an I/O-free lease for them.  Containment is
+            # still re-checked every tick, so the envelope only gates
+            # how long the root probes are skipped, never soundness.
+            slack = [self.route_refresh * m for m in self._max_step]
+            envelope = cover.inflate(slack)
+            horizon = Interval(
+                time.low, time.high + self.route_refresh * tick.duration
+            )
+            if self._unreachable(horizon, envelope):
+                self._lease_until = tick.index + self.route_refresh
+                self._lease_cover = envelope
+                self._lease_time = horizon
+                self._lease_records = counts
+        return True
+
+    # -- the per-tick contract ---------------------------------------------
 
     def frontier_pages(self, tick: Tick) -> List[int]:
-        if self.state is SessionState.CLOSED:
+        if self.state is SessionState.CLOSED or self._should_ghost(tick):
             return []
         return self.session.frontier_pages(tick.end)
 
     def frontier_demand(self, tick: Tick) -> List[Tuple[object, List[int]]]:
-        if self.state is SessionState.CLOSED:
+        if self.state is SessionState.CLOSED or self._should_ghost(tick):
             return []
         demand: List[Tuple[object, List[int]]] = []
         pages = self.session.frontier_pages(tick.end)
@@ -684,7 +1083,10 @@ class AutoSession(ClientSession):
         center = tuple(self.path(tick.end))
         window = self.session.window_for(center)
         prev_window = self._last_window
-        report = self.session.observe(tick.end, center)
+        ghost = self._should_ghost(tick)
+        report = self.session.observe(tick.end, center, assume_empty=ghost)
+        if ghost:
+            self.metrics.dormant_ticks += 1
         if report.mode is SessionMode.SNAPSHOT:
             # First frame or teleport: the inner session reset its NPDQ
             # memory, so the motion history is void too.  Reseed from
@@ -700,7 +1102,17 @@ class AutoSession(ClientSession):
             # the same covers makes consecutive forecasts line up with
             # the frame queries the NPDQ engine actually evaluates.
             self.predictor.observe(window.cover(prev_window))
+        if self._last_center is not None:
+            steps = [abs(c - p) for c, p in zip(center, self._last_center)]
+            if self._max_step is None:
+                self._max_step = steps
+            else:
+                self._max_step = [
+                    max(m, s) for m, s in zip(self._max_step, steps)
+                ]
         self._last_window = window
+        self._last_center = center
+        self._prev_end = tick.end
         return TickResult(
             index=tick.index,
             start=tick.start,

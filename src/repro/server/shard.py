@@ -49,6 +49,7 @@ a sub-session on their own.
 from __future__ import annotations
 
 import itertools
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import (
@@ -61,14 +62,18 @@ from typing import (
     Tuple,
 )
 
+from repro.core.aggregate import count_timeline
+from repro.core.query import QuerySpec
 from repro.core.trajectory import QueryTrajectory
 from repro.errors import AdmissionError, ServerError
 from repro.geometry.box import Box
+from repro.geometry.interval import Interval
 from repro.index.bulk import sharded_bulk_load
 from repro.index.dualtime import DualTimeIndex
 from repro.index.nsi import NativeSpaceIndex
 from repro.motion.segment import MotionSegment
-from repro.server.broker import QueryBroker, ServerConfig
+from repro.server.broker import QueryBroker, ServerConfig, dispatch_spec
+from repro.server.planner import IndexStats, plan_query
 from repro.server.clock import SimulatedClock, Tick
 from repro.server.dispatcher import UpdateOp
 from repro.server.metrics import (
@@ -341,27 +346,71 @@ def _dedup(items: Iterable) -> Tuple:
 
 
 def merge_results(results: Sequence[TickResult]) -> TickResult:
-    """Merge one client's per-shard results for one tick."""
+    """Merge one client's per-shard results for one tick.
+
+    The merge rule is mode-specific because each answer shape carries a
+    different global invariant:
+
+    * range modes: replicas are identical in every holding shard, so
+      keep-first dedup by segment key reproduces the unsharded answer;
+    * ``knn``: per-shard *local* top-k lists must be **re-ranked by
+      ``(distance, key)`` and re-truncated to k** — any global top-k
+      member ranks within the top-k of every shard holding it, so the
+      union contains the global top-k, but keep-first order would not
+      recover it;
+    * ``join``: a qualifying pair is co-resident on at least one shard
+      (δ/2 routing inflation — see :class:`MultiplexBroker`) with a
+      shard-independent interval; dedup by unordered pair key and
+      re-sort;
+    * ``aggregate``: per-shard count timelines cannot be summed (a
+      replicated segment would count once per holding shard), so the
+      merge dedups the carried answer *items* and recomputes the
+      timeline over the merged set.
+    """
     if not results:
         raise ServerError("cannot merge an empty result set")
     first = results[0]
     if any(
-        r.index != first.index or r.mode != first.mode for r in results[1:]
+        r.index != first.index or r.mode != first.mode or r.k != first.k
+        for r in results[1:]
     ):
         raise ServerError(
             f"shard results diverged within tick {first.index} "
-            "(mode or boundary mismatch)"
+            "(mode, boundary, or k mismatch)"
         )
     covers = [r.covers_until for r in results if r.covers_until is not None]
-    return TickResult(
+    common = dict(
         index=first.index,
         start=first.start,
         end=first.end,
         mode=first.mode,
-        items=_dedup(item for r in results for item in r.items),
-        prefetched=_dedup(item for r in results for item in r.prefetched),
         degraded=any(r.degraded for r in results),
         covers_until=max(covers) if covers else None,
+    )
+    if first.mode == "knn":
+        pool = list(_dedup(n for r in results for n in r.neighbors))
+        pool.sort(key=lambda n: (n.distance, n.key))
+        if first.k:
+            pool = pool[: first.k]
+        return TickResult(items=(), neighbors=tuple(pool), k=first.k, **common)
+    if first.mode == "join":
+        pairs = sorted(
+            _dedup(p for r in results for p in r.pairs), key=lambda p: p.key
+        )
+        return TickResult(items=(), pairs=tuple(pairs), **common)
+    if first.mode == "aggregate":
+        items = sorted(
+            _dedup(item for r in results for item in r.items),
+            key=lambda item: item.record.key,
+        )
+        horizon = common["covers_until"]
+        span = Interval(first.start, first.end if horizon is None else horizon)
+        timeline = tuple(count_timeline(items, span))
+        return TickResult(items=tuple(items), aggregate=timeline, **common)
+    return TickResult(
+        items=_dedup(item for r in results for item in r.items),
+        prefetched=_dedup(item for r in results for item in r.prefetched),
+        **common,
     )
 
 
@@ -429,7 +478,14 @@ class MultiplexBroker:
         uncertainties = [self.shards[0].native.uncertainty]
         if self.shards[0].dual is not None:
             uncertainties.append(self.shards[0].dual.uncertainty)
-        self._route_inflation = max(uncertainties)
+        # Replication slack: index uncertainty covers entry-box overlap,
+        # plus δ/2 for joins — two segments within δ share a midpoint
+        # within δ/2 of both, so inflating each segment's box by δ/2
+        # guarantees every qualifying pair is co-resident on the shard
+        # owning that midpoint.
+        self._route_inflation = (
+            max(uncertainties) + self.config.join_delta / 2.0
+        )
 
     # -- construction ------------------------------------------------------
 
@@ -615,6 +671,156 @@ class MultiplexBroker:
             ],
         )
 
+    def register_knn(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        k: int,
+        max_step: float = math.inf,
+        max_object_step: float = 0.0,
+    ) -> MuxClientSession:
+        """Admit a continuous-kNN client on *every* shard.
+
+        kNN broadcasts: the distance frontier is unbounded a priori, so
+        no spatial route is safe.  Each shard answers its local top-k
+        and :func:`merge_results` re-ranks the union by
+        ``(distance, key)`` — any global top-k member ranks within the
+        local top-k of every shard holding it, so the re-ranked union
+        equals the unsharded answer.
+        """
+        self._check_admission(client_id)
+        return self._admit(
+            client_id,
+            [
+                (
+                    shard.shard_id,
+                    shard.broker.register_knn(
+                        client_id,
+                        trajectory,
+                        k,
+                        max_step=max_step,
+                        max_object_step=max_object_step,
+                    ),
+                )
+                for shard in self.shards
+            ],
+        )
+
+    def register_join(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        delta: Optional[float] = None,
+    ) -> MuxClientSession:
+        """Admit a moving-join client on *every* shard.
+
+        Joins are population-wide, so they broadcast; δ must not exceed
+        ``config.join_delta`` because segment replication was inflated
+        by exactly δ/2 at load time — a wider join could have
+        qualifying pairs co-resident on no shard.
+        """
+        if delta is None:
+            delta = self.config.join_delta
+        if delta > self.config.join_delta:
+            raise ServerError(
+                f"join delta {delta} exceeds config.join_delta "
+                f"{self.config.join_delta}; replication only guarantees "
+                "pair co-residency up to the configured delta"
+            )
+        self._check_admission(client_id)
+        return self._admit(
+            client_id,
+            [
+                (
+                    shard.shard_id,
+                    shard.broker.register_join(
+                        client_id, trajectory, delta=delta
+                    ),
+                )
+                for shard in self.shards
+            ],
+        )
+
+    def register_aggregate(
+        self,
+        client_id: str,
+        trajectory: QueryTrajectory,
+        **kwargs,
+    ) -> MuxClientSession:
+        """Admit a windowed-aggregate client on the shards its
+        trajectory cover overlaps (key-routable, like range clients).
+        :func:`merge_results` recomputes the count timeline over the
+        deduplicated item union, so boundary replicas never double-count.
+        """
+        self._check_admission(client_id)
+        shard_ids = self.router.shards_for_trajectory(trajectory)
+        return self._admit(
+            client_id,
+            [
+                (
+                    shard_id,
+                    self.shards[shard_id].broker.register_aggregate(
+                        client_id, trajectory, **kwargs
+                    ),
+                )
+                for shard_id in shard_ids
+            ],
+        )
+
+    # -- declarative front door ---------------------------------------------
+
+    def _index_stats(self) -> IndexStats:
+        """Fold per-shard index statistics into one population view.
+
+        Record and leaf-page counts sum over shards (replicas inflate
+        them slightly — acceptable, the planner's decisions are
+        categorical); the domain is the cover of the shard root MBRs.
+        """
+        per = [IndexStats.from_index(shard.native) for shard in self.shards]
+        records = sum(s.records for s in per)
+        if records == 0:
+            return IndexStats(0, 0, 0, None)
+        domain: Optional[Box] = None
+        for s in per:
+            if s.domain is not None:
+                domain = s.domain if domain is None else domain.cover(s.domain)
+        return IndexStats(
+            records=records,
+            height=max(s.height for s in per),
+            leaf_pages=sum(s.leaf_pages for s in per),
+            domain=domain,
+        )
+
+    def register_query(
+        self, client_id: str, spec: QuerySpec, **kwargs
+    ) -> MuxClientSession:
+        """Admit a client from a declarative :class:`~repro.core.QuerySpec`.
+
+        The planner sees the folded per-shard statistics and the spatial
+        route the router would assign, so its targeted-versus-broadcast
+        decision matches what the concrete ``register_*`` call actually
+        does; the plan lands in ``metrics.plans`` for the serving report.
+        """
+        route: Optional[List[int]] = None
+        if spec.kind in ("range", "aggregate") and spec.trajectory is not None:
+            slack = (
+                self.config.shed_delta
+                if spec.kind == "range" and spec.predictive
+                else 0.0
+            )
+            route = self.router.shards_for_trajectory(
+                spec.trajectory, slack=slack
+            )
+        plan = plan_query(
+            spec,
+            self._index_stats(),
+            total_shards=self.plan.shard_count,
+            route=route,
+        )
+        session = dispatch_spec(self, client_id, spec, **kwargs)
+        self.metrics.plans[client_id] = plan
+        return session
+
     def close_client(self, client_id: str) -> None:
         """Close one client on every shard, freeing its admission slot."""
         self._sessions[client_id].close()
@@ -698,6 +904,7 @@ class MultiplexBroker:
         m.mispredicted_pages = sum(
             s.metrics.mispredicted_pages for s in subs
         )
+        m.dormant_ticks = sum(s.metrics.dormant_ticks for s in subs)
 
     def run(self, ticks: int) -> List[TickMetrics]:
         """Serve ``ticks`` consecutive master ticks."""

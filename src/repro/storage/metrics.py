@@ -117,6 +117,14 @@ class QueryCost:
         """All disk accesses (internal + leaf)."""
         return self.internal_reads + self.leaf_reads
 
+    def absorb(self, other: "QueryCost") -> None:
+        """Fold another accumulator's counters into this one."""
+        self.internal_reads += other.internal_reads
+        self.leaf_reads += other.leaf_reads
+        self.distance_computations += other.distance_computations
+        self.segment_tests += other.segment_tests
+        self.results += other.results
+
     def snapshot(self) -> CostSnapshot:
         """Immutable copy of the current counters."""
         return CostSnapshot(

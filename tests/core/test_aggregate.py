@@ -110,3 +110,71 @@ class TestContinuousCount:
         timeline = ContinuousCount(tiny_native, trajectory).compute()
         assert timeline[0][0] == 3.0
         assert all(3.0 <= t <= 8.0 for t, _ in timeline)
+
+    def test_naive_agrees_near_every_breakpoint(self, tiny_native):
+        """Regression: probe just either side of every breakpoint.
+
+        The breakpoints are the visibility boundaries — the instants
+        where the right-open counting rule and a closed point snapshot
+        used to disagree.  The exact roots are irrational, so at the
+        instant itself the object sits on the window edge and snapshot
+        membership is decided by rounding; a hair to either side the
+        geometry is unambiguous and the counts must agree.
+        """
+        trajectory = QueryTrajectory.linear(
+            3.0, 8.0, (40.0, 40.0), (1.5, 0.0), (6.0, 6.0)
+        )
+        agg = ContinuousCount(tiny_native, trajectory)
+        boundaries = [t for t, _ in agg.compute() if 3.0 < t < 8.0]
+        assert len(boundaries) > 2  # dense enough to mean something
+        for t in boundaries:
+            for at in (t - 1e-6, t + 1e-6):
+                timeline_count, exact = agg.verify_against_naive(at)
+                assert timeline_count == exact, f"disagree at t={at}"
+
+    def test_naive_agrees_at_exact_boundaries(self):
+        """At integer-exact arrival/departure instants — no float noise
+        masking the rule — the right-open convention must hold on both
+        sides of the comparison: a departure at ``t`` is gone at ``t``,
+        an arrival at ``t`` counts at ``t``.
+        """
+        from repro.index.nsi import NativeSpaceIndex
+
+        index = NativeSpaceIndex(dims=2)
+        index.bulk_load(
+            [
+                # Enters the window (x = -4) exactly at t = 6.
+                make_segment(1, 0, 0.0, 10.0, (-10.0, 0.0), (1.0, 0.0)),
+                # Leaves the window (x = 4) exactly at t = 4.
+                make_segment(2, 0, 0.0, 10.0, (0.0, 0.0), (1.0, 0.0)),
+                # Always inside.
+                make_segment(3, 0, 0.0, 10.0, (2.0, 2.0), (0.0, 0.0)),
+            ]
+        )
+        trajectory = QueryTrajectory.linear(
+            0.0, 10.0, (0.0, 0.0), (0.0, 0.0), (4.0, 4.0)
+        )
+        agg = ContinuousCount(index, trajectory)
+        for at, want in [(0.0, 2), (4.0, 1), (5.0, 1), (6.0, 2)]:
+            timeline_count, exact = agg.verify_against_naive(at)
+            assert timeline_count == exact == want, f"at t={at}"
+
+
+class TestBoundaryInstants:
+    def test_departure_instant_does_not_count(self):
+        timeline = count_timeline([item(1, 2.0, 5.0)], SPAN)
+        # Right-open: at t=5.0 the object is already gone.
+        assert (5.0, 0) in timeline
+
+    def test_handoff_instant_counts_once(self):
+        # One object leaves exactly when another arrives: the count
+        # neither dips to 0 nor doubles to 2 at the shared instant.
+        timeline = count_timeline(
+            [item(1, 0.0, 4.0), item(2, 4.0, 8.0)], SPAN
+        )
+        assert timeline == [(0.0, 1), (4.0, 1), (8.0, 0)]
+
+    def test_arrival_at_span_end_is_invisible(self):
+        # Visibility clipped to the span collapses to a point.
+        timeline = count_timeline([item(1, 10.0, 12.0)], SPAN)
+        assert timeline == [(0.0, 0)]

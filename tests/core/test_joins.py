@@ -148,6 +148,162 @@ class TestSnapshotJoin:
             snapshot_distance_join(index_a, index_b, Interval(0, 1), -1.0)
 
 
+class TestSnapshotJoinStructure:
+    """The pair traversal against adversarial tree shapes."""
+
+    @staticmethod
+    def build(segments, page_size):
+        index = NativeSpaceIndex(dims=2, page_size=page_size)
+        index.bulk_load(segments)
+        return index
+
+    @staticmethod
+    def canon(pairs):
+        return sorted(
+            tuple(sorted((ra.key, rb.key))) for ra, rb, _ in pairs
+        )
+
+    def test_self_join_dedup_survives_node_splits(self, tiny_segments):
+        """An object's segments scattered across many leaves by a small
+        page size must not resurrect already-reported pairs."""
+        segs = tiny_segments[: len(tiny_segments) // 2]
+        flat = self.build(segs, page_size=8192)
+        deep = self.build(segs, page_size=256)
+        assert deep.tree.height > flat.tree.height
+        time, delta = Interval(4.0, 4.6), 1.5
+        got = self.canon(snapshot_distance_join(deep, deep, time, delta))
+        assert len(got) == len(set(got))
+        assert got == self.canon(
+            snapshot_distance_join(flat, flat, time, delta)
+        )
+
+    def test_equal_height_trees(self, tiny_segments):
+        half = len(tiny_segments) // 2
+        a = self.build(tiny_segments[:half], page_size=512)
+        b = self.build(tiny_segments[half:], page_size=512)
+        assert a.tree.height == b.tree.height > 1
+        time, delta = Interval(4.0, 4.5), 1.5
+        got = {
+            (ra.key, rb.key)
+            for ra, rb, _ in snapshot_distance_join(a, b, time, delta)
+        }
+        want = {
+            (sa.key, sb.key)
+            for sa in tiny_segments[:half]
+            for sb in tiny_segments[half:]
+            if not pair_within_distance_interval(
+                sa.segment, sb.segment, delta, time
+            ).is_empty
+        }
+        assert got == want
+
+    @pytest.mark.parametrize("tall_side", ["a", "b"])
+    def test_mismatched_heights_descend_taller_side(
+        self, tiny_segments, tall_side
+    ):
+        """A three-level tree against a shallow one, on either side:
+        the traversal must descend the taller tree until the levels
+        line up instead of pairing a leaf with an internal node."""
+        half = len(tiny_segments) // 2
+        tall = self.build(tiny_segments[:half], page_size=256)
+        short = self.build(tiny_segments[half : half + 40], page_size=8192)
+        assert tall.tree.height > short.tree.height
+        a, b = (tall, short) if tall_side == "a" else (short, tall)
+        segs_a, segs_b = (
+            (tiny_segments[:half], tiny_segments[half : half + 40])
+            if tall_side == "a"
+            else (tiny_segments[half : half + 40], tiny_segments[:half])
+        )
+        time, delta = Interval(4.0, 4.5), 2.0
+        got = {
+            (ra.key, rb.key)
+            for ra, rb, _ in snapshot_distance_join(a, b, time, delta)
+        }
+        want = {
+            (sa.key, sb.key)
+            for sa in segs_a
+            for sb in segs_b
+            if not pair_within_distance_interval(
+                sa.segment, sb.segment, delta, time
+            ).is_empty
+        }
+        assert got == want
+
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_quarter = lambda lo, hi: st.integers(lo * 4, hi * 4).map(lambda n: n / 4.0)  # noqa: E731
+
+_segment_st = st.builds(
+    lambda oid, seq, t0, dt, ox, oy, vx, vy: make_segment(
+        oid, seq, t0, t0 + dt, (ox, oy), (vx, vy)
+    ),
+    oid=st.integers(0, 15),
+    seq=st.integers(0, 3),
+    t0=_quarter(0, 4),
+    dt=_quarter(1, 5),
+    ox=_quarter(-10, 10),
+    oy=_quarter(-10, 10),
+    vx=_quarter(-2, 2),
+    vy=_quarter(-2, 2),
+)
+
+
+class TestSnapshotJoinProperty:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        segs_a=st.lists(
+            _segment_st, min_size=1, max_size=12, unique_by=lambda s: s.key
+        ),
+        segs_b=st.lists(
+            _segment_st, min_size=1, max_size=12, unique_by=lambda s: s.key
+        ),
+        delta_q=st.integers(1, 16),
+        self_join=st.booleans(),
+    )
+    def test_matches_brute_force(self, segs_a, segs_b, delta_q, self_join):
+        delta = delta_q / 4.0 + 0.1
+        time = Interval(1.0, 4.0)
+        index_a = NativeSpaceIndex(dims=2, page_size=256)
+        index_a.bulk_load(segs_a)
+        if self_join:
+            index_b, segs_b = index_a, segs_a
+        else:
+            index_b = NativeSpaceIndex(dims=2, page_size=256)
+            index_b.bulk_load(segs_b)
+        found = snapshot_distance_join(index_a, index_b, time, delta)
+        if self_join:
+            got = {
+                tuple(sorted((ra.key, rb.key))) for ra, rb, _ in found
+            }
+            want = {
+                tuple(sorted((sa.key, sb.key)))
+                for i, sa in enumerate(segs_a)
+                for sb in segs_a[i + 1 :]
+                if sa.object_id != sb.object_id
+                and not pair_within_distance_interval(
+                    sa.segment, sb.segment, delta, time
+                ).is_empty
+            }
+            assert len(got) == len(found)  # dedup held
+        else:
+            got = {(ra.key, rb.key) for ra, rb, _ in found}
+            want = {
+                (sa.key, sb.key)
+                for sa in segs_a
+                for sb in segs_b
+                if not pair_within_distance_interval(
+                    sa.segment, sb.segment, delta, time
+                ).is_empty
+            }
+        assert got == want
+
+
 class TestProximityAlerts:
     def test_alerts_from_pdq_answers(self, tiny_native, tiny_segments):
         trajectory = QueryTrajectory.linear(

@@ -116,3 +116,37 @@ class TestMovingKNN:
         got = knn.query(5.1, (90.0, 90.0))
         want = brute_knn(tiny_segments, 5.1, (90.0, 90.0), 3)
         assert [r.key for r, _ in got] == [k for _, k in want]
+
+    def test_prune_bound_infinite_on_cold_start(self, tiny_native):
+        knn = MovingKNN(tiny_native, k=3, max_step=0.5)
+        assert math.isinf(knn.prune_bound)
+        knn.query(5.0, (50.0, 50.0))
+        assert not math.isinf(knn.prune_bound)
+
+    def test_results_counted_once_per_frame(self, tiny_native):
+        """Regression: a frame's answers used to be charged once by the
+        bounded pass and again after re-sorting — ``cost.results`` must
+        count exactly k per served frame, nothing more."""
+        frames, k = 12, 4
+        knn = MovingKNN(tiny_native, k=k, max_step=0.5, max_object_step=0.5)
+        t, x = 3.0, 30.0
+        for _ in range(frames):
+            assert len(knn.query(t, (x, 50.0))) == k
+            t += 0.1
+            x += 0.4
+        assert knn.cost.results == frames * k
+
+    def test_teleport_charges_discarded_pass_separately(
+        self, tiny_native
+    ):
+        knn = MovingKNN(tiny_native, k=3, max_step=0.1)
+        knn.query(5.0, (10.0, 10.0))
+        assert knn.cost.results == 3
+        # Teleport far outside the data: the carried bound is provably
+        # too tight, so the bounded pass is wasted work and must land in
+        # discarded_cost, not inflate the answer accounting.
+        got = knn.query(5.1, (5000.0, 5000.0))
+        assert len(got) == 3
+        assert knn.cost.results == 6
+        assert knn.discarded_cost.results == 0
+        assert knn.discarded_cost.distance_computations > 0

@@ -1,9 +1,11 @@
 """Property: sharding changes *placement*, never *answers*.
 
-For K in {1, 2, 4} shards, any mixed PDQ / NPDQ / auto fleet, any fleet
-overlap structure, and any small concurrent insert + expire stream, the
-multiplexed front-end delivers per-snapshot answer sets identical to the
-single unsharded broker fed the same streams on the same seed — and the
+For K in {1, 2, 4} shards, any mixed fleet drawn from the whole query
+zoo (PDQ / NPDQ / auto range clients plus continuous-kNN, moving-join
+and windowed-aggregate clients), any fleet overlap structure, and any
+small concurrent insert + expire stream, the multiplexed front-end
+delivers per-snapshot answer sets identical to the single unsharded
+broker fed the same streams on the same seed — and the
 *out-of-process* front-end (spawned shard workers behind the framed
 pipe protocol) matches both.
 """
@@ -26,6 +28,8 @@ from _helpers import make_segment
 START, PERIOD, TICKS = 1.0, 0.1, 12
 HALF = (4.0, 4.0)
 PAGE_SIZE = 512
+JOIN_DELTA = 2.5
+KNN_K = 3
 
 
 def build_ops(scenario, trajectories, tiny_segments):
@@ -60,6 +64,12 @@ def drive(broker, scenario, trajectories, ops):
             broker.register_pdq(cid, traj)
         elif spec == "npdq":
             broker.register_npdq(cid, traj)
+        elif spec == "knn":
+            broker.register_knn(cid, traj, KNN_K)
+        elif spec == "join":
+            broker.register_join(cid, traj)
+        elif spec == "aggregate":
+            broker.register_aggregate(cid, traj)
         elif remote:
             # The remote front-end takes the trajectory itself: a path
             # closure cannot cross the process boundary.
@@ -79,6 +89,16 @@ def drive(broker, scenario, trajectories, ops):
                         r.mode,
                         frozenset(i.key for i in r.items),
                         frozenset(i.key for i in r.prefetched),
+                        # Zoo payloads: kNN answers are rank-ordered with
+                        # their distances, join pairs carry their exact
+                        # sub-delta intervals, aggregates their timeline.
+                        tuple((n.key, n.distance) for n in r.neighbors),
+                        tuple(
+                            (p.key, p.interval.low, p.interval.high)
+                            for p in r.pairs
+                        ),
+                        r.aggregate,
+                        r.k,
                     )
                 )
     broker.quiesce()
@@ -89,7 +109,11 @@ scenario_st = st.fixed_dictionaries(
     {
         "shards": st.sampled_from([1, 2, 4]),
         "clients": st.lists(
-            st.sampled_from(["pdq", "npdq", "auto"]), min_size=1, max_size=3
+            st.sampled_from(
+                ["pdq", "npdq", "auto", "knn", "join", "aggregate"]
+            ),
+            min_size=1,
+            max_size=3,
         ),
         "mode": st.sampled_from(
             ["identical", "clustered", "independent", "spread"]
@@ -131,7 +155,7 @@ def test_sharded_answers_match_unsharded(
         build_native(),
         dual=build_dual(),
         clock=SimulatedClock(start=START, period=PERIOD),
-        config=ServerConfig(queue_depth=1000),
+        config=ServerConfig(queue_depth=1000, join_delta=JOIN_DELTA),
     )
     expected = drive(unsharded, scenario, trajectories, ops)
 
@@ -139,7 +163,7 @@ def test_sharded_answers_match_unsharded(
         tiny_segments,
         shards=scenario["shards"],
         clock=SimulatedClock(start=START, period=PERIOD),
-        config=ServerConfig(queue_depth=1000),
+        config=ServerConfig(queue_depth=1000, join_delta=JOIN_DELTA),
         page_size=PAGE_SIZE,
     )
     got = drive(sharded, scenario, trajectories, ops)
@@ -176,7 +200,7 @@ def test_remote_workers_match_in_process_and_unsharded(
         build_native(),
         dual=build_dual(),
         clock=SimulatedClock(start=START, period=PERIOD),
-        config=ServerConfig(queue_depth=1000),
+        config=ServerConfig(queue_depth=1000, join_delta=JOIN_DELTA),
     )
     expected = drive(unsharded, scenario, trajectories, ops)
 
@@ -184,7 +208,7 @@ def test_remote_workers_match_in_process_and_unsharded(
         tiny_segments,
         shards=scenario["shards"],
         clock=SimulatedClock(start=START, period=PERIOD),
-        config=ServerConfig(queue_depth=1000),
+        config=ServerConfig(queue_depth=1000, join_delta=JOIN_DELTA),
         page_size=PAGE_SIZE,
     )
     assert drive(sharded, scenario, trajectories, ops) == expected
@@ -193,7 +217,7 @@ def test_remote_workers_match_in_process_and_unsharded(
         tiny_segments,
         shards=scenario["shards"],
         clock=SimulatedClock(start=START, period=PERIOD),
-        config=ServerConfig(queue_depth=1000),
+        config=ServerConfig(queue_depth=1000, join_delta=JOIN_DELTA),
         page_size=PAGE_SIZE,
     )
     try:
